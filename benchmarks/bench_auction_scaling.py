@@ -1,0 +1,50 @@
+"""Scalability bench — the auction workload across scale factors.
+
+"Scalable data sets and workloads (if well designed)" is the tutorial's
+standard-benchmark promise (slide 14).  This bench sweeps the auction
+benchmark's scale factor, measures the full 10-query mix hot, and fits
+the empirical scaling exponent — well-designed analytic workloads over
+linear operators should scale near-linearly (exponent ~1).
+"""
+
+from repro.core import fit_power_law
+from repro.db import Engine, EngineConfig
+from repro.workloads import (
+    all_auction_queries,
+    auction_query,
+    generate_auction,
+)
+
+SCALE_FACTORS = (0.05, 0.1, 0.2, 0.4)
+
+
+def mix_hot_seconds(sf: float) -> float:
+    engine = Engine(generate_auction(sf=sf, seed=7), EngineConfig())
+    for name in all_auction_queries():       # warm everything
+        engine.execute(auction_query(name))
+    start = engine.clock.sample()
+    for name in all_auction_queries():
+        engine.execute(auction_query(name))
+    return (engine.clock.sample() - start).real
+
+
+def sweep():
+    times = [mix_hot_seconds(sf) for sf in SCALE_FACTORS]
+    rows = [(sf, t * 1000.0) for sf, t in zip(SCALE_FACTORS, times)]
+    fit = fit_power_law(SCALE_FACTORS, times)
+    return rows, fit
+
+
+def test_auction_scaling(benchmark, report):
+    rows, fit = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Auction workload scaling (10-query mix, hot, simulated ms)",
+             f"{'sf':>8} {'mix ms':>10}"]
+    for sf, ms in rows:
+        lines.append(f"{sf:>8} {ms:>10.1f}")
+    lines.append(f"fit: {fit.format()}")
+    report("\n".join(lines))
+    # More data, more time; near-linear scaling overall.
+    times = [ms for __, ms in rows]
+    assert times == sorted(times)
+    assert 0.7 <= fit.exponent <= 1.3
+    assert fit.r_squared > 0.97

@@ -1,0 +1,15 @@
+"""E01 bench — server vs client time, file vs terminal (slides 23-26)."""
+
+from repro.experiments import run_e01
+
+
+def test_e01_server_client(benchmark, report):
+    result = benchmark.pedantic(run_e01, kwargs={"sf": 0.01},
+                                rounds=1, iterations=1)
+    report(result.format())
+    q1, q16 = result.row(1), result.row(16)
+    # Shape: terminal > file, gap grows with the result size.
+    assert q16.terminal_overhead_ms > q1.terminal_overhead_ms
+    for row in result.rows:
+        assert row.server_user_ms <= row.server_real_ms + 1e-9
+        assert row.client_real_terminal_ms > row.client_real_file_ms

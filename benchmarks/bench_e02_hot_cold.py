@@ -1,0 +1,13 @@
+"""E02 bench — hot vs cold runs, user vs real time (slides 30-36)."""
+
+from repro.experiments import run_e02
+
+
+def test_e02_hot_cold(benchmark, report):
+    result = benchmark.pedantic(run_e02, kwargs={"sf": 0.01},
+                                rounds=1, iterations=1)
+    report(result.format())
+    row = result.rows[0]
+    # Paper: cold real 13243 ms vs hot real 3534 ms (3.7x), user ~equal.
+    assert 2.0 < row.cold_hot_real_ratio < 25.0
+    assert abs(row.cold_user_ms - row.hot_user_ms) < 0.05 * row.hot_user_ms

@@ -1,0 +1,12 @@
+"""E03 bench — DBG/OPT ratio across the 22 queries (slides 40-41)."""
+
+from repro.experiments import run_e03
+
+
+def test_e03_dbg_opt(benchmark, report):
+    result = benchmark.pedantic(run_e03, kwargs={"sf": 0.005},
+                                rounds=1, iterations=1)
+    report(result.format())
+    # Paper figure: ratios between ~1.0 and ~2.2, varying by query.
+    assert all(1.0 <= r <= 2.35 for r in result.ratios)
+    assert max(result.ratios) - min(result.ratios) > 0.1

@@ -1,0 +1,11 @@
+"""E04 bench — the memory wall across CPU generations (slides 46-51)."""
+
+from repro.experiments import run_e04
+
+
+def test_e04_memory_wall(benchmark, report):
+    result = benchmark(run_e04, 100_000)
+    report(result.format())
+    # Paper: ~10x clock gain, hardly any total improvement.
+    assert result.cpu_component_speedup() > 8.0
+    assert result.total_speedup() < 3.0

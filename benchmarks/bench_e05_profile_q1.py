@@ -1,0 +1,12 @@
+"""E05 bench — Q1 profile: tuple- vs column-at-a-time (slide 54)."""
+
+from repro.experiments import run_e05
+
+
+def test_e05_profile_q1(benchmark, report):
+    result = benchmark.pedantic(run_e05, kwargs={"sf": 0.01},
+                                rounds=1, iterations=1)
+    report(result.format())
+    # The MySQL-style engine is interpretation-dominated; MonetDB-style
+    # concentrates time in a few primitives and is far faster.
+    assert result.tuple_over_column > 3.0

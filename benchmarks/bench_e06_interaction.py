@@ -1,0 +1,10 @@
+"""E06 bench — factor interaction tables (slide 58)."""
+
+from repro.experiments import run_e06
+
+
+def test_e06_interaction(benchmark, report):
+    result = benchmark(run_e06)
+    report(result.format())
+    assert not result.table_a.has_interaction()
+    assert result.table_b.has_interaction()

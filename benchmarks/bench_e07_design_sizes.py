@@ -1,0 +1,10 @@
+"""E07 bench — experiment counts per design (slides 56-66)."""
+
+from repro.experiments import run_e07
+
+
+def test_e07_design_sizes(benchmark, report):
+    result = benchmark(run_e07)
+    report(result.format())
+    assert result.size_of("full factorial") >= 10 ** 5  # slide 56
+    assert result.size_of("2^k (extremes)") == 32

@@ -1,0 +1,11 @@
+"""E08 bench — the 9-run orthogonal array of slide 67."""
+
+from repro.experiments import run_e08
+
+
+def test_e08_orthogonal_array(benchmark, report):
+    result = benchmark(run_e08)
+    report(result.format())
+    assert result.n_experiments == 9
+    assert result.full_factorial_size == 81
+    assert result.balanced

@@ -1,0 +1,12 @@
+"""E09 bench — the 2^2 memory/cache worked example (slides 70-80)."""
+
+from repro.experiments import run_e09
+
+
+def test_e09_twotwo_design(benchmark, report):
+    result = benchmark(run_e09)
+    report(result.format())
+    # Exact reproduction: y = 40 + 20 xA + 10 xB + 5 xA xB.
+    assert result.manual == {"q0": 40.0, "qA": 20.0, "qB": 10.0,
+                             "qAB": 5.0}
+    assert result.model.effect("A", "B") == 5.0

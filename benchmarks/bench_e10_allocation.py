@@ -1,0 +1,14 @@
+"""E10 bench — allocation of variation, network example (slides 86-93)."""
+
+import pytest
+
+from repro.experiments import run_e10
+
+
+def test_e10_allocation(benchmark, report):
+    result = benchmark(run_e10)
+    report(result.format())
+    # Paper percentages for throughput T: qA 17.2, qB 77.0, qAB 5.8.
+    assert result.percentage("T", "B") == pytest.approx(77.0, abs=0.15)
+    assert result.percentage("T", "A") == pytest.approx(17.2, abs=0.15)
+    assert result.dominant_factor("R") == "B"

@@ -1,0 +1,11 @@
+"""E11 bench — constructing the 2^(7-4) sign table (slides 100-103)."""
+
+from repro.experiments import run_e11
+
+
+def test_e11_fractional_2_7_4(benchmark, report):
+    result = benchmark(run_e11)
+    report(result.format())
+    assert result.n_experiments == 8
+    assert result.all_columns_zero_sum()
+    assert result.all_columns_orthogonal()

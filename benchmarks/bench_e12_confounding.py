@@ -1,0 +1,11 @@
+"""E12 bench — D=ABC vs D=AB confounding (slides 104-109)."""
+
+from repro.experiments import run_e12
+
+
+def test_e12_confounding(benchmark, report):
+    result = benchmark(run_e12)
+    report(result.format())
+    assert result.preferred == "a"  # the paper prefers D = ABC
+    assert result.design_abc.design_resolution == 4
+    assert result.design_ab.design_resolution == 3

@@ -1,0 +1,14 @@
+"""E13 bench — the presentation-rule linter battery (slides 115-146)."""
+
+from repro.experiments import run_e13
+
+
+def test_e13_guidelines(benchmark, report):
+    result = benchmark(run_e13)
+    report(result.format())
+    for rule in ("max-curves", "max-bars", "max-slices", "units",
+                 "symbols", "zero-origin", "confidence-intervals",
+                 "histogram-cells", "aspect-ratio", "mixed-units"):
+        assert result.caught(rule), rule
+    assert result.clean_chart_passes()
+    assert result.style_findings

@@ -1,0 +1,10 @@
+"""E14 bench — histogram cell-size games (slide 144)."""
+
+from repro.experiments import run_e14
+
+
+def test_e14_histogram(benchmark, report):
+    result = benchmark(run_e14)
+    report(result.format())
+    assert not result.fine.satisfies_cell_rule()
+    assert result.coarse.satisfies_cell_rule()

@@ -1,0 +1,13 @@
+"""E15 bench — automatic CSV + gnuplot generation (slides 198-205)."""
+
+from repro.experiments import run_e15
+
+
+def test_e15_gnuplot(benchmark, report, tmp_path):
+    result = benchmark.pedantic(
+        run_e15, args=(tmp_path,),
+        kwargs={"sf_values": (0.002, 0.004, 0.008)},
+        rounds=1, iterations=1)
+    report(result.format())
+    assert result.csv_path.exists() and result.gnu_path.exists()
+    assert "set terminal postscript" in result.script_text()

@@ -1,0 +1,11 @@
+"""E16 bench — the locale copy-paste corruption (slides 212-215)."""
+
+from repro.experiments import run_e16
+
+
+def test_e16_locale(benchmark, report):
+    result = benchmark(run_e16)
+    report(result.format())
+    assert result.corrupted_values == (13666.0, 15.0, 123333.0, 13.0)
+    assert set(result.corrupted_report.suspicious_indices) == {0, 2}
+    assert result.good_report.is_clean

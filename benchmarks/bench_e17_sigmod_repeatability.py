@@ -1,0 +1,12 @@
+"""E17 bench — SIGMOD 2008 repeatability pies (slides 218-220)."""
+
+from repro.experiments import run_e17
+
+
+def test_e17_sigmod_repeatability(benchmark, report):
+    result = benchmark(run_e17)
+    report(result.format())
+    assert result.pool("accepted").total == 78
+    assert result.pool("rejected").total == 11
+    assert result.pool("all verified").total == 64
+    assert result.pies_pass_guidelines()

@@ -1,0 +1,13 @@
+"""E18 bench — apples and oranges: DBG/OPT and tuned/untuned (42-45)."""
+
+from repro.experiments import run_e18
+
+
+def test_e18_fair_comparison(benchmark, report):
+    result = benchmark.pedantic(run_e18, kwargs={"sf": 0.005},
+                                rounds=1, iterations=1)
+    report(result.format())
+    assert 1.2 <= result.dbg_over_opt_cpu <= 2.35       # "up to 2x"
+    assert 2.0 <= result.untuned_over_tuned <= 10.0     # "factor 2-10"
+    assert not result.build_report.is_fair
+    assert not result.stage_report.is_fair

@@ -1,0 +1,12 @@
+"""E19 bench — throughput, speed-up, scale-up (slide 22)."""
+
+from repro.experiments import run_e19
+
+
+def test_e19_metrics(benchmark, report):
+    result = benchmark.pedantic(run_e19, kwargs={"sf": 0.005},
+                                rounds=1, iterations=1)
+    report(result.format())
+    assert result.queries_per_second > 0
+    assert result.join_speedup > 2.0
+    assert 0.5 <= result.scaleup_factor <= 1.5

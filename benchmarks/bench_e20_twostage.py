@@ -1,0 +1,12 @@
+"""E20 bench — the two-stage methodology end to end (slides 56-113)."""
+
+from repro.experiments import run_e20
+
+
+def test_e20_twostage(benchmark, report):
+    result = benchmark.pedantic(run_e20, kwargs={"sf": 0.003},
+                                rounds=1, iterations=1)
+    report(result.format())
+    assert result.screening_runs == 8
+    assert result.full_factorial_runs == 32
+    assert "output" not in result.outcome.screening.selected

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_eNN`` module benchmarks one experiment from
+:mod:`repro.experiments` (one per tutorial table/figure; see DESIGN.md's
+experiment index) and prints the reproduced table/series through
+:func:`report` so the output survives pytest's capture into the bench
+log (``pytest benchmarks/ --benchmark-only | tee bench_output.txt``).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table through pytest's capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

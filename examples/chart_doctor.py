@@ -1,0 +1,74 @@
+"""Chart doctor: lint a figure against the tutorial's presentation rules.
+
+Takes the classic "MINE is better than YOURS" figure (slides 138-142):
+a truncated y axis, no units, no confidence intervals — then fixes each
+finding and shows the chart passing, plus the slide-146 gnuplot sizing.
+
+Run with::
+
+    python examples/chart_doctor.py
+"""
+
+from repro.measurement import confidence_interval
+from repro.viz import (
+    Series,
+    from_chart,
+    line_chart,
+    lint_chart,
+)
+
+# Repeated measurements of two systems (random quantities!).
+MINE = [2600, 2612, 2598, 2607, 2603]
+YOURS = [2610, 2620, 2605, 2615, 2612]
+
+
+def bad_chart():
+    """The pictorial game: truncated axis, no units, no error bars."""
+    return line_chart(
+        "MINE is better than YOURS",
+        [Series("MINE", (1, 2, 3, 4, 5), MINE, stochastic=True),
+         Series("YOURS", (1, 2, 3, 4, 5), YOURS, stochastic=True)],
+        x_label="Run", y_label="Time",
+        y_starts_at_zero=False,   # y axis starts at 2600...
+        aspect_ratio=0.2)         # ...and the plot is stretched flat
+
+
+def fixed_chart():
+    """Every finding addressed."""
+    ci_mine = confidence_interval(MINE)
+    ci_yours = confidence_interval(YOURS)
+    return line_chart(
+        "Execution time, MINE vs YOURS",
+        [Series("MINE", (1, 2, 3, 4, 5), MINE,
+                y_err=tuple([ci_mine.half_width] * 5), stochastic=True),
+         Series("YOURS", (1, 2, 3, 4, 5), YOURS,
+                y_err=tuple([ci_yours.half_width] * 5), stochastic=True)],
+        x_label="Run", y_label="Execution time (ms)",
+        y_starts_at_zero=True, aspect_ratio=0.75)
+
+
+def main():
+    print("--- linting the bad chart ---")
+    for finding in lint_chart(bad_chart()):
+        print(" ", finding.format())
+
+    print("\n--- linting the fixed chart ---")
+    findings = lint_chart(fixed_chart())
+    print("  clean!" if not findings else
+          "\n".join("  " + f.format() for f in findings))
+
+    ci_mine = confidence_interval(MINE)
+    ci_yours = confidence_interval(YOURS)
+    print(f"\nconfidence intervals (95%):")
+    print(f"  MINE : [{ci_mine.low:.1f}, {ci_mine.high:.1f}] ms")
+    print(f"  YOURS: [{ci_yours.low:.1f}, {ci_yours.high:.1f}] ms")
+    if ci_mine.overlaps(ci_yours):
+        print("  overlapping -> the two systems may be statistically")
+        print("  indifferent (slide 142); don't claim victory yet")
+
+    print("\n--- gnuplot script for the fixed chart (slide 146 sizing) ---")
+    print(from_chart(fixed_chart(), "mine-vs-yours").script_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Build a complete repeatable experiment package (slides 157-217).
+
+Produces, under ``./repeatable_demo/``:
+
+- the recommended directory layout (``data/ res/ graphs/ scripts/``);
+- a properties file with every knob the experiments depend on;
+- two registered experiments (a scale-factor sweep and a selectivity
+  sweep on MiniDB) that each write a ``res/*.csv`` and an automatically
+  generated ``graphs/*.gnu`` gnuplot script;
+- ``MANIFEST.md`` documenting installation, per-experiment scripts,
+  graph locations and expected durations;
+- ``archive.json`` fingerprinting every result file plus the captured
+  software environment — so a re-run can *prove* it reproduced the
+  same bytes.
+
+Run with::
+
+    python examples/repeatable_package.py [-Droot=repeatable_demo]
+"""
+
+import sys
+
+from repro.db import Engine, EngineConfig
+from repro.measurement import ResultSet
+from repro.repeat import (
+    ExperimentSuite,
+    InstallInfo,
+    Properties,
+    archive_results,
+    load_archive,
+    write_manifest,
+)
+from repro.workloads import generate_tpch, select_microbenchmark, tpch_query
+
+
+def scaling_experiment(properties: Properties) -> ResultSet:
+    """Q6 runtime across scale factors (hot, last of three runs)."""
+    seed = properties.get_int("seed", 42)
+    results = ResultSet("scaling")
+    for sf in (0.002, 0.004, 0.008):
+        engine = Engine(generate_tpch(sf=sf, seed=seed), EngineConfig())
+        measurement = None
+        for __ in range(3):
+            measurement = engine.execute(tpch_query(6))
+        results.add({"sf": sf},
+                    {"ms": measurement.server_time.real_ms()})
+    return results
+
+
+def selectivity_experiment(properties: Properties) -> ResultSet:
+    """Selection micro-benchmark across selectivities."""
+    seed = properties.get_int("seed", 42)
+    n_rows = properties.get_int("rows", 20000)
+    results = ResultSet("selectivity")
+    for selectivity in (0.01, 0.1, 0.5, 0.9):
+        bench = select_microbenchmark(n_rows, selectivity, seed=seed)
+        bench.run()  # warm
+        start = bench.engine.clock.now
+        result = bench.run()
+        results.add({"selectivity": selectivity},
+                    {"ms": (bench.engine.clock.now - start) * 1000.0,
+                     "rows_out": float(result.n_rows)})
+    return results
+
+
+def main(argv):
+    properties = Properties({"root": "repeatable_demo", "seed": "42",
+                             "rows": "20000"})
+    properties.apply_cli_overrides(argv)
+    root = properties.get_path("root")
+
+    suite = ExperimentSuite(root, name="demo-study",
+                            properties=properties)
+    suite.add("scaling", scaling_experiment,
+              description="Q6 execution time for various scale factors",
+              expected_minutes=1, plot_x="sf", plot_y="ms")
+    suite.add("selectivity", selectivity_experiment,
+              description="Selection cost vs predicate selectivity",
+              expected_minutes=1, plot_x="selectivity", plot_y="ms")
+
+    # Persist the exact configuration used — the parameterizability rule.
+    suite.scaffold()
+    properties.store_file(root / "scripts" / "study.properties",
+                          comment="parameters of the demo study")
+
+    print("running all experiments (slide 234: one command)...")
+    for run in suite.run_all():
+        print(f"  {run.experiment.name:<12} -> {run.csv_path} "
+              f"({run.wall_seconds:.2f}s wall)")
+        if run.gnuplot_path:
+            print(f"  {'':<12}    {run.gnuplot_path} "
+                  f"(render: gnuplot {run.gnuplot_path.name})")
+
+    manifest = write_manifest(suite, InstallInfo(
+        requirements=["python >= 3.9", "numpy", "scipy",
+                      "repro (pip install -e .)"],
+        install_command="pip install -e .",
+        data_preparation="none: all data is generated from fixed seeds"))
+    print(f"  manifest     -> {manifest}")
+
+    record = archive_results(root)
+    print(f"  archive      -> {root / 'archive.json'} "
+          f"({len(record.file_hashes)} files fingerprinted)")
+
+    # Demonstrate the repeatability check: re-load and compare.
+    identical, differences = record.matches(load_archive(root))
+    print(f"\nre-verification: identical={identical} "
+          f"({len(differences)} differences)")
+    print("hand this directory to a reviewer — or to yourself, three "
+          "years from now")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,60 @@
+"""The two-stage methodology on a real tuning question.
+
+Question: which of five engine/configuration knobs actually matter for
+TPC-H Q3 on MiniDB?  Testing all 2^5 = 32 combinations is wasteful;
+the tutorial's recipe (slides 59, 110-113):
+
+1. screen with a 2^(5-2) fractional factorial — 8 experiments;
+2. allocate variation to rank the factors (and see what the fraction
+   confounds);
+3. refine: full factorial over the two dominant factors only.
+
+Run with::
+
+    python examples/screening_study.py
+"""
+
+from repro.core import alias_structure
+from repro.experiments.e20_twostage import QueryExperiment, make_space
+from repro.core import screen, refine
+
+GENERATORS = {"buffer": ("build", "tuned"), "output": ("build", "mode")}
+
+
+def main():
+    space = make_space()
+    experiment = QueryExperiment(sf=0.003, seed=42, query=3)
+
+    print(f"factor space: {space.full_size()} full-factorial "
+          "configurations")
+    print("stage 1: 2^(5-2) screening design, 8 experiments")
+    aliases = alias_structure(space.names, GENERATORS)
+    print(f"  design resolution: {aliases.design_resolution}")
+    print("  main-effect confounding (why we trust the screen only for")
+    print("  ranking, not for exact interaction values):")
+    for factor, alias_set in sorted(aliases.main_effect_aliases().items()):
+        shown = sorted("".join(sorted(a)) for a in alias_set)[:2]
+        print(f"    {factor:<8} aliased with {shown} ...")
+
+    screening = screen(space, experiment, generators=GENERATORS, keep=2)
+    print("\n  " + screening.variation.format().replace("\n", "\n  "))
+    print(f"  selected: {list(screening.selected)}")
+
+    print("\nstage 2: full factorial over the selected factors")
+    refinement = refine(space, experiment, screening.selected,
+                        minimize=True)
+    for config, response in zip(refinement.configurations,
+                                refinement.responses):
+        chosen = {k: config[k] for k in screening.selected}
+        print(f"  {chosen}  ->  {response:8.1f} ms (simulated)")
+    best = {k: refinement.best_configuration[k]
+            for k in screening.selected}
+    print(f"\nbest refined configuration: {best} "
+          f"({refinement.best_response:.1f} ms)")
+    total = len(list(screening.design.points())) + \
+        len(refinement.responses)
+    print(f"total experiments: {total} instead of {space.full_size()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A TPC-H measurement study, done the way the tutorial teaches.
+
+Reproduces the tutorial's own measurement discipline on MiniDB:
+
+- generate the TPC-H-like database at a stated scale factor and seed;
+- document the hardware/software environment (the slide-155 level of
+  detail — no more, no less);
+- measure Q1 and Q16 under an explicit, documented protocol ("last of
+  three consecutive runs"), hot AND cold, server- and client-side,
+  with the result shipped to a file and to a terminal;
+- print the full table — "be aware what you measure!".
+
+Run with::
+
+    python examples/tpch_study.py [-Dsf=0.01] [-Dseed=42]
+"""
+
+import sys
+
+from repro.db import Client, Engine, EngineConfig, FileSink, TerminalSink
+from repro.hardware import TUTORIAL_LAPTOP
+from repro.measurement import (
+    PickRule,
+    RunProtocol,
+    State,
+)
+from repro.repeat import Properties, capture_environment, format_environment
+from repro.workloads import EngineQueryWorkload, generate_tpch, tpch_query
+
+
+def measure_query(db, query_number, protocol):
+    """Server-side timing of one query under the given protocol."""
+    engine = Engine(db, EngineConfig())
+    workload = EngineQueryWorkload(engine, tpch_query(query_number))
+    outcome = protocol.execute(workload.run, make_cold=workload.make_cold,
+                               clock=engine.clock)
+    return outcome.picked
+
+
+def measure_client(db, query_number, sink):
+    """Client-side timing with the given result sink (hot)."""
+    engine = Engine(db, EngineConfig())
+    client = Client(engine, sink)
+    measurement = None
+    for __ in range(3):  # last of three consecutive runs
+        measurement = client.run(tpch_query(query_number))
+    return measurement
+
+
+def main(argv):
+    properties = Properties({"sf": "0.01", "seed": "42"})
+    properties.apply_cli_overrides(argv)
+    sf = properties.get_float("sf")
+    seed = properties.get_int("seed")
+
+    print("environment (software):")
+    print(format_environment(capture_environment(
+        extra={"dbms": "MiniDB (repro 1.0)",
+               "dataset": f"TPC-H-like sf={sf} seed={seed}"})))
+    print("\nsimulated hardware:")
+    print(TUTORIAL_LAPTOP.describe())
+
+    db = generate_tpch(sf=sf, seed=seed)
+    hot = RunProtocol(state=State.HOT, repetitions=3,
+                      pick=PickRule.LAST, warmups=1)
+    cold = RunProtocol(state=State.COLD, repetitions=3,
+                       pick=PickRule.LAST, warmups=0)
+    print(f"\nprotocols:\n  hot : {hot.describe()}\n  cold: {cold.describe()}")
+
+    print(f"\n{'Q':>3} {'cold user':>10} {'cold real':>10} "
+          f"{'hot user':>10} {'hot real':>10}   (simulated ms)")
+    for query in (1, 16):
+        c = measure_query(db, query, cold)
+        h = measure_query(db, query, hot)
+        print(f"{query:>3} {c.user_ms():>10.1f} {c.real_ms():>10.1f} "
+              f"{h.user_ms():>10.1f} {h.real_ms():>10.1f}")
+
+    print(f"\n{'Q':>3} {'cli file':>10} {'cli term':>10} {'result':>10}")
+    for query in (1, 16):
+        f = measure_client(db, query, FileSink())
+        t = measure_client(db, query, TerminalSink())
+        print(f"{query:>3} {f.client_real_ms:>10.1f} "
+              f"{t.client_real_ms:>10.1f} "
+              f"{f.result_bytes / 1024:>8.1f}KB")
+    print("\nBe aware what you measure!")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,78 @@
+"""repro — performance evaluation in database research, as a library.
+
+A full reproduction of Manolescu & Manegold's tutorial *"Performance
+Evaluation in Database Research: Principles and Experiences"*
+(ICDE 2008 / EDBT 2009): the statistical experiment-design toolkit, a
+measurement layer with hot/cold run protocols, the MiniDB column-store
+substrate with simulated hardware, TPC-H-like workloads, a repeatability
+harness, and a chart-guidelines linter.
+
+Subpackages
+-----------
+- :mod:`repro.core` — factorial designs, effects, allocation of
+  variation, confounding (the paper's methodological core);
+- :mod:`repro.measurement` — clocks, timers, protocols, statistics;
+- :mod:`repro.db` — MiniDB: storage, operators, SQL, EXPLAIN/PROFILE;
+- :mod:`repro.hardware` — caches, CPU generations, DBG/OPT builds;
+- :mod:`repro.workloads` — generators, micro-benchmarks, TPC-H-like;
+- :mod:`repro.repeat` — properties, suites, manifests, archives;
+- :mod:`repro.viz` — chart specs, guideline linting, gnuplot emission.
+
+Quickstart::
+
+    from repro.core import FactorSpace, TwoLevelFactorialDesign, two_level
+    from repro.core import estimate_effects, allocate_variation
+
+    space = FactorSpace([two_level("memory", "4MB", "16MB"),
+                         two_level("cache", "1KB", "2KB")])
+    design = TwoLevelFactorialDesign(space)
+    model = estimate_effects(design, [15, 45, 25, 75])
+    print(model.describe())   # y = 40 + 20*xmemory + 10*xcache + ...
+"""
+
+from repro import core, db, hardware, measurement, repeat, viz, workloads
+from repro.errors import (
+    ChartError,
+    ConfigError,
+    ConfoundingError,
+    DatabaseError,
+    DesignError,
+    GuidelineViolation,
+    HardwareModelError,
+    MeasurementError,
+    PlanError,
+    ProtocolError,
+    ReproError,
+    SqlSyntaxError,
+    SuiteError,
+    TypeMismatchError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChartError",
+    "ConfigError",
+    "ConfoundingError",
+    "DatabaseError",
+    "DesignError",
+    "GuidelineViolation",
+    "HardwareModelError",
+    "MeasurementError",
+    "PlanError",
+    "ProtocolError",
+    "ReproError",
+    "SqlSyntaxError",
+    "SuiteError",
+    "TypeMismatchError",
+    "WorkloadError",
+    "__version__",
+    "core",
+    "db",
+    "hardware",
+    "measurement",
+    "repeat",
+    "viz",
+    "workloads",
+]

@@ -1,0 +1,181 @@
+"""Experiment design: the paper's primary methodological contribution.
+
+Public surface of :mod:`repro.core`:
+
+- factors and spaces: :class:`Factor`, :class:`FactorSpace`;
+- designs: :class:`SimpleDesign`, :class:`FullFactorialDesign`,
+  :class:`TwoLevelFactorialDesign` (2^k),
+  :class:`FractionalFactorialDesign` (2^(k-p)),
+  :class:`OrthogonalArrayDesign`;
+- analysis: :func:`estimate_effects`, :func:`allocate_variation`,
+  :func:`analyze_replicated`, :func:`alias_structure`;
+- methodology: :func:`screen_and_refine`;
+- comparison: :func:`speedup`, :func:`throughput`, :func:`check_fairness`.
+"""
+
+from repro.core.anova import (
+    AnovaRow,
+    AnovaTable,
+    one_way_anova,
+    two_way_anova,
+)
+from repro.core.compare import (
+    ComparisonContext,
+    FairnessIssue,
+    FairnessReport,
+    PIPELINE_STAGES,
+    check_fairness,
+    relative_change,
+    scaleup,
+    speedup,
+    throughput,
+)
+from repro.core.confounding import (
+    AliasStructure,
+    alias_set,
+    alias_structure,
+    compare_designs,
+    defining_relation,
+    effect,
+    effect_name,
+    multiply,
+    parse_effect,
+    resolution,
+)
+from repro.core.designs import (
+    Design,
+    FractionalFactorialDesign,
+    FullFactorialDesign,
+    OrthogonalArrayDesign,
+    SimpleDesign,
+    TwoLevelFactorialDesign,
+    fractional_size,
+    full_factorial_size,
+    simple_design_size,
+    two_level_size,
+)
+from repro.core.effects import (
+    estimate_effects,
+    estimate_effects_from_table,
+    estimate_effects_replicated,
+    responses_from_model,
+    solve_two_by_two,
+)
+from repro.core.factors import (
+    DesignPoint,
+    Factor,
+    FactorSpace,
+    interaction_name,
+    parse_interaction,
+    two_level,
+)
+from repro.core.interaction import (
+    InteractionTable,
+    from_slide_layout,
+    slide58_tables,
+)
+from repro.core.model import AdditiveModel, model_from_effects
+from repro.core.regression import (
+    LinearFit,
+    PowerLawFit,
+    fit_power_law,
+    linear_fit,
+)
+from repro.core.replication import (
+    EffectInterval,
+    ReplicatedAnalysis,
+    analyze_replicated,
+)
+from repro.core.signtable import (
+    SignTable,
+    dot_effects,
+    fractional_sign_table,
+    full_sign_table,
+)
+from repro.core.twostage import (
+    RefinementResult,
+    ScreeningResult,
+    TwoStageResult,
+    refine,
+    run_design,
+    screen,
+    screen_and_refine,
+)
+from repro.core.variation import (
+    VariationReport,
+    allocate_variation,
+    allocate_variation_replicated,
+)
+
+__all__ = [
+    "AdditiveModel",
+    "AnovaRow",
+    "AnovaTable",
+    "LinearFit",
+    "PowerLawFit",
+    "fit_power_law",
+    "linear_fit",
+    "one_way_anova",
+    "two_way_anova",
+    "AliasStructure",
+    "ComparisonContext",
+    "Design",
+    "DesignPoint",
+    "EffectInterval",
+    "Factor",
+    "FactorSpace",
+    "FairnessIssue",
+    "FairnessReport",
+    "FractionalFactorialDesign",
+    "FullFactorialDesign",
+    "InteractionTable",
+    "OrthogonalArrayDesign",
+    "PIPELINE_STAGES",
+    "RefinementResult",
+    "ReplicatedAnalysis",
+    "ScreeningResult",
+    "SignTable",
+    "SimpleDesign",
+    "TwoLevelFactorialDesign",
+    "TwoStageResult",
+    "VariationReport",
+    "alias_set",
+    "alias_structure",
+    "allocate_variation",
+    "allocate_variation_replicated",
+    "analyze_replicated",
+    "check_fairness",
+    "compare_designs",
+    "defining_relation",
+    "dot_effects",
+    "effect",
+    "effect_name",
+    "estimate_effects",
+    "estimate_effects_from_table",
+    "estimate_effects_replicated",
+    "fractional_sign_table",
+    "fractional_size",
+    "from_slide_layout",
+    "full_factorial_size",
+    "full_sign_table",
+    "interaction_name",
+    "model_from_effects",
+    "multiply",
+    "parse_effect",
+    "parse_interaction",
+    "refine",
+    "relative_change",
+    "resolution",
+    "responses_from_model",
+    "run_design",
+    "scaleup",
+    "screen",
+    "screen_and_refine",
+    "simple_design_size",
+    "slide58_tables",
+    "solve_two_by_two",
+    "speedup",
+    "throughput",
+    "two_level",
+    "two_level_size",
+]

@@ -1,0 +1,154 @@
+"""Comparison metrics and the "apples and oranges" fairness checklist.
+
+Covers the tutorial's comparison metrics (slide 22: throughput, speed-up,
+scale-up) and its fairness war stories (slides 37-45): comparisons are
+meaningless unless both systems were built with the same optimization
+level, tuned comparably, and measured over the same pipeline stages.
+:class:`ComparisonContext` captures those crucial factors and
+:func:`check_fairness` reports every mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MeasurementError
+
+#: Pipeline stages a DBMS measurement may include (slide 42: omitting
+#: parsing/optimization/printing in X but including them in Y is unfair).
+PIPELINE_STAGES = ("parse", "translate", "optimize", "execute", "print")
+
+
+def throughput(queries: int, seconds: float) -> float:
+    """Queries per second."""
+    if seconds <= 0:
+        raise MeasurementError(f"elapsed time must be positive, got {seconds}")
+    if queries < 0:
+        raise MeasurementError(f"query count must be >= 0, got {queries}")
+    return queries / seconds
+
+
+def speedup(time_base: float, time_new: float) -> float:
+    """How much faster the new system is: ``t_base / t_new``.
+
+    Values above 1 mean the new system wins.
+    """
+    if time_base <= 0 or time_new <= 0:
+        raise MeasurementError("times must be positive for a speed-up")
+    return time_base / time_new
+
+
+def scaleup(work_base: float, time_base: float,
+            work_scaled: float, time_scaled: float) -> float:
+    """Scale-up: relative efficiency when both work and resources grow.
+
+    1.0 is perfect scale-up (k-times the work in the same time on k-times
+    the resources); below 1 the system loses efficiency at scale.
+    """
+    if min(work_base, time_base, work_scaled, time_scaled) <= 0:
+        raise MeasurementError("work and time must be positive for scale-up")
+    return (work_scaled / work_base) / (time_scaled / time_base)
+
+
+def relative_change(base: float, new: float) -> float:
+    """Signed relative change ``(new - base) / base``."""
+    if base == 0:
+        raise MeasurementError("base value must be nonzero")
+    return (new - base) / base
+
+
+@dataclass(frozen=True)
+class ComparisonContext:
+    """The crucial factors of one measured system, for fairness checking.
+
+    Attributes mirror the tutorial's war stories:
+
+    - ``optimized_build``: compiler optimization on? (slides 37-41: DBG vs
+      OPT differs by up to 2x);
+    - ``tuned``: was the system configured/tuned, or out-of-the-box?
+      (slides 42-45: factor 2-10);
+    - ``stages``: which pipeline stages the measurement covers;
+    - ``hardware`` / ``dataset``: identifiers that must match.
+    """
+
+    system: str
+    optimized_build: bool = True
+    tuned: bool = False
+    stages: Tuple[str, ...] = PIPELINE_STAGES
+    hardware: str = ""
+    dataset: str = ""
+
+    def __post_init__(self):
+        unknown = [s for s in self.stages if s not in PIPELINE_STAGES]
+        if unknown:
+            raise MeasurementError(
+                f"unknown pipeline stages {unknown}; "
+                f"known: {list(PIPELINE_STAGES)}")
+
+
+@dataclass(frozen=True)
+class FairnessIssue:
+    """One detected apples-vs-oranges mismatch."""
+
+    kind: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Outcome of :func:`check_fairness`."""
+
+    issues: Tuple[FairnessIssue, ...]
+
+    @property
+    def is_fair(self) -> bool:
+        return not self.issues
+
+    def format(self) -> str:
+        if self.is_fair:
+            return "comparison looks fair (no crucial-factor mismatches)"
+        lines = ["UNFAIR COMPARISON ('apples and oranges'):"]
+        for issue in self.issues:
+            lines.append(f"  [{issue.kind}] {issue.detail}")
+        return "\n".join(lines)
+
+
+def check_fairness(a: ComparisonContext, b: ComparisonContext
+                   ) -> FairnessReport:
+    """Compare two measurement contexts and report every mismatch.
+
+    This encodes the tutorial's checklist; it cannot prove fairness (the
+    tutorial: "absolutely fair comparisons are virtually impossible") but
+    it catches the classic blunders.
+    """
+    issues: List[FairnessIssue] = []
+    if a.optimized_build != b.optimized_build:
+        dbg = a.system if not a.optimized_build else b.system
+        issues.append(FairnessIssue(
+            "build",
+            f"{dbg} was built without compiler optimization while the "
+            "other was optimized (the CWI war story: up to 2x difference)"))
+    if a.tuned != b.tuned:
+        raw = a.system if not a.tuned else b.system
+        issues.append(FairnessIssue(
+            "tuning",
+            f"{raw} runs with out-of-the-box settings while the other was "
+            "hand-tuned (tutorial: factor 2-10 difference)"))
+    if set(a.stages) != set(b.stages):
+        only_a = sorted(set(a.stages) - set(b.stages))
+        only_b = sorted(set(b.stages) - set(a.stages))
+        issues.append(FairnessIssue(
+            "stages",
+            f"measured pipeline stages differ: {a.system} includes "
+            f"{only_a or 'nothing extra'}, {b.system} includes "
+            f"{only_b or 'nothing extra'}"))
+    if a.hardware and b.hardware and a.hardware != b.hardware:
+        issues.append(FairnessIssue(
+            "hardware",
+            f"different hardware: {a.hardware!r} vs {b.hardware!r}"))
+    if a.dataset and b.dataset and a.dataset != b.dataset:
+        issues.append(FairnessIssue(
+            "dataset",
+            f"different datasets: {a.dataset!r} vs {b.dataset!r}"))
+    return FairnessReport(issues=tuple(issues))

@@ -1,0 +1,224 @@
+"""Confounding (alias) analysis for 2^(k-p) fractional designs.
+
+The tutorial (slides 104-109) works the ``D = ABC`` example: multiplying
+both sides by columns and using ``X·X = I`` yields the *defining relation*
+``I = ABCD`` and hence the alias pairs ``AD = BC``, ``A = BCD``, etc.
+Designs whose defining words are long confound only high-order
+interactions, which the "sparsity of effects" principle says are small —
+so ``D = ABC`` (resolution IV) is preferred over ``D = AB``
+(resolution III).
+
+Effects are represented as frozensets of factor names; multiplication is
+symmetric difference (``X·X = I``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import ConfoundingError
+
+#: The identity effect I.
+IDENTITY: FrozenSet[str] = frozenset()
+
+
+def effect(*factors: str) -> FrozenSet[str]:
+    """Build an effect from factor names: ``effect('A','B')`` is AB."""
+    return frozenset(factors)
+
+
+def multiply(a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+    """Effect product under ``X·X = I`` (symmetric difference)."""
+    return a ^ b
+
+
+def effect_name(e: FrozenSet[str]) -> str:
+    """Render an effect the way the slides do: ``'I'``, ``'A'``, ``'ABC'``."""
+    if not e:
+        return "I"
+    return "".join(sorted(e))
+
+
+def parse_effect(text: str) -> FrozenSet[str]:
+    """Parse a slide-style effect name (``'ABC'`` or ``'I'``).
+
+    Each character is one factor, so this form only suits single-letter
+    factor names; multi-letter factors should use :func:`effect` directly.
+    """
+    text = text.strip()
+    if text in ("I", ""):
+        return IDENTITY
+    return frozenset(text)
+
+
+def defining_relation(generators: Mapping[str, Iterable[str]]
+                      ) -> Set[FrozenSet[str]]:
+    """The defining contrast subgroup of a set of generators.
+
+    Each generator ``D = ABC`` contributes the word ``ABCD`` (``I = ABCD``);
+    the subgroup closes the words under multiplication and always contains
+    I.  Size is ``2^p`` for ``p`` independent generators.
+    """
+    words: List[FrozenSet[str]] = []
+    for new_factor, combo in generators.items():
+        combo = frozenset(combo)
+        if new_factor in combo:
+            raise ConfoundingError(
+                f"generator {new_factor!r} = {effect_name(combo)} "
+                "references itself")
+        if len(combo) < 2:
+            raise ConfoundingError(
+                f"generator for {new_factor!r} must involve at least two "
+                "factors")
+        words.append(combo | {new_factor})
+
+    subgroup: Set[FrozenSet[str]] = {IDENTITY}
+    for word in words:
+        additions = {multiply(word, existing) for existing in subgroup}
+        if additions & subgroup:
+            overlap = additions & subgroup - {IDENTITY}
+            if word in subgroup:
+                raise ConfoundingError(
+                    f"generator word {effect_name(word)} is not independent "
+                    "of the previous generators")
+        subgroup |= additions
+    expected = 2 ** len(words)
+    if len(subgroup) != expected:
+        raise ConfoundingError(
+            f"generators are not independent: subgroup has {len(subgroup)} "
+            f"words, expected {expected}")
+    return subgroup
+
+
+def alias_set(e: FrozenSet[str],
+              relation: Set[FrozenSet[str]]) -> Set[FrozenSet[str]]:
+    """All effects confounded with *e* under the defining relation."""
+    return {multiply(e, word) for word in relation}
+
+
+def resolution(relation: Set[FrozenSet[str]]) -> int:
+    """Design resolution: length of the shortest non-identity word."""
+    lengths = [len(word) for word in relation if word]
+    if not lengths:
+        raise ConfoundingError(
+            "the defining relation contains only I (no generators)")
+    return min(lengths)
+
+
+@dataclass(frozen=True)
+class AliasStructure:
+    """Complete alias analysis of a fractional design.
+
+    Attributes
+    ----------
+    factor_names:
+        All k factor names.
+    relation:
+        The defining contrast subgroup (contains I).
+    groups:
+        Disjoint alias groups covering every effect up to order k, each a
+        frozenset of effects that share one estimable contrast.
+    """
+
+    factor_names: Tuple[str, ...]
+    relation: FrozenSet[FrozenSet[str]]
+    groups: Tuple[FrozenSet[FrozenSet[str]], ...]
+
+    @property
+    def design_resolution(self) -> int:
+        return resolution(set(self.relation))
+
+    def aliases_of(self, *factors: str) -> Set[FrozenSet[str]]:
+        """The alias set of one effect, excluding the effect itself."""
+        e = effect(*factors)
+        return alias_set(e, set(self.relation)) - {e}
+
+    def are_confounded(self, a: Sequence[str], b: Sequence[str]) -> bool:
+        """True if the two effects share a contrast."""
+        return effect(*b) in alias_set(effect(*a), set(self.relation))
+
+    def main_effect_aliases(self) -> Dict[str, Set[FrozenSet[str]]]:
+        """For every factor, the effects its main effect is confounded with."""
+        return {name: self.aliases_of(name) for name in self.factor_names}
+
+    def confounds_main_with_order(self, order: int) -> bool:
+        """True if some main effect is confounded with an effect of *order*.
+
+        ``confounds_main_with_order(2)`` flags resolution-III designs where
+        main effects alias two-factor interactions (the weakness of the
+        tutorial's ``D = AB`` example).
+        """
+        for aliases in self.main_effect_aliases().values():
+            if any(len(a) == order for a in aliases):
+                return True
+        return False
+
+    def format(self) -> str:
+        """Render alias groups the way slides 105-108 list them."""
+        lines = [f"I = " + " = ".join(sorted(
+            (effect_name(w) for w in self.relation if w),
+            key=lambda s: (len(s), s)))]
+        for group in self.groups:
+            names = sorted((effect_name(e) for e in group),
+                           key=lambda s: (len(s), s))
+            lines.append(" = ".join(names))
+        return "\n".join(lines)
+
+
+def alias_structure(factor_names: Sequence[str],
+                    generators: Mapping[str, Iterable[str]]
+                    ) -> AliasStructure:
+    """Compute the full alias structure of a 2^(k-p) design.
+
+    Parameters mirror :class:`repro.core.designs.FractionalFactorialDesign`.
+    """
+    factor_names = tuple(factor_names)
+    for new_factor, combo in generators.items():
+        unknown = [f for f in set(combo) | {new_factor}
+                   if f not in factor_names]
+        if unknown:
+            raise ConfoundingError(
+                f"generator {new_factor!r} uses unknown factors {unknown}")
+    relation = defining_relation(generators)
+
+    all_effects: Set[FrozenSet[str]] = set()
+    for order in range(1, len(factor_names) + 1):
+        for combo in itertools.combinations(factor_names, order):
+            all_effects.add(frozenset(combo))
+
+    seen: Set[FrozenSet[str]] = set()
+    groups: List[FrozenSet[FrozenSet[str]]] = []
+    for e in sorted(all_effects, key=lambda x: (len(x), effect_name(x))):
+        if e in seen or e in relation:
+            continue
+        group = frozenset(alias_set(e, relation))
+        seen |= group
+        groups.append(group)
+    return AliasStructure(factor_names=factor_names,
+                          relation=frozenset(relation),
+                          groups=tuple(groups))
+
+
+def compare_designs(factor_names: Sequence[str],
+                    generators_a: Mapping[str, Iterable[str]],
+                    generators_b: Mapping[str, Iterable[str]]
+                    ) -> Tuple[AliasStructure, AliasStructure, str]:
+    """Compare two fractional designs the way slides 107-109 do.
+
+    Returns both alias structures plus the name (``'a'``, ``'b'`` or
+    ``'tie'``) of the preferred design: higher resolution wins; ties break
+    toward the design confounding fewer main effects with two-factor
+    interactions ("sparsity of effects" principle).
+    """
+    a = alias_structure(factor_names, generators_a)
+    b = alias_structure(factor_names, generators_b)
+    if a.design_resolution != b.design_resolution:
+        winner = "a" if a.design_resolution > b.design_resolution else "b"
+        return a, b, winner
+    a_bad = a.confounds_main_with_order(2)
+    b_bad = b.confounds_main_with_order(2)
+    if a_bad != b_bad:
+        return a, b, ("b" if a_bad else "a")
+    return a, b, "tie"

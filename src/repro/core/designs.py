@@ -1,0 +1,309 @@
+"""Experiment designs: simple, full factorial, 2^k, 2^(k-p), orthogonal.
+
+The tutorial presents four classical designs (after Raj Jain):
+
+- **simple design**: fix a baseline configuration and vary one factor at a
+  time — ``1 + sum(n_i - 1)`` experiments, cannot see interactions;
+- **full factorial**: every level combination — ``prod(n_i)`` experiments;
+- **2^k factorial**: two levels per factor — ``2^k`` experiments, "very
+  useful for a first-cut analysis";
+- **2^(k-p) fractional factorial**: a judicious ``2^(k-p)``-row subset that
+  confounds (aliases) some effects (see :mod:`repro.core.confounding`).
+
+Each design yields :class:`~repro.core.factors.DesignPoint` rows that the
+measurement harness executes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.factors import DesignPoint, Factor, FactorSpace
+from repro.core.signtable import SignTable, fractional_sign_table, full_sign_table
+from repro.errors import DesignError
+
+
+class Design:
+    """Base class: an ordered collection of design points over a space."""
+
+    def __init__(self, space: FactorSpace):
+        self.space = space
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Yield the design's rows in table order."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[DesignPoint]:
+        return self.points()
+
+    def configurations(self) -> List[Dict[str, Any]]:
+        """All rows as plain factor-name → level dicts."""
+        return [dict(p.config) for p in self.points()]
+
+    def describe(self) -> str:
+        """One-line summary used in manifests and logs."""
+        return f"{type(self).__name__} over {len(self.space)} factors, " \
+               f"{len(self)} experiments"
+
+
+class SimpleDesign(Design):
+    """One-at-a-time design around a baseline configuration.
+
+    The first point is the baseline itself; subsequent points change a
+    single factor to each of its non-baseline levels, keeping everything
+    else fixed.  Size is ``1 + sum(n_i - 1)``.
+
+    The tutorial's caveat applies and is encoded in
+    :meth:`can_estimate_interactions`: when one parameter varies the others
+    are constant, so interactions are invisible.
+    """
+
+    def __init__(self, space: FactorSpace,
+                 baseline: Optional[Mapping[str, Any]] = None):
+        super().__init__(space)
+        if baseline is None:
+            baseline = {f.name: f.levels[0] for f in space}
+        space.validate_configuration(baseline)
+        self.baseline = dict(baseline)
+
+    def __len__(self) -> int:
+        return 1 + sum(f.n_levels - 1 for f in self.space)
+
+    @staticmethod
+    def can_estimate_interactions() -> bool:
+        return False
+
+    def points(self) -> Iterator[DesignPoint]:
+        index = 0
+        yield DesignPoint(index=index, config=dict(self.baseline), coded={})
+        for factor in self.space:
+            for level in factor.levels:
+                if level == self.baseline[factor.name]:
+                    continue
+                index += 1
+                config = dict(self.baseline)
+                config[factor.name] = level
+                yield DesignPoint(index=index, config=config, coded={})
+
+
+class FullFactorialDesign(Design):
+    """Every level combination: ``prod(n_i)`` experiments.
+
+    Rows are ordered with the **first** factor varying fastest, matching
+    the sign-table convention used throughout the tutorial.
+    """
+
+    def __len__(self) -> int:
+        return self.space.full_size()
+
+    @staticmethod
+    def can_estimate_interactions() -> bool:
+        return True
+
+    def points(self) -> Iterator[DesignPoint]:
+        level_lists = [factor.levels for factor in reversed(self.space.factors)]
+        names = tuple(reversed(self.space.names))
+        for index, combo in enumerate(itertools.product(*level_lists)):
+            config = dict(zip(names, combo))
+            coded: Dict[str, int] = {}
+            if self.space.all_two_level:
+                coded = {name: self.space[name].code(level)
+                         for name, level in config.items()}
+            yield DesignPoint(index=index, config=config, coded=coded)
+
+
+class TwoLevelFactorialDesign(Design):
+    """A 2^k design with its sign table attached.
+
+    Requires every factor to have exactly two levels.  The row order is the
+    sign-table order (first factor toggles slowest), so responses collected
+    by iterating :meth:`points` line up with
+    :func:`repro.core.signtable.dot_effects`.
+    """
+
+    def __init__(self, space: FactorSpace,
+                 max_interaction_order: Optional[int] = None):
+        super().__init__(space)
+        if not space.all_two_level:
+            bad = [f.name for f in space if not f.is_two_level]
+            raise DesignError(
+                f"2^k designs need two-level factors; offending: {bad}")
+        self.sign_table: SignTable = full_sign_table(
+            space.names, max_order=max_interaction_order)
+
+    def __len__(self) -> int:
+        return 2 ** len(self.space)
+
+    @staticmethod
+    def can_estimate_interactions() -> bool:
+        return True
+
+    def points(self) -> Iterator[DesignPoint]:
+        for i in range(self.sign_table.n_rows):
+            coded = self.sign_table.row(i)
+            config = {name: self.space[name].decode(code)
+                      for name, code in coded.items()}
+            yield DesignPoint(index=i, config=config, coded=coded)
+
+
+class FractionalFactorialDesign(Design):
+    """A 2^(k-p) fractional factorial with explicit generators.
+
+    Parameters
+    ----------
+    space:
+        All ``k`` two-level factors.
+    base_factors:
+        The ``k - p`` factor names receiving a full factorial.
+    generators:
+        Maps each remaining factor name to the base interaction whose
+        column it takes over, e.g. ``{"D": ("A", "B", "C")}``.
+
+    The alias structure implied by the generators is available through
+    :meth:`repro.core.confounding.alias_structure`.
+    """
+
+    def __init__(self, space: FactorSpace, base_factors: Sequence[str],
+                 generators: Mapping[str, Sequence[str]]):
+        super().__init__(space)
+        if not space.all_two_level:
+            bad = [f.name for f in space if not f.is_two_level]
+            raise DesignError(
+                f"fractional designs need two-level factors; offending: {bad}")
+        declared = set(base_factors) | set(generators)
+        if declared != set(space.names):
+            raise DesignError(
+                "base factors plus generators must cover the factor space "
+                f"exactly; declared {sorted(declared)}, "
+                f"space has {sorted(space.names)}")
+        self.base_factors = tuple(base_factors)
+        self.generators = {name: tuple(combo)
+                           for name, combo in generators.items()}
+        self.sign_table: SignTable = fractional_sign_table(
+            self.base_factors, self.generators)
+
+    def __len__(self) -> int:
+        return 2 ** len(self.base_factors)
+
+    @staticmethod
+    def can_estimate_interactions() -> bool:
+        return True  # some, subject to confounding
+
+    def points(self) -> Iterator[DesignPoint]:
+        for i in range(self.sign_table.n_rows):
+            coded = self.sign_table.row(i)
+            config = {name: self.space[name].decode(code)
+                      for name, code in coded.items()}
+            yield DesignPoint(index=i, config=config, coded=coded)
+
+
+#: The 3x3 Graeco-Latin square behind the tutorial's slide-67 example
+#: (CPU x Memory x Workload x Education in 9 experiments instead of 81).
+_GRAECO_LATIN_3 = (
+    # (memory_idx, workload_idx, education_idx) for each (cpu_idx, run_idx)
+    ((0, 0, 0), (1, 1, 1), (2, 2, 2)),
+    ((0, 1, 2), (1, 2, 0), (2, 0, 1)),
+    ((0, 2, 1), (1, 0, 2), (2, 1, 0)),
+)
+
+
+class OrthogonalArrayDesign(Design):
+    """A 3-level orthogonal-array (Graeco-Latin square) fractional design.
+
+    Reproduces the tutorial's slide-67 "smart selection of level
+    combinations": four factors at three levels each covered in nine
+    experiments such that every pair of levels of any two factors occurs
+    exactly once.
+
+    Requires exactly four factors, each with exactly three levels.
+    """
+
+    N_FACTORS = 4
+    N_LEVELS = 3
+
+    def __init__(self, space: FactorSpace):
+        super().__init__(space)
+        if len(space) != self.N_FACTORS:
+            raise DesignError(
+                f"the orthogonal-array design needs exactly "
+                f"{self.N_FACTORS} factors, got {len(space)}")
+        bad = [f.name for f in space if f.n_levels != self.N_LEVELS]
+        if bad:
+            raise DesignError(
+                f"the orthogonal-array design needs {self.N_LEVELS}-level "
+                f"factors; offending: {bad}")
+
+    def __len__(self) -> int:
+        return self.N_LEVELS ** 2
+
+    @staticmethod
+    def can_estimate_interactions() -> bool:
+        return False  # interactions are traded away, per the tutorial
+
+    def points(self) -> Iterator[DesignPoint]:
+        f1, f2, f3, f4 = self.space.factors
+        index = 0
+        for row_idx, row in enumerate(_GRAECO_LATIN_3):
+            for (m_idx, w_idx, e_idx) in row:
+                config = {
+                    f1.name: f1.levels[row_idx],
+                    f2.name: f2.levels[m_idx],
+                    f3.name: f3.levels[w_idx],
+                    f4.name: f4.levels[e_idx],
+                }
+                yield DesignPoint(index=index, config=config, coded={})
+                index += 1
+
+    def verify_balance(self) -> bool:
+        """Check the pairwise-balance property of the array.
+
+        Every ordered pair of factors sees each level pair the same number
+        of times (once, for the 3x3 square).
+        """
+        points = list(self.points())
+        names = self.space.names
+        for a, b in itertools.combinations(names, 2):
+            counts: Dict[Tuple[Any, Any], int] = {}
+            for p in points:
+                key = (p[a], p[b])
+                counts[key] = counts.get(key, 0) + 1
+            if len(counts) != self.N_LEVELS ** 2:
+                return False
+            if any(c != 1 for c in counts.values()):
+                return False
+        return True
+
+
+def simple_design_size(level_counts: Sequence[int]) -> int:
+    """Closed form ``1 + sum(n_i - 1)`` for a simple design."""
+    if any(n < 2 for n in level_counts):
+        raise DesignError("every factor needs at least 2 levels")
+    return 1 + sum(n - 1 for n in level_counts)
+
+
+def full_factorial_size(level_counts: Sequence[int]) -> int:
+    """Closed form ``prod(n_i)`` for a full factorial design."""
+    if any(n < 2 for n in level_counts):
+        raise DesignError("every factor needs at least 2 levels")
+    size = 1
+    for n in level_counts:
+        size *= n
+    return size
+
+
+def two_level_size(k: int) -> int:
+    """Closed form ``2^k``."""
+    if k < 1:
+        raise DesignError("k must be >= 1")
+    return 2 ** k
+
+
+def fractional_size(k: int, p: int) -> int:
+    """Closed form ``2^(k-p)``."""
+    if not 0 < p < k:
+        raise DesignError("need 0 < p < k")
+    return 2 ** (k - p)

@@ -1,0 +1,91 @@
+"""Effect estimation for 2^k and 2^(k-p) designs (the sign-table method).
+
+Given the responses of a design's experiments (in design row order), the
+sign-table method computes each model coefficient as::
+
+    q_col = (column . y) / n_rows
+
+For a full 2^k design the recovered :class:`~repro.core.model.AdditiveModel`
+reproduces the responses exactly; for fractional designs the coefficients
+are *confounded* sums of aliased effects (see
+:mod:`repro.core.confounding`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.designs import (
+    FractionalFactorialDesign,
+    TwoLevelFactorialDesign,
+)
+from repro.core.model import AdditiveModel, model_from_effects
+from repro.core.signtable import SignTable, dot_effects
+from repro.errors import DesignError
+
+
+def estimate_effects(design: TwoLevelFactorialDesign | FractionalFactorialDesign,
+                     responses: Sequence[float]) -> AdditiveModel:
+    """Fit the additive model from one response per design row.
+
+    Responses must be ordered like :meth:`Design.points` yields rows.
+    """
+    table = design.sign_table
+    effects = dot_effects(table, responses)
+    return model_from_effects(effects, design.space.names)
+
+
+def estimate_effects_from_table(table: SignTable,
+                                responses: Sequence[float]) -> Dict[str, float]:
+    """Raw sign-table coefficients without wrapping in a model."""
+    return dot_effects(table, responses)
+
+
+def estimate_effects_replicated(design: TwoLevelFactorialDesign,
+                                replicated: Sequence[Sequence[float]]
+                                ) -> AdditiveModel:
+    """Fit effects from ``r`` replications per design row.
+
+    *replicated* is a sequence of per-row response lists; the model is
+    fitted to the per-row means (the standard 2^k·r analysis).  Error
+    analysis on the residuals lives in :mod:`repro.core.replication`.
+    """
+    if len(replicated) != design.sign_table.n_rows:
+        raise DesignError(
+            f"expected {design.sign_table.n_rows} rows of replications, "
+            f"got {len(replicated)}")
+    r = len(replicated[0])
+    if r < 1 or any(len(row) != r for row in replicated):
+        raise DesignError("every row needs the same positive replication count")
+    means = [float(np.mean(row)) for row in replicated]
+    return estimate_effects(design, means)
+
+
+def responses_from_model(design: TwoLevelFactorialDesign,
+                         model: AdditiveModel) -> list:
+    """Responses the model predicts for every design row, in row order.
+
+    Useful for round-trip testing: ``estimate_effects(design,
+    responses_from_model(design, m))`` recovers ``m`` exactly (for full
+    designs whose sign table carries all interaction orders).
+    """
+    return [model.predict(point.coded) for point in design.points()]
+
+
+def solve_two_by_two(y1: float, y2: float, y3: float, y4: float
+                     ) -> Dict[str, float]:
+    """The tutorial's explicit 2^2 resolution (slides 73-77).
+
+    Rows follow the slide's experiment order:
+    (xA, xB) = (-1,-1), (+1,-1), (-1,+1), (+1,+1).
+
+    Returns ``{'q0': ..., 'qA': ..., 'qB': ..., 'qAB': ...}``.
+    """
+    return {
+        "q0": (y1 + y2 + y3 + y4) / 4.0,
+        "qA": (-y1 + y2 - y3 + y4) / 4.0,
+        "qB": (-y1 - y2 + y3 + y4) / 4.0,
+        "qAB": (y1 - y2 - y3 + y4) / 4.0,
+    }

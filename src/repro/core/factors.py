@@ -1,0 +1,243 @@
+"""Factors, levels, and factor spaces for experiment design.
+
+Terminology follows the tutorial (slide "Experiment design terminology",
+after Raj Jain):
+
+- *response*: the measured result of one experiment;
+- *factor*: any variable that affects the response (a parameter to set or
+  an environment variable);
+- *levels*: the values a factor may take;
+- *design*: the chosen combinations of factor levels (see
+  :mod:`repro.core.designs`).
+
+A :class:`Factor` is an ordered, named set of levels.  Two-level factors
+additionally expose the conventional *coded* values -1/+1 used by the
+sign-table method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import DesignError
+
+#: Coded value conventionally assigned to the first ("low") level.
+LOW = -1
+#: Coded value conventionally assigned to the second ("high") level.
+HIGH = 1
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A named experimental factor with an ordered list of levels.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in design tables and result records.  Must be a
+        non-empty string without whitespace (it doubles as a column name).
+    levels:
+        The values the factor can take, in a fixed order.  Order matters:
+        for two-level factors, ``levels[0]`` is coded -1 and ``levels[1]``
+        is coded +1.
+    unit:
+        Optional unit string used when labelling charts ("MB", "ms", ...).
+    description:
+        Optional human-readable description for generated documentation.
+    """
+
+    name: str
+    levels: Tuple[Any, ...]
+    unit: str = ""
+    description: str = ""
+
+    def __init__(self, name: str, levels: Sequence[Any], unit: str = "",
+                 description: str = ""):
+        if not name or any(ch.isspace() for ch in name):
+            raise DesignError(
+                "factor name must be a non-empty string without whitespace, "
+                f"got {name!r}")
+        levels = tuple(levels)
+        if len(levels) < 2:
+            raise DesignError(
+                f"factor {name!r} needs at least 2 levels, got {len(levels)}")
+        if len(set(map(repr, levels))) != len(levels):
+            raise DesignError(f"factor {name!r} has duplicate levels")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "levels", levels)
+        object.__setattr__(self, "unit", unit)
+        object.__setattr__(self, "description", description)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels of this factor."""
+        return len(self.levels)
+
+    @property
+    def is_two_level(self) -> bool:
+        """True if the factor has exactly two levels (usable in 2^k designs)."""
+        return self.n_levels == 2
+
+    @property
+    def low(self) -> Any:
+        """The level coded -1 (only meaningful for two-level factors)."""
+        return self.levels[0]
+
+    @property
+    def high(self) -> Any:
+        """The level coded +1 (only meaningful for two-level factors)."""
+        return self.levels[-1]
+
+    def code(self, level: Any) -> int:
+        """Return the -1/+1 coded value of *level* for a two-level factor."""
+        if not self.is_two_level:
+            raise DesignError(
+                f"factor {self.name!r} has {self.n_levels} levels; "
+                "coded values are defined only for two-level factors")
+        if level == self.levels[0]:
+            return LOW
+        if level == self.levels[1]:
+            return HIGH
+        raise DesignError(
+            f"{level!r} is not a level of factor {self.name!r}")
+
+    def decode(self, coded: int) -> Any:
+        """Return the raw level for a -1/+1 coded value."""
+        if coded == LOW:
+            return self.low
+        if coded == HIGH:
+            return self.high
+        raise DesignError(
+            f"coded value must be -1 or +1, got {coded!r}")
+
+    def index_of(self, level: Any) -> int:
+        """Return the position of *level* in the level list."""
+        for i, candidate in enumerate(self.levels):
+            if candidate == level:
+                return i
+        raise DesignError(
+            f"{level!r} is not a level of factor {self.name!r}")
+
+    def label(self) -> str:
+        """Axis-ready label including the unit if one was given."""
+        if self.unit:
+            return f"{self.name} ({self.unit})"
+        return self.name
+
+
+def two_level(name: str, low: Any, high: Any, unit: str = "",
+              description: str = "") -> Factor:
+    """Convenience constructor for a two-level factor."""
+    return Factor(name, (low, high), unit=unit, description=description)
+
+
+@dataclass(frozen=True)
+class FactorSpace:
+    """An ordered collection of distinct factors.
+
+    The space defines the full cartesian set of configurations an
+    experiment could explore; designs select subsets of it.
+    """
+
+    factors: Tuple[Factor, ...]
+    _by_name: Mapping[str, Factor] = field(repr=False, compare=False,
+                                           default=None)
+
+    def __init__(self, factors: Sequence[Factor]):
+        factors = tuple(factors)
+        if not factors:
+            raise DesignError("a factor space needs at least one factor")
+        by_name: Dict[str, Factor] = {}
+        for factor in factors:
+            if factor.name in by_name:
+                raise DesignError(f"duplicate factor name {factor.name!r}")
+            by_name[factor.name] = factor
+        object.__setattr__(self, "factors", factors)
+        object.__setattr__(self, "_by_name", by_name)
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+    def __iter__(self) -> Iterator[Factor]:
+        return iter(self.factors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Factor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DesignError(f"unknown factor {name!r}; "
+                              f"known: {sorted(self._by_name)}") from None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Factor names in declaration order."""
+        return tuple(f.name for f in self.factors)
+
+    @property
+    def all_two_level(self) -> bool:
+        """True if every factor has exactly two levels."""
+        return all(f.is_two_level for f in self.factors)
+
+    def full_size(self) -> int:
+        """Number of configurations in the full cartesian product."""
+        size = 1
+        for factor in self.factors:
+            size *= factor.n_levels
+        return size
+
+    def validate_configuration(self, config: Mapping[str, Any]) -> None:
+        """Raise :class:`DesignError` unless *config* assigns a valid level
+        to every factor and mentions no unknown factor."""
+        missing = [n for n in self.names if n not in config]
+        if missing:
+            raise DesignError(f"configuration is missing factors {missing}")
+        unknown = [n for n in config if n not in self._by_name]
+        if unknown:
+            raise DesignError(f"configuration has unknown factors {unknown}")
+        for name, level in config.items():
+            self._by_name[name].index_of(level)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One row of a design: a complete factor-level assignment.
+
+    ``config`` maps factor name to raw level; ``coded`` maps factor name to
+    the -1/+1 code when the underlying design is two-level (empty dict
+    otherwise).  ``index`` is the row's position in the design.
+    """
+
+    index: int
+    config: Mapping[str, Any]
+    coded: Mapping[str, int]
+
+    def __getitem__(self, name: str) -> Any:
+        return self.config[name]
+
+    def as_tuple(self, names: Sequence[str]) -> Tuple[Any, ...]:
+        """Levels in the order given by *names* (for table rendering)."""
+        return tuple(self.config[name] for name in names)
+
+
+def interaction_name(names: Sequence[str]) -> str:
+    """Canonical name of an interaction column, e.g. ``'A:B'``.
+
+    Main effects keep their bare factor name; interactions join the sorted
+    factor names with ``':'`` so that ``A:B`` and ``B:A`` denote the same
+    column.
+    """
+    names = sorted(names)
+    if not names:
+        return "I"
+    return ":".join(names)
+
+
+def parse_interaction(column: str) -> List[str]:
+    """Split an interaction column name back into its factor names."""
+    if column == "I":
+        return []
+    return column.split(":")

@@ -1,0 +1,116 @@
+"""Two-factor interaction tables and detection (tutorial slide 58).
+
+The tutorial's canonical example: with factors A (levels A1, A2) and B
+(levels B1, B2),
+
+====  ====  ====
+(a)    A1    A2
+====  ====  ====
+B1      3     5
+B2      6     8
+====  ====  ====
+
+shows *no* interaction — the effect of changing A is the same at every
+level of B — whereas replacing the 8 with a 9 makes the effect of A depend
+on B: an interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class InteractionTable:
+    """A two-factor response table.
+
+    ``responses[i][j]`` is the response at A-level ``a_levels[i]`` and
+    B-level ``b_levels[j]`` — note rows index A and columns index B, the
+    transpose of the slide's layout, chosen so ``table.effect_of_a(...)``
+    reads naturally.
+    """
+
+    a_name: str
+    b_name: str
+    a_levels: Tuple[str, ...]
+    b_levels: Tuple[str, ...]
+    responses: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self):
+        if len(self.responses) != len(self.a_levels):
+            raise DesignError(
+                f"need one response row per level of {self.a_name!r}")
+        for row in self.responses:
+            if len(row) != len(self.b_levels):
+                raise DesignError(
+                    f"every row needs one response per level of "
+                    f"{self.b_name!r}")
+
+    def response(self, a_level: str, b_level: str) -> float:
+        i = self.a_levels.index(a_level)
+        j = self.b_levels.index(b_level)
+        return self.responses[i][j]
+
+    def effect_of_a(self, b_level: str) -> float:
+        """Change in response when A goes low→high, at a fixed B level."""
+        j = self.b_levels.index(b_level)
+        return self.responses[-1][j] - self.responses[0][j]
+
+    def effect_of_b(self, a_level: str) -> float:
+        """Change in response when B goes low→high, at a fixed A level."""
+        i = self.a_levels.index(a_level)
+        return self.responses[i][-1] - self.responses[i][0]
+
+    def interaction_magnitude(self) -> float:
+        """How much the effect of A differs across B levels (max spread).
+
+        Zero means no interaction: the response lines are parallel.
+        """
+        effects = [self.effect_of_a(b) for b in self.b_levels]
+        return max(effects) - min(effects)
+
+    def has_interaction(self, tolerance: float = 0.0) -> bool:
+        """True if the effect of A depends on the level of B."""
+        return self.interaction_magnitude() > tolerance
+
+    def format(self) -> str:
+        """Render in the slide's orientation (columns = A levels)."""
+        width = max(6, max(len(s) for s in self.a_levels + self.b_levels) + 1)
+        header = " " * width + "".join(a.rjust(width) for a in self.a_levels)
+        lines = [header]
+        for j, b in enumerate(self.b_levels):
+            cells = "".join(f"{self.responses[i][j]:>{width}g}"
+                            for i in range(len(self.a_levels)))
+            lines.append(b.rjust(width) + cells)
+        return "\n".join(lines)
+
+
+def from_slide_layout(a_name: str, b_name: str,
+                      a_levels: Sequence[str], b_levels: Sequence[str],
+                      rows_by_b: Sequence[Sequence[float]]
+                      ) -> InteractionTable:
+    """Build a table from the slide's layout (one row per B level)."""
+    if len(rows_by_b) != len(b_levels):
+        raise DesignError("need one row per B level")
+    matrix = np.asarray(rows_by_b, dtype=float)
+    if matrix.shape[1] != len(a_levels):
+        raise DesignError("need one column per A level")
+    transposed = tuple(tuple(float(v) for v in row) for row in matrix.T)
+    return InteractionTable(a_name=a_name, b_name=b_name,
+                            a_levels=tuple(a_levels),
+                            b_levels=tuple(b_levels),
+                            responses=transposed)
+
+
+def slide58_tables() -> Tuple[InteractionTable, InteractionTable]:
+    """The tutorial's (a) no-interaction and (b) interaction examples."""
+    table_a = from_slide_layout(
+        "A", "B", ("A1", "A2"), ("B1", "B2"), [[3, 5], [6, 8]])
+    table_b = from_slide_layout(
+        "A", "B", ("A1", "A2"), ("B1", "B2"), [[3, 5], [6, 9]])
+    return table_a, table_b

@@ -1,0 +1,122 @@
+"""The additive (nonlinear regression) model behind 2^k analysis.
+
+The tutorial models the response of a 2^2 design as::
+
+    y = q0 + qA*xA + qB*xB + qAB*xA*xB
+
+with coded factor values xA, xB in {-1, +1}, and generalises to 2^k with
+one coefficient per interaction.  :class:`AdditiveModel` stores the
+coefficients keyed by canonical column names (``'I'``, ``'A'``, ``'A:B'``,
+...) and predicts responses for coded configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.core.factors import interaction_name, parse_interaction
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class AdditiveModel:
+    """A fitted 2^k regression model.
+
+    Attributes
+    ----------
+    coefficients:
+        Maps column name to coefficient value.  ``'I'`` holds the mean
+        response q0.
+    factor_names:
+        The main-effect factor names, in design order.
+    """
+
+    coefficients: Mapping[str, float]
+    factor_names: Tuple[str, ...]
+
+    def __post_init__(self):
+        if "I" not in self.coefficients:
+            raise DesignError("model needs an 'I' (mean) coefficient")
+        for name in self.coefficients:
+            if name == "I":
+                continue
+            for factor in parse_interaction(name):
+                if factor not in self.factor_names:
+                    raise DesignError(
+                        f"coefficient {name!r} references unknown factor "
+                        f"{factor!r}")
+
+    @property
+    def mean(self) -> float:
+        """The mean response q0 (equal to y-bar for a full design)."""
+        return self.coefficients["I"]
+
+    def effect(self, *factors: str) -> float:
+        """Coefficient of a main effect or interaction.
+
+        ``model.effect('A')`` is qA; ``model.effect('A', 'B')`` is qAB.
+        Missing coefficients (dropped by a fractional design) read as 0.
+        """
+        name = interaction_name(factors)
+        return self.coefficients.get(name, 0.0)
+
+    def main_effects(self) -> Dict[str, float]:
+        """Main-effect coefficients only, keyed by factor name."""
+        return {name: self.coefficients[name]
+                for name in self.factor_names if name in self.coefficients}
+
+    def interactions(self, order: int | None = None) -> Dict[str, float]:
+        """Interaction coefficients, optionally filtered to one order."""
+        out: Dict[str, float] = {}
+        for name, value in self.coefficients.items():
+            factors = parse_interaction(name)
+            if len(factors) < 2:
+                continue
+            if order is not None and len(factors) != order:
+                continue
+            out[name] = value
+        return out
+
+    def predict(self, coded: Mapping[str, int]) -> float:
+        """Predicted response for a coded (-1/+1) configuration."""
+        missing = [n for n in self.factor_names if n not in coded]
+        if missing:
+            raise DesignError(f"coded configuration missing factors {missing}")
+        y = 0.0
+        for name, q in self.coefficients.items():
+            term = q
+            for factor in parse_interaction(name):
+                code = coded[factor]
+                if code not in (-1, 1):
+                    raise DesignError(
+                        f"coded value for {factor!r} must be ±1, got {code!r}")
+                term *= code
+            y += term
+        return y
+
+    def predict_all(self, rows: Iterable[Mapping[str, int]]) -> list:
+        """Predicted responses for a sequence of coded configurations."""
+        return [self.predict(row) for row in rows]
+
+    def describe(self, threshold: float = 0.0) -> str:
+        """Human-readable ``y = q0 + qA*xA + ...`` rendering.
+
+        Coefficients with ``abs(value) <= threshold`` are omitted (except
+        the mean), which is how screening results are usually reported.
+        """
+        parts = [f"{self.mean:g}"]
+        for name, q in self.coefficients.items():
+            if name == "I" or abs(q) <= threshold:
+                continue
+            xs = "*".join(f"x{f}" for f in parse_interaction(name))
+            sign = "+" if q >= 0 else "-"
+            parts.append(f"{sign} {abs(q):g}*{xs}")
+        return "y = " + " ".join(parts)
+
+
+def model_from_effects(effects: Mapping[str, float],
+                       factor_names: Sequence[str]) -> AdditiveModel:
+    """Wrap a dict of sign-table coefficients into an :class:`AdditiveModel`."""
+    return AdditiveModel(coefficients=dict(effects),
+                         factor_names=tuple(factor_names))

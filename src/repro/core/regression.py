@@ -1,0 +1,129 @@
+"""Regression helpers for quantitative factors and scalability sweeps.
+
+Two tools every performance study needs:
+
+- :func:`linear_fit` — ordinary least squares ``y = a + b·x`` with R²,
+  residuals, and a confidence interval on the slope (is the trend
+  real?);
+- :func:`fit_power_law` — fit ``y = c · x^k`` by log-log regression to
+  estimate an operator's *empirical complexity* from a size sweep
+  (k ≈ 1 for a scan, k ≈ 2 for a nested-loop join, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """An OLS line ``y = intercept + slope·x``."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+    slope_stderr: float
+    slope_ci: Tuple[float, float]
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+    @property
+    def slope_significant(self) -> bool:
+        """True if the slope's confidence interval excludes zero."""
+        low, high = self.slope_ci
+        return low > 0 or high < 0
+
+    def format(self) -> str:
+        low, high = self.slope_ci
+        return (f"y = {self.intercept:.4g} + {self.slope:.4g}*x  "
+                f"(R^2={self.r_squared:.4f}, slope CI "
+                f"[{low:.4g}, {high:.4g}], n={self.n})")
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float],
+               confidence: float = 0.95) -> LinearFit:
+    """Ordinary least squares with a Student-t slope interval."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape:
+        raise MeasurementError(
+            f"x and y must have equal length ({x.size} vs {y.size})")
+    if x.size < 3:
+        raise MeasurementError("need at least 3 points for a fit")
+    if not 0 < confidence < 1:
+        raise MeasurementError("confidence must be in (0,1)")
+    if np.allclose(x, x[0]):
+        raise MeasurementError("x values are all identical")
+
+    x_mean, y_mean = x.mean(), y.mean()
+    sxx = float(((x - x_mean) ** 2).sum())
+    sxy = float(((x - x_mean) * (y - y_mean)).sum())
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+
+    residuals = y - (intercept + slope * x)
+    ss_res = float((residuals ** 2).sum())
+    ss_tot = float(((y - y_mean) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    dof = x.size - 2
+    sigma2 = ss_res / dof
+    slope_stderr = math.sqrt(sigma2 / sxx)
+    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    half = t * slope_stderr
+    return LinearFit(intercept=intercept, slope=slope,
+                     r_squared=r_squared, slope_stderr=slope_stderr,
+                     slope_ci=(slope - half, slope + half), n=int(x.size))
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted ``y = coefficient · x^exponent`` model."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        if x <= 0:
+            raise MeasurementError("power-law models need positive x")
+        return self.coefficient * x ** self.exponent
+
+    def classify(self, tolerance: float = 0.25) -> str:
+        """Human label for the empirical complexity."""
+        k = self.exponent
+        for target, label in ((0.0, "constant"), (1.0, "linear"),
+                              (2.0, "quadratic"), (3.0, "cubic")):
+            if abs(k - target) <= tolerance:
+                return label
+        if abs(k - 1.0) <= 2 * tolerance:
+            return "near-linear (n log n?)"
+        return f"~n^{k:.2f}"
+
+    def format(self) -> str:
+        return (f"y = {self.coefficient:.4g} * x^{self.exponent:.3f}  "
+                f"(R^2={self.r_squared:.4f}, looks {self.classify()})")
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Estimate empirical complexity from a size sweep (log-log OLS)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape:
+        raise MeasurementError("x and y must have equal length")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise MeasurementError("power-law fits need strictly positive data")
+    fit = linear_fit(np.log(x), np.log(y))
+    return PowerLawFit(coefficient=float(math.exp(fit.intercept)),
+                       exponent=fit.slope, r_squared=fit.r_squared,
+                       n=fit.n)

@@ -1,0 +1,225 @@
+"""Sign tables for 2^k and 2^(k-p) factorial designs.
+
+A sign table has one row per experiment and one -1/+1 column per effect
+(the identity column ``I``, each main effect, and each interaction).  The
+tutorial's "sign table method of calculating effects" computes every model
+coefficient as a dot product of the response vector with one column,
+divided by the number of rows.
+
+The construction of fractional tables follows the tutorial's two-step
+recipe: build a full factorial over ``k - p`` base factors, then relabel
+``p`` of the interaction columns with the remaining factor names
+(e.g. ``D = ABC``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.factors import interaction_name
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class SignTable:
+    """An immutable -1/+1 matrix with named columns.
+
+    Attributes
+    ----------
+    factor_names:
+        Names of the base factor columns, in order.
+    columns:
+        Mapping of column name (``'I'``, ``'A'``, ``'A:B'``, ...) to a
+        numpy vector of -1/+1 entries (the ``I`` column is all +1).
+    """
+
+    factor_names: Tuple[str, ...]
+    columns: Mapping[str, np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.columns["I"])
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise DesignError(
+                f"sign table has no column {name!r}; "
+                f"columns: {list(self.columns)}") from None
+
+    def row(self, i: int) -> Dict[str, int]:
+        """Factor codes (main-effect columns only) of row *i*."""
+        return {name: int(self.columns[name][i]) for name in self.factor_names}
+
+    def is_zero_sum(self, name: str) -> bool:
+        """True if the column sums to zero (both levels equally tested)."""
+        return int(self.column(name).sum()) == 0
+
+    def are_orthogonal(self, a: str, b: str) -> bool:
+        """True if columns *a* and *b* agree as often as they disagree."""
+        return int((self.column(a) * self.column(b)).sum()) == 0
+
+    def validate(self) -> None:
+        """Check the structural invariants the tutorial lists.
+
+        - every non-identity column is zero-sum;
+        - every pair of distinct non-identity columns is orthogonal;
+        - every entry is -1 or +1.
+
+        Raises :class:`DesignError` on the first violation.
+        """
+        names = [n for n in self.columns if n != "I"]
+        for name in names:
+            col = self.column(name)
+            if not np.all(np.isin(col, (-1, 1))):
+                raise DesignError(f"column {name!r} has entries outside ±1")
+            if not self.is_zero_sum(name):
+                raise DesignError(f"column {name!r} is not zero-sum")
+        for a, b in itertools.combinations(names, 2):
+            if not self.are_orthogonal(a, b):
+                raise DesignError(
+                    f"columns {a!r} and {b!r} are not orthogonal")
+
+    def format(self, columns: Sequence[str] | None = None) -> str:
+        """Render the table the way the slides print it (-1 / 1 entries)."""
+        names = list(columns) if columns is not None else list(self.columns)
+        widths = [max(len(n), 2) for n in names]
+        header = "  ".join(n.rjust(w) for n, w in zip(names, widths))
+        lines = [header]
+        for i in range(self.n_rows):
+            cells = []
+            for name, width in zip(names, widths):
+                cells.append(str(int(self.column(name)[i])).rjust(width))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def _interaction_columns(factor_names: Sequence[str],
+                         base: Mapping[str, np.ndarray],
+                         max_order: int | None = None
+                         ) -> Dict[str, np.ndarray]:
+    """All interaction columns (order >= 2) as products of base columns."""
+    columns: Dict[str, np.ndarray] = {}
+    top = len(factor_names) if max_order is None else max_order
+    for order in range(2, top + 1):
+        for combo in itertools.combinations(factor_names, order):
+            name = interaction_name(combo)
+            product = np.ones_like(base[combo[0]])
+            for factor in combo:
+                product = product * base[factor]
+            columns[name] = product
+    return columns
+
+
+def full_sign_table(factor_names: Sequence[str],
+                    max_order: int | None = None) -> SignTable:
+    """Sign table of a full 2^k design over *factor_names*.
+
+    Rows enumerate level combinations with the **first** factor varying
+    fastest, matching the tables printed in the tutorial (slides 74 and
+    102: column A alternates every row, B every two rows, ...).
+    Interaction columns up to *max_order* (default: all orders) are
+    included.
+    """
+    factor_names = tuple(factor_names)
+    if not factor_names:
+        raise DesignError("need at least one factor for a sign table")
+    if len(set(factor_names)) != len(factor_names):
+        raise DesignError(f"duplicate factor names in {factor_names}")
+    k = len(factor_names)
+    n = 2 ** k
+    base: Dict[str, np.ndarray] = {}
+    for i, name in enumerate(factor_names):
+        # Factor i toggles every 2^i rows: first factor fastest.
+        block = 2 ** i
+        pattern = np.repeat(np.array([-1, 1], dtype=np.int8), block)
+        base[name] = np.tile(pattern, n // (2 * block))
+    columns: Dict[str, np.ndarray] = {"I": np.ones(n, dtype=np.int8)}
+    columns.update(base)
+    columns.update(_interaction_columns(factor_names, base, max_order))
+    return SignTable(factor_names=factor_names, columns=columns)
+
+
+def fractional_sign_table(base_factors: Sequence[str],
+                          generators: Mapping[str, Sequence[str]]
+                          ) -> SignTable:
+    """Sign table of a 2^(k-p) fractional design.
+
+    Parameters
+    ----------
+    base_factors:
+        The ``k - p`` factors given a full factorial (step 1 of the
+        tutorial's method).
+    generators:
+        Maps each of the ``p`` remaining factor names to the base-factor
+        interaction whose column it re-labels (step 2), e.g.
+        ``{"D": ("A", "B", "C")}`` for the ``D = ABC`` design.
+
+    The resulting table exposes main-effect columns for all ``k`` factors
+    plus the interaction columns *of the base factors* that were **not**
+    consumed by a generator (their identities now alias generated-factor
+    interactions; see :mod:`repro.core.confounding`).
+    """
+    base_factors = tuple(base_factors)
+    full = full_sign_table(base_factors)
+    used: Dict[str, str] = {}
+    for new_factor, combo in generators.items():
+        if new_factor in base_factors:
+            raise DesignError(
+                f"generator target {new_factor!r} is already a base factor")
+        combo = tuple(combo)
+        if len(combo) < 2:
+            raise DesignError(
+                f"generator for {new_factor!r} must be an interaction of at "
+                f"least two base factors, got {combo}")
+        unknown = [f for f in combo if f not in base_factors]
+        if unknown:
+            raise DesignError(
+                f"generator for {new_factor!r} uses unknown base factors "
+                f"{unknown}")
+        column = interaction_name(combo)
+        if column in used:
+            raise DesignError(
+                f"interaction column {column!r} assigned to both "
+                f"{used[column]!r} and {new_factor!r}")
+        used[column] = new_factor
+
+    factor_names = base_factors + tuple(generators)
+    if len(set(factor_names)) != len(factor_names):
+        raise DesignError("duplicate factor names across base and generators")
+
+    columns: Dict[str, np.ndarray] = {"I": full.columns["I"]}
+    for name in base_factors:
+        columns[name] = full.columns[name]
+    for column_name, new_factor in used.items():
+        columns[new_factor] = full.columns[column_name]
+    for name, vec in full.columns.items():
+        if name == "I" or name in base_factors or name in used:
+            continue
+        columns[name] = vec
+    return SignTable(factor_names=factor_names, columns=columns)
+
+
+def dot_effects(table: SignTable, responses: Sequence[float],
+                columns: Iterable[str] | None = None) -> Dict[str, float]:
+    """Sign-table method: coefficient = column . y / n, for each column.
+
+    With ``columns=None`` every column in the table is used, which for a
+    full 2^k table recovers the complete regression model.
+    """
+    y = np.asarray(responses, dtype=float)
+    if y.shape != (table.n_rows,):
+        raise DesignError(
+            f"expected {table.n_rows} responses, got {y.shape}")
+    names = list(columns) if columns is not None else list(table.columns)
+    return {name: float(table.column(name) @ y) / table.n_rows
+            for name in names}

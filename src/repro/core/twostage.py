@@ -1,0 +1,178 @@
+"""The tutorial's recommended two-stage experiment methodology.
+
+Slide 59 / 110-113: (1) run a cheap 2^k or 2^(k-p) screening design and
+evaluate factor importance via allocation of variation; (2) keep only the
+important factors, possibly refine their levels, and run a detailed (full
+factorial) study, pinning the unimportant factors to a baseline.
+
+:func:`screen_and_refine` drives the whole pipeline against any callable
+``experiment(config) -> response``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.designs import (
+    Design,
+    FractionalFactorialDesign,
+    FullFactorialDesign,
+    TwoLevelFactorialDesign,
+)
+from repro.core.factors import Factor, FactorSpace
+from repro.core.model import AdditiveModel
+from repro.core.effects import estimate_effects
+from repro.core.variation import VariationReport, allocate_variation
+from repro.errors import DesignError
+
+ExperimentFn = Callable[[Mapping[str, Any]], float]
+
+
+@dataclass(frozen=True)
+class ScreeningResult:
+    """Outcome of the first (screening) stage."""
+
+    design: Design
+    responses: Tuple[float, ...]
+    model: AdditiveModel
+    variation: VariationReport
+    selected: Tuple[str, ...]
+
+    def importance(self, factor: str) -> float:
+        """Percentage of variation the factor's main effect explains."""
+        return self.variation.percent(factor)
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of the second (detailed) stage."""
+
+    design: FullFactorialDesign
+    responses: Tuple[float, ...]
+    configurations: Tuple[Dict[str, Any], ...]
+    best_configuration: Dict[str, Any]
+    best_response: float
+
+
+@dataclass(frozen=True)
+class TwoStageResult:
+    """The full pipeline outcome."""
+
+    screening: ScreeningResult
+    refinement: RefinementResult
+
+
+def run_design(design: Design, experiment: ExperimentFn) -> Tuple[float, ...]:
+    """Execute *experiment* at every design point, in design order."""
+    return tuple(float(experiment(point.config)) for point in design.points())
+
+
+def screen(space: FactorSpace, experiment: ExperimentFn,
+           generators: Optional[Mapping[str, Sequence[str]]] = None,
+           base_factors: Optional[Sequence[str]] = None,
+           keep: int = 2,
+           min_percent: float = 0.0) -> ScreeningResult:
+    """Stage one: run a 2^k (or 2^(k-p) when generators are given) design.
+
+    Factors are ranked by the percentage of variation their *main effect*
+    explains; the top ``keep`` factors clearing ``min_percent`` are
+    selected for refinement.
+    """
+    if keep < 1:
+        raise DesignError("keep must be >= 1")
+    if generators:
+        if base_factors is None:
+            base_factors = [n for n in space.names if n not in generators]
+        design: Design = FractionalFactorialDesign(
+            space, base_factors, generators)
+    else:
+        design = TwoLevelFactorialDesign(space)
+    responses = run_design(design, experiment)
+    model = estimate_effects(design, responses)
+
+    # Allocation of variation needs a full-factorial sign table; for a
+    # fractional screen we allocate over the fraction's own columns, which
+    # still ranks main effects correctly under sparsity of effects.
+    if isinstance(design, TwoLevelFactorialDesign):
+        variation = allocate_variation(design, responses)
+    else:
+        from repro.core.signtable import dot_effects
+        import numpy as np
+        y = np.asarray(responses, dtype=float)
+        effects = dot_effects(design.sign_table, responses)
+        n = design.sign_table.n_rows
+        sst = float(np.sum((y - y.mean()) ** 2))
+        components = {name: n * q * q
+                      for name, q in effects.items() if name != "I"}
+        variation = VariationReport(sst=sst, components=components)
+
+    ranked = sorted(space.names,
+                    key=lambda name: variation.percent(name), reverse=True)
+    selected = tuple(name for name in ranked[:keep]
+                     if variation.percent(name) >= min_percent)
+    if not selected:
+        selected = (ranked[0],)
+    return ScreeningResult(design=design, responses=responses, model=model,
+                           variation=variation, selected=selected)
+
+
+def refine(space: FactorSpace, experiment: ExperimentFn,
+           selected: Sequence[str],
+           refined_levels: Optional[Mapping[str, Sequence[Any]]] = None,
+           baseline: Optional[Mapping[str, Any]] = None,
+           minimize: bool = True) -> RefinementResult:
+    """Stage two: full factorial over the selected factors.
+
+    Unselected factors are pinned to ``baseline`` (default: their low
+    level).  ``refined_levels`` may widen or densify the level grid of a
+    selected factor.
+    """
+    if not selected:
+        raise DesignError("refinement needs at least one selected factor")
+    for name in selected:
+        if name not in space:
+            raise DesignError(f"unknown selected factor {name!r}")
+    if baseline is None:
+        baseline = {f.name: f.levels[0] for f in space}
+    refined_levels = dict(refined_levels or {})
+
+    sub_factors = []
+    for name in selected:
+        original = space[name]
+        levels = refined_levels.get(name, original.levels)
+        sub_factors.append(Factor(name, levels, unit=original.unit,
+                                  description=original.description))
+    sub_space = FactorSpace(sub_factors)
+    design = FullFactorialDesign(sub_space)
+
+    configurations = []
+    responses = []
+    for point in design.points():
+        config = dict(baseline)
+        config.update(point.config)
+        configurations.append(config)
+        responses.append(float(experiment(config)))
+
+    chooser = min if minimize else max
+    best_idx = chooser(range(len(responses)), key=lambda i: responses[i])
+    return RefinementResult(
+        design=design,
+        responses=tuple(responses),
+        configurations=tuple(configurations),
+        best_configuration=configurations[best_idx],
+        best_response=responses[best_idx])
+
+
+def screen_and_refine(space: FactorSpace, experiment: ExperimentFn,
+                      generators: Optional[Mapping[str, Sequence[str]]] = None,
+                      keep: int = 2,
+                      refined_levels: Optional[Mapping[str, Sequence[Any]]] = None,
+                      baseline: Optional[Mapping[str, Any]] = None,
+                      minimize: bool = True) -> TwoStageResult:
+    """Run the complete two-stage methodology."""
+    screening = screen(space, experiment, generators=generators, keep=keep)
+    refinement = refine(space, experiment, screening.selected,
+                        refined_levels=refined_levels, baseline=baseline,
+                        minimize=minimize)
+    return TwoStageResult(screening=screening, refinement=refinement)

@@ -1,0 +1,126 @@
+"""Allocation of variation: how important is each factor?
+
+The tutorial (slides 81-93) distributes the total variation of the
+response, ``SST = sum((y_i - y_bar)^2)``, among the factors of a 2^k
+design::
+
+    SST = 2^k * qA^2 + 2^k * qB^2 + 2^k * qAB^2 + ...
+
+The fraction ``2^k q_col^2 / SST`` measures the *importance* of that
+effect.  With replications, the residual (experimental error) claims the
+remainder, and the tutorial's first "common mistake" — ignoring variation
+due to experimental error — becomes checkable: a factor explaining less
+variation than the error term is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.designs import TwoLevelFactorialDesign
+from repro.core.model import AdditiveModel
+from repro.core.signtable import dot_effects
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class VariationReport:
+    """Result of an allocation-of-variation analysis.
+
+    Attributes
+    ----------
+    sst:
+        Total sum of squares of the response around its mean.
+    components:
+        Maps effect name (``'A'``, ``'A:B'``, ...) to its absolute sum of
+        squares; includes ``'error'`` when replications were provided.
+    """
+
+    sst: float
+    components: Mapping[str, float]
+
+    def fraction(self, name: str) -> float:
+        """Fraction of SST explained by *name* (0 when SST is zero)."""
+        if self.sst == 0:
+            return 0.0
+        return self.components.get(name, 0.0) / self.sst
+
+    def percent(self, name: str) -> float:
+        """Percentage of SST explained by *name*."""
+        return 100.0 * self.fraction(name)
+
+    def percentages(self) -> Dict[str, float]:
+        """All components as percentages of SST."""
+        return {name: self.percent(name) for name in self.components}
+
+    def ranked(self) -> Tuple[Tuple[str, float], ...]:
+        """Components sorted by explained percentage, descending."""
+        return tuple(sorted(self.percentages().items(),
+                            key=lambda item: item[1], reverse=True))
+
+    def dominant(self) -> str:
+        """Name of the effect explaining the most variation."""
+        return self.ranked()[0][0]
+
+    def significant(self, above_error_factor: float = 1.0) -> Tuple[str, ...]:
+        """Effects explaining more variation than the error term.
+
+        Without an error component every non-error effect counts as
+        significant (nothing to compare against — the tutorial's common
+        mistake #1 is exactly to forget that caveat).
+        """
+        error = self.components.get("error", 0.0) * above_error_factor
+        return tuple(name for name, ss in self.components.items()
+                     if name != "error" and ss > error)
+
+    def format(self) -> str:
+        """Render the percentages table the way slide 92 prints it."""
+        lines = ["Variation explained (%)"]
+        for name, pct in self.ranked():
+            lines.append(f"  {name:>8}  {pct:6.1f}")
+        return "\n".join(lines)
+
+
+def allocate_variation(design: TwoLevelFactorialDesign,
+                       responses: Sequence[float]) -> VariationReport:
+    """Allocate SST among effects for a single-replication 2^k design."""
+    y = np.asarray(responses, dtype=float)
+    n = design.sign_table.n_rows
+    if y.shape != (n,):
+        raise DesignError(f"expected {n} responses, got {y.shape}")
+    effects = dot_effects(design.sign_table, responses)
+    sst = float(np.sum((y - y.mean()) ** 2))
+    components = {name: n * q * q
+                  for name, q in effects.items() if name != "I"}
+    return VariationReport(sst=sst, components=components)
+
+
+def allocate_variation_replicated(design: TwoLevelFactorialDesign,
+                                  replicated: Sequence[Sequence[float]]
+                                  ) -> VariationReport:
+    """Allocate SST among effects *and experimental error* for 2^k·r runs.
+
+    ``SST = SSY - SS0 = sum_effects 2^k r q^2 + SSE`` where SSE is the
+    within-cell sum of squared residuals.
+    """
+    n = design.sign_table.n_rows
+    if len(replicated) != n:
+        raise DesignError(f"expected {n} rows of replications, "
+                          f"got {len(replicated)}")
+    r = len(replicated[0])
+    if r < 2 or any(len(row) != r for row in replicated):
+        raise DesignError(
+            "error estimation needs the same replication count >= 2 per row")
+    matrix = np.asarray(replicated, dtype=float)
+    means = matrix.mean(axis=1)
+    effects = dot_effects(design.sign_table, means.tolist())
+    sse = float(np.sum((matrix - means[:, None]) ** 2))
+    grand = float(matrix.mean())
+    sst = float(np.sum((matrix - grand) ** 2))
+    components = {name: n * r * q * q
+                  for name, q in effects.items() if name != "I"}
+    components["error"] = sse
+    return VariationReport(sst=sst, components=components)

@@ -1,0 +1,148 @@
+"""The buffer pool: cached pages, LRU eviction, hot/cold state.
+
+The buffer pool decides whether a table scan is *hot* (all pages resident,
+no I/O charged) or *cold* (pages read from the
+:class:`~repro.db.disk.DiskModel`, charging simulated system time to the
+engine's :class:`~repro.measurement.clocks.VirtualClock`).
+:meth:`BufferPool.flush` restores the cold state — the ``make_cold`` hook
+the run protocols need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.db.disk import DiskModel, pages_for_bytes
+from repro.errors import DatabaseError
+from repro.hardware.counters import HardwareCounters
+from repro.measurement.clocks import VirtualClock
+
+PageId = Tuple[str, int]
+
+
+class BufferPool:
+    """An LRU page cache in front of the simulated disk.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Pool size; tables larger than the pool can never run fully hot,
+        which reproduces the tutorial's point that "hot" needs the data to
+        actually fit close to the CPU.
+    disk:
+        The latency model paid on misses.
+    clock:
+        Simulated time sink; misses advance its I/O (system) component.
+    counters:
+        Optional shared counters; ``io_reads`` tracks pages read.
+    policy:
+        Eviction policy: ``"lru"`` (default) or ``"mru"``.  LRU suffers
+        *sequential flooding* — a repeated scan of a table one page
+        larger than the pool evicts every page just before its reuse —
+        while MRU keeps a stable prefix resident, the classic textbook
+        fix (see ``benchmarks/bench_ablation_buffer.py``).
+    """
+
+    POLICIES = ("lru", "mru")
+
+    def __init__(self, capacity_pages: int, disk: DiskModel,
+                 clock: VirtualClock,
+                 counters: Optional[HardwareCounters] = None,
+                 policy: str = "lru"):
+        if capacity_pages < 1:
+            raise DatabaseError("buffer pool needs at least one page")
+        if policy not in self.POLICIES:
+            raise DatabaseError(
+                f"unknown eviction policy {policy!r}; "
+                f"known: {list(self.POLICIES)}")
+        self.policy = policy
+        self.capacity_pages = capacity_pages
+        self.disk = disk
+        self.clock = clock
+        self.counters = counters if counters is not None else HardwareCounters()
+        self._resident: "OrderedDict[PageId, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def is_resident(self, page: PageId) -> bool:
+        return page in self._resident
+
+    def table_pages(self, table_name: str, n_bytes: int) -> Tuple[PageId, ...]:
+        """The page ids a table of ``n_bytes`` occupies."""
+        return tuple((table_name, i) for i in range(pages_for_bytes(n_bytes)))
+
+    def read_table(self, table_name: str, n_bytes: int) -> int:
+        """Scan a table through the pool; returns pages read from disk.
+
+        Misses are charged to the clock as one sequential disk read (the
+        scan fetches missing pages in one pass).
+        """
+        pages = self.table_pages(table_name, n_bytes)
+        missing = 0
+        for page in pages:
+            if page in self._resident:
+                self._resident.move_to_end(page)
+                self.hits += 1
+            else:
+                self.misses += 1
+                missing += 1
+                self._admit(page)
+        if missing:
+            self.clock.advance(
+                io_seconds=self.disk.read_seconds(missing, sequential=True))
+            self.counters.increment("io_reads", missing)
+        return missing
+
+    def read_pages_random(self, table_name: str, n_bytes: int,
+                          page_numbers: Tuple[int, ...]) -> int:
+        """Random page reads (index-style access); seeks per miss."""
+        total = pages_for_bytes(n_bytes)
+        bad = [p for p in page_numbers if not 0 <= p < total]
+        if bad:
+            raise DatabaseError(
+                f"pages {bad} out of range for table {table_name!r} "
+                f"({total} pages)")
+        missing = 0
+        for number in page_numbers:
+            page = (table_name, number)
+            if page in self._resident:
+                self._resident.move_to_end(page)
+                self.hits += 1
+            else:
+                self.misses += 1
+                missing += 1
+                self._admit(page)
+        if missing:
+            self.clock.advance(
+                io_seconds=self.disk.read_seconds(missing, sequential=False))
+            self.counters.increment("io_reads", missing)
+        return missing
+
+    def _admit(self, page: PageId) -> None:
+        # Evict before inserting so MRU removes the previous most-recent
+        # page rather than the one being admitted.
+        while len(self._resident) >= self.capacity_pages:
+            self._resident.popitem(last=(self.policy == "mru"))
+        self._resident[page] = True
+        self._resident.move_to_end(page)
+
+    def fits(self, n_bytes: int) -> bool:
+        """Can a table of this size be fully resident?"""
+        return pages_for_bytes(n_bytes) <= self.capacity_pages
+
+    def flush(self) -> None:
+        """Drop every page: the cold state (slide 32's 'clean state')."""
+        self._resident.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,119 @@
+"""Client-side measurement: where does the result output go?
+
+The tutorial's first timing table (slides 23-26) measures TPC-H queries
+four ways — server user, server real, client real with output to a file,
+client real with output to the terminal — and the punchline is that the
+choice of output sink changes "the query time" dramatically once results
+get large (Q16's 1.2MB doubles the client real time on a terminal).
+
+:class:`Client` reproduces that setup over MiniDB: it runs the query on
+the engine (server time) and then ships + renders the result through a
+:class:`ResultSink`, charging per-byte costs to the same virtual clock so
+client real time includes the server work, like a real ``mclient`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.engine import Engine, QueryResult
+from repro.db.profiler import ProfileReport
+from repro.errors import DatabaseError
+from repro.measurement.timer import TimeBreakdown
+
+
+class ResultSink:
+    """Destination of the query output, with a per-byte rendering cost."""
+
+    #: Sink label used in reports.
+    name = "null"
+    #: Cost of shipping + rendering one output byte, nanoseconds.
+    ns_per_byte = 0.0
+    #: Fixed per-query overhead (connection, flush), nanoseconds.
+    fixed_ns = 0.0
+
+    def cost_seconds(self, n_bytes: int) -> float:
+        if n_bytes < 0:
+            raise DatabaseError("output size must be >= 0")
+        return (self.fixed_ns + self.ns_per_byte * n_bytes) / 1e9
+
+
+class FileSink(ResultSink):
+    """Redirecting output to a file: cheap sequential writes."""
+
+    name = "file"
+    ns_per_byte = 75.0
+    fixed_ns = 1e6  # 1 ms of open/flush overhead
+
+
+class TerminalSink(ResultSink):
+    """Printing to a terminal: scrolling and rendering are expensive."""
+
+    name = "terminal"
+    ns_per_byte = 600.0
+    fixed_ns = 3e6
+
+
+@dataclass(frozen=True)
+class ClientMeasurement:
+    """One row of the slide-23 table."""
+
+    sql: str
+    sink: str
+    server_user_ms: float
+    server_real_ms: float
+    client_real_ms: float
+    result_bytes: int
+    n_rows: int
+
+    def format(self) -> str:
+        kb = self.result_bytes / 1024.0
+        return (f"{self.sink:<9} server user {self.server_user_ms:8.1f} ms  "
+                f"server real {self.server_real_ms:8.1f} ms  "
+                f"client real {self.client_real_ms:8.1f} ms  "
+                f"result {kb:8.1f} KB  rows {self.n_rows}")
+
+
+class Client:
+    """A measuring client connected to one engine."""
+
+    def __init__(self, engine: Engine, sink: Optional[ResultSink] = None):
+        self.engine = engine
+        self.sink = sink if sink is not None else FileSink()
+
+    def run(self, sql: str) -> ClientMeasurement:
+        """Execute a query and measure server- and client-side times.
+
+        Client real time = server real time + output shipping/rendering,
+        charged on the same simulated clock.
+        """
+        start = self.engine.clock.sample()
+        result = self.engine.execute(sql)
+        server = result.server_time
+        n_bytes = result.formatted_size_bytes()
+        self.engine.clock.advance(
+            cpu_seconds=self.sink.cost_seconds(n_bytes))
+        total = self.engine.clock.sample() - start
+        return ClientMeasurement(
+            sql=sql, sink=self.sink.name,
+            server_user_ms=server.user_ms(),
+            server_real_ms=server.real_ms(),
+            client_real_ms=total.real * 1000.0,
+            result_bytes=n_bytes, n_rows=result.n_rows)
+
+    def profile(self, sql: str) -> ProfileReport:
+        """A full four-phase profile including the Print phase.
+
+        This is the complete ``mclient -t`` surface of slide 29: the
+        engine contributes parse/optimize/execute, the sink's shipping
+        and rendering cost appears as the ``print`` phase.
+        """
+        result, report = self.engine.profile(sql)
+        n_bytes = result.formatted_size_bytes()
+        print_seconds = self.sink.cost_seconds(n_bytes)
+        self.engine.clock.advance(cpu_seconds=print_seconds)
+        phase_ms = dict(report.phase_ms)
+        phase_ms["print"] = print_seconds * 1000.0
+        return ProfileReport(sql=sql, phase_ms=phase_ms,
+                             operators=report.operators)

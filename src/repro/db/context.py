@@ -1,0 +1,124 @@
+"""Execution context and cost parameters for MiniDB.
+
+MiniDB queries do *real* work (numpy) and simultaneously charge
+*simulated* time to a :class:`~repro.measurement.clocks.VirtualClock`.
+The simulated time is what the tutorial experiments report: it is
+deterministic, calibrated to a 2008-era laptop, and decomposes into user
+(CPU) and system (I/O) shares exactly like the tutorial's tables.
+
+:class:`CostParameters` holds the ns-per-unit constants; the engine's
+*tuned* flag and the DBG/OPT :class:`~repro.hardware.compiler.BuildModel`
+both act through them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.db.buffer import BufferPool
+from repro.db.storage import Database
+from repro.errors import DatabaseError
+from repro.hardware.compiler import BuildMode, BuildModel
+from repro.hardware.counters import HardwareCounters
+from repro.measurement.clocks import VirtualClock
+
+
+class ExecutionMode(enum.Enum):
+    """Engine execution style.
+
+    COLUMN is MonetDB-like (vectorised primitives, negligible per-tuple
+    interpretation); TUPLE is the classical Volcano iterator model
+    (MySQL-like), paying an interpretation overhead for every tuple every
+    operator touches — the contrast slide 54's two profile traces show.
+    """
+
+    COLUMN = "column"
+    TUPLE = "tuple"
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Simulated CPU cost constants (nanoseconds).
+
+    The defaults approximate a 1.5 GHz Pentium M running an optimized
+    build.  ``tuple_overhead_ns`` is the per-tuple, per-operator
+    interpretation cost paid only in TUPLE mode.
+    """
+
+    scan_ns_per_value: float = 10.0
+    filter_ns_per_value: float = 20.0
+    project_ns_per_value: float = 15.0
+    hash_build_ns_per_row: float = 150.0
+    hash_probe_ns_per_row: float = 100.0
+    sort_ns_per_compare: float = 80.0
+    agg_ns_per_value: float = 30.0
+    group_ns_per_row: float = 120.0
+    output_ns_per_byte: float = 15.0
+    parse_ns_per_char: float = 400.0
+    optimize_ns_per_node: float = 25_000.0
+    tuple_overhead_ns: float = 600.0
+
+    def __post_init__(self):
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise DatabaseError(f"cost parameter {name} must be >= 0")
+
+    def scaled(self, factor: float) -> "CostParameters":
+        """All CPU constants scaled by *factor* (e.g. a slower machine)."""
+        if factor <= 0:
+            raise DatabaseError("scale factor must be positive")
+        return CostParameters(**{name: value * factor
+                                 for name, value in self.__dict__.items()})
+
+
+class ExecutionContext:
+    """Everything an operator needs while executing.
+
+    Charging helpers route CPU cost through the build model (so a DBG
+    build slows the right categories) and advance the virtual clock.
+    """
+
+    def __init__(self, database: Database, buffer_pool: BufferPool,
+                 clock: VirtualClock,
+                 counters: Optional[HardwareCounters] = None,
+                 build: Optional[BuildModel] = None,
+                 mode: ExecutionMode = ExecutionMode.COLUMN,
+                 costs: Optional[CostParameters] = None):
+        self.database = database
+        self.buffer_pool = buffer_pool
+        self.clock = clock
+        self.counters = counters if counters is not None \
+            else buffer_pool.counters
+        self.build = build if build is not None else BuildModel(BuildMode.OPT)
+        self.mode = mode
+        self.costs = costs if costs is not None else CostParameters()
+        #: Largest per-operator working set seen this execution (bytes).
+        self.peak_memory_bytes = 0
+
+    def charge_cpu(self, category: str, ns: float) -> None:
+        """Charge CPU nanoseconds, scaled by the build model."""
+        if ns < 0:
+            raise DatabaseError("cannot charge negative CPU time")
+        scaled = self.build.scale_cpu_ns(category, ns)
+        self.clock.advance(cpu_seconds=scaled / 1e9)
+
+    def charge_tuples(self, n_rows: int) -> None:
+        """Per-tuple interpretation overhead (TUPLE mode only)."""
+        if n_rows < 0:
+            raise DatabaseError("row count must be >= 0")
+        if self.mode is ExecutionMode.TUPLE and n_rows:
+            self.charge_cpu("arithmetic",
+                            n_rows * self.costs.tuple_overhead_ns)
+
+    def track_memory(self, n_bytes: int) -> None:
+        """Record one operator's working-set size; keeps the peak."""
+        if n_bytes < 0:
+            raise DatabaseError("memory size must be >= 0")
+        if n_bytes > self.peak_memory_bytes:
+            self.peak_memory_bytes = n_bytes
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now

@@ -1,0 +1,260 @@
+"""The MiniDB engine facade.
+
+Ties the whole substrate together: parser → optimizer → operators, over a
+buffer pool and disk model, charging simulated time to a virtual clock.
+The introspection surface follows the tutorial's advice (slides 28, 52):
+
+- :meth:`Engine.execute` — run a query, returning rows plus a
+  server-side real/user/system time breakdown;
+- :meth:`Engine.explain` — the plan without running it;
+- :meth:`Engine.profile` — phase + per-operator timing breakdown;
+- :meth:`Engine.trace` — per-operator rows/time lines after execution.
+
+``Engine.make_cold()`` flushes the buffer pool — the hook cold run
+protocols need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.buffer import BufferPool
+from repro.db.context import (
+    CostParameters,
+    ExecutionContext,
+    ExecutionMode,
+)
+from repro.db.disk import DiskModel
+from repro.db.indexes import HashIndex, IndexCatalog
+from repro.db.optimizer import PlannerOptions, count_plan_nodes, plan_statement
+from repro.db.parser import parse_select
+from repro.db.plan import PlanNode
+from repro.db.profiler import OperatorTiming, ProfileReport, operator_timings
+from repro.db.storage import Database
+from repro.db.types import DataType
+from repro.errors import DatabaseError
+from repro.hardware.compiler import BuildMode, BuildModel
+from repro.hardware.counters import HardwareCounters
+from repro.measurement.clocks import VirtualClock
+from repro.measurement.timer import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-wide configuration.
+
+    ``tuned=False`` selects the out-of-the-box behaviour of slide 42's
+    war story: a tiny buffer pool, no optimizer smarts.
+    """
+
+    buffer_pages: int = 4096
+    mode: ExecutionMode = ExecutionMode.COLUMN
+    build: BuildModel = field(default_factory=lambda: BuildModel(BuildMode.OPT))
+    tuned: bool = True
+    naive_joins: bool = False
+    costs: CostParameters = field(default_factory=CostParameters)
+    disk: DiskModel = field(default_factory=DiskModel)
+
+    def planner_options(self) -> PlannerOptions:
+        if self.naive_joins:
+            return PlannerOptions.naive()
+        return PlannerOptions() if self.tuned else PlannerOptions.untuned()
+
+    @classmethod
+    def untuned(cls, **overrides: Any) -> "EngineConfig":
+        """Out-of-the-box defaults: small buffer pool, no optimizer smarts.
+
+        The 16MB pool is the classic "default settings often too
+        conservative": fine for toy data, but once the working set
+        exceeds it, repeated sequential scans thrash under LRU.
+        """
+        base = cls(buffer_pages=256, tuned=False)
+        return replace(base, **overrides)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows plus the server-side timing of one executed query."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Any, ...], ...]
+    server_time: TimeBreakdown
+    plan: PlanNode
+    peak_memory_bytes: int = 0
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise DatabaseError(
+                f"result has no column {name!r}; columns: "
+                f"{list(self.columns)}") from None
+        return [row[idx] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if self.n_rows != 1 or len(self.columns) != 1:
+            raise DatabaseError(
+                f"expected a 1x1 result, got {self.n_rows}x"
+                f"{len(self.columns)}")
+        return self.rows[0][0]
+
+    def formatted_size_bytes(self) -> int:
+        """Bytes of the tab-separated textual rendering (result size)."""
+        total = 0
+        for row in self.rows:
+            total += sum(len(_format_value(v)) for v in row)
+            total += len(row)  # separators + newline
+        return total
+
+    def format_rows(self, limit: int = 20) -> str:
+        lines = ["\t".join(self.columns)]
+        for row in self.rows[:limit]:
+            lines.append("\t".join(_format_value(v) for v in row))
+        if self.n_rows > limit:
+            lines.append(f"... ({self.n_rows - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+class Engine:
+    """A configured MiniDB instance over one database."""
+
+    def __init__(self, database: Database,
+                 config: Optional[EngineConfig] = None):
+        self.database = database
+        self.config = config if config is not None else EngineConfig()
+        self.clock = VirtualClock()
+        self.counters = HardwareCounters()
+        self.buffer_pool = BufferPool(self.config.buffer_pages,
+                                      self.config.disk, self.clock,
+                                      self.counters)
+        self.indexes = IndexCatalog()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def make_cold(self) -> None:
+        """Flush all cached pages: the next query runs cold (slide 32)."""
+        self.buffer_pool.flush()
+
+    def create_index(self, table_name: str, column_name: str) -> HashIndex:
+        """Build a hash index; the planner will use it for selective
+        equality predicates on that column."""
+        return self.indexes.create(self.database.table(table_name),
+                                   column_name)
+
+    def drop_index(self, table_name: str, column_name: str) -> None:
+        self.indexes.drop(table_name, column_name)
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            database=self.database, buffer_pool=self.buffer_pool,
+            clock=self.clock, counters=self.counters,
+            build=self.config.build, mode=self.config.mode,
+            costs=self.config.costs)
+
+    # -- query interface ---------------------------------------------------
+
+    def plan(self, sql: str) -> PlanNode:
+        """Parse and plan without executing."""
+        statement = parse_select(sql)
+        return plan_statement(statement, self.database,
+                              self.config.planner_options(),
+                              indexes=self.indexes)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN: the physical plan with cardinality estimates."""
+        plan = self.plan(sql)
+        return plan.explain(self._context())
+
+    def execute(self, sql: str) -> QueryResult:
+        result, __ = self.profile(sql)
+        return result
+
+    def profile(self, sql: str) -> Tuple[QueryResult, ProfileReport]:
+        """Execute and return both the result and the timing breakdown."""
+        ctx = self._context()
+        costs = self.config.costs
+
+        start = self.clock.sample()
+        ctx.charge_cpu("arithmetic", costs.parse_ns_per_char * len(sql))
+        statement = parse_select(sql)
+        after_parse = self.clock.sample()
+
+        plan = plan_statement(statement, self.database,
+                              self.config.planner_options(),
+                              indexes=self.indexes)
+        ctx.charge_cpu("arithmetic",
+                       costs.optimize_ns_per_node * count_plan_nodes(plan))
+        after_optimize = self.clock.sample()
+
+        batch = plan.execute(ctx)
+        after_execute = self.clock.sample()
+
+        columns = tuple(batch)
+        arrays = [batch[name] for name in columns]
+        n = len(arrays[0]) if arrays else 0
+        rows = tuple(tuple(_to_python(col[i]) for col in arrays)
+                     for i in range(n))
+        total = self.clock.sample() - start
+        server_time = TimeBreakdown(label=f"server:{sql[:40]}",
+                                    real=total.real, user=total.user,
+                                    system=total.system)
+        result = QueryResult(columns=columns, rows=rows,
+                             server_time=server_time, plan=plan,
+                             peak_memory_bytes=ctx.peak_memory_bytes)
+        phase_ms = {
+            "parse": (after_parse - start).real * 1000.0,
+            "optimize": (after_optimize - after_parse).real * 1000.0,
+            "execute": (after_execute - after_optimize).real * 1000.0,
+        }
+        report = ProfileReport(sql=sql, phase_ms=phase_ms,
+                               operators=operator_timings(plan))
+        return result, report
+
+    def trace(self, sql: str) -> str:
+        """TRACE: execute and render per-operator rows and self-times."""
+        __, report = self.profile(sql)
+        lines = [f"TRACE {sql}"]
+        for op in report.operators:
+            lines.append(op.format(report.execute_ms))
+        return "\n".join(lines)
+
+    # -- introspection ------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Engine-level counters for analysis (CSI) work."""
+        sample = self.clock.sample()
+        return {
+            "simulated_real_s": sample.real,
+            "simulated_user_s": sample.user,
+            "simulated_system_s": sample.system,
+            "buffer_hits": float(self.buffer_pool.hits),
+            "buffer_misses": float(self.buffer_pool.misses),
+            "buffer_hit_rate": self.buffer_pool.hit_rate(),
+            "io_pages_read": float(self.counters.read("io_reads")),
+        }
+
+    # QueryResult carries per-query peak memory; engine-wide peaks are
+    # per-execution (see ExecutionContext.peak_memory_bytes).
+
+
+def _to_python(value: Any) -> Any:
+    """Convert numpy scalars to plain Python for result rows."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value

@@ -1,0 +1,619 @@
+"""MiniDB physical operators.
+
+Every operator performs real computation on numpy column batches *and*
+charges simulated cost to the execution context:
+
+- CPU nanoseconds per value/row, routed through the DBG/OPT build model;
+- per-tuple interpretation overhead when the engine runs in TUPLE
+  (Volcano) mode;
+- I/O through the buffer pool (scans only).
+
+This dual nature is what lets the benchmark suite reproduce the
+tutorial's timing tables deterministically while tests validate results
+against plain-numpy oracles.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.context import ExecutionContext, ExecutionMode
+from repro.db.expressions import Expr
+from repro.db.plan import Batch, PlanNode, batch_rows, require_columns
+from repro.db.types import DataType
+from repro.errors import PlanError
+
+
+class SeqScan(PlanNode):
+    """Sequential scan of a base table through the buffer pool."""
+
+    category = "scan"
+
+    def __init__(self, table_name: str,
+                 columns: Optional[Sequence[str]] = None):
+        super().__init__()
+        self.table_name = table_name
+        self.columns = tuple(columns) if columns is not None else None
+
+    def name(self) -> str:
+        cols = ", ".join(self.columns) if self.columns else "*"
+        return f"SeqScan({self.table_name}: {cols})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        table = ctx.database.table(self.table_name)
+        names = self.columns if self.columns is not None \
+            else table.column_names
+        return {n: table.column(n).dtype for n in names}
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        return float(ctx.database.table(self.table_name).n_rows)
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        table = ctx.database.table(self.table_name)
+        names = self.columns if self.columns is not None \
+            else table.column_names
+        # I/O: only the referenced columns travel through the pool
+        # (column store!), which is why narrow scans run hot sooner.
+        read_bytes = sum(table.column(n).bytes_used for n in names)
+        ctx.buffer_pool.read_table(self.table_name, read_bytes)
+        n = table.n_rows
+        ctx.charge_cpu("scan", ctx.costs.scan_ns_per_value * n * len(names))
+        ctx.charge_tuples(n)
+        return {name: table.column(name).data for name in names}
+
+
+class Filter(PlanNode):
+    """Row selection by a boolean predicate."""
+
+    def __init__(self, child: PlanNode, predicate: Expr):
+        super().__init__([child])
+        self.predicate = predicate
+
+    @property
+    def category(self) -> str:  # type: ignore[override]
+        return self.predicate.cost_category()
+
+    def name(self) -> str:
+        return f"Filter({self.predicate})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return self.children[0].schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        from repro.db.expressions import estimate_selectivity
+        return self.children[0].estimated_rows(ctx) * \
+            estimate_selectivity(self.predicate)
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        require_columns(batch, sorted(self.predicate.columns()), self.name())
+        n = batch_rows(batch)
+        ctx.charge_cpu(self.category,
+                       ctx.costs.filter_ns_per_value * n
+                       * self.predicate.node_count())
+        ctx.charge_tuples(n)
+        mask = np.asarray(self.predicate.evaluate(batch), dtype=bool)
+        return {name: arr[mask] for name, arr in batch.items()}
+
+
+class Project(PlanNode):
+    """Expression projection with aliases."""
+
+    def __init__(self, child: PlanNode,
+                 items: Sequence[Tuple[Expr, str]]):
+        super().__init__([child])
+        if not items:
+            raise PlanError("projection needs at least one item")
+        aliases = [alias for __, alias in items]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError(f"duplicate output names in projection {aliases}")
+        self.items = tuple(items)
+
+    category = "arithmetic"
+
+    def name(self) -> str:
+        rendered = ", ".join(f"{expr} AS {alias}" if str(expr) != alias
+                             else alias for expr, alias in self.items)
+        return f"Project({rendered})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        child_schema = self.children[0].schema(ctx)
+        return {alias: expr.dtype(child_schema)
+                for expr, alias in self.items}
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        return self.children[0].estimated_rows(ctx)
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        n = batch_rows(batch)
+        out: Batch = {}
+        for expr, alias in self.items:
+            ctx.charge_cpu(expr.cost_category(),
+                           ctx.costs.project_ns_per_value * n
+                           * expr.node_count())
+            out[alias] = np.asarray(expr.evaluate(batch))
+        ctx.charge_tuples(n)
+        return out
+
+
+class HashJoin(PlanNode):
+    """Inner equi-join: build on the right child, probe with the left."""
+
+    category = "hash"
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: Sequence[str], right_keys: Sequence[str]):
+        super().__init__([left, right])
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError(
+                "join needs equally many (>=1) keys on both sides")
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+
+    def name(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in
+                          zip(self.left_keys, self.right_keys))
+        return f"HashJoin({pairs})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        left = self.children[0].schema(ctx)
+        right = self.children[1].schema(ctx)
+        out = dict(left)
+        for name, dtype in right.items():
+            if name in out:
+                if name in self.right_keys:
+                    continue  # equal to the left key; keep one copy
+                raise PlanError(
+                    f"join would produce duplicate column {name!r}")
+            out[name] = dtype
+        return out
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        left = self.children[0].estimated_rows(ctx)
+        right = self.children[1].estimated_rows(ctx)
+        # Foreign-key-style estimate: output bounded by the probe side.
+        return max(left, right) if min(left, right) else 0.0
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        left, right = child_batches
+        require_columns(left, self.left_keys, self.name() + " (left)")
+        require_columns(right, self.right_keys, self.name() + " (right)")
+        n_left, n_right = batch_rows(left), batch_rows(right)
+        ctx.charge_cpu("hash", ctx.costs.hash_build_ns_per_row * n_right)
+        ctx.charge_cpu("hash", ctx.costs.hash_probe_ns_per_row * n_left)
+        ctx.charge_tuples(n_left + n_right)
+
+        build: Dict[tuple, List[int]] = {}
+        right_key_cols = [right[k] for k in self.right_keys]
+        for i in range(n_right):
+            key = tuple(col[i] for col in right_key_cols)
+            build.setdefault(key, []).append(i)
+        # Hash table: roughly one 8-byte slot + entry per build row.
+        self.aux_bytes = 48 * n_right
+
+        left_key_cols = [left[k] for k in self.left_keys]
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        for i in range(n_left):
+            key = tuple(col[i] for col in left_key_cols)
+            matches = build.get(key)
+            if matches:
+                left_idx.extend([i] * len(matches))
+                right_idx.extend(matches)
+
+        li = np.asarray(left_idx, dtype=np.int64)
+        ri = np.asarray(right_idx, dtype=np.int64)
+        out: Batch = {name: arr[li] for name, arr in left.items()}
+        for name, arr in right.items():
+            if name in out:
+                if name in self.right_keys:
+                    continue
+                raise PlanError(
+                    f"join would produce duplicate column {name!r}")
+            out[name] = arr[ri]
+        return out
+
+
+class NestedLoopJoin(PlanNode):
+    """Naive quadratic equi-join; the untuned fallback of the optimizer."""
+
+    category = "arithmetic"
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: Sequence[str], right_keys: Sequence[str]):
+        super().__init__([left, right])
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError(
+                "join needs equally many (>=1) keys on both sides")
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+
+    def name(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in
+                          zip(self.left_keys, self.right_keys))
+        return f"NestedLoopJoin({pairs})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return HashJoin(self.children[0], self.children[1],
+                        self.left_keys, self.right_keys).schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        left = self.children[0].estimated_rows(ctx)
+        right = self.children[1].estimated_rows(ctx)
+        return max(left, right) if min(left, right) else 0.0
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        left, right = child_batches
+        n_left, n_right = batch_rows(left), batch_rows(right)
+        # The whole point of this operator: quadratic compare cost.
+        ctx.charge_cpu("arithmetic",
+                       ctx.costs.filter_ns_per_value * n_left * n_right)
+        ctx.charge_tuples(n_left * max(1, n_right) if n_left and n_right
+                          else n_left + n_right)
+        # Compute the same result as a hash join (correctness first).
+        helper = HashJoin.__new__(HashJoin)
+        PlanNode.__init__(helper, [])
+        helper.left_keys = self.left_keys
+        helper.right_keys = self.right_keys
+        return HashJoin._run(helper, _NullCostContext(ctx), [left, right])
+
+
+class _NullCostContext:
+    """Delegates everything but swallows cost charges (internal reuse)."""
+
+    def __init__(self, inner: ExecutionContext):
+        self._inner = inner
+
+    def charge_cpu(self, category: str, ns: float) -> None:
+        pass
+
+    def charge_tuples(self, n_rows: int) -> None:
+        pass
+
+    def __getattr__(self, item):
+        return getattr(self._inner, item)
+
+
+class AggFunc(enum.Enum):
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation with optional GROUP BY.
+
+    ``aggregates`` is a sequence of ``(func, expr_or_None, alias)``;
+    ``expr`` is None only for ``COUNT(*)``.
+    """
+
+    category = "hash"
+
+    def __init__(self, child: PlanNode, group_by: Sequence[str],
+                 aggregates: Sequence[Tuple[AggFunc, Optional[Expr], str]]):
+        super().__init__([child])
+        if not aggregates and not group_by:
+            raise PlanError("aggregate needs at least one aggregate or key")
+        aliases = [a for __, __, a in aggregates]
+        if len(set(aliases) | set(group_by)) != len(aliases) + len(group_by):
+            raise PlanError("duplicate output names in aggregation")
+        for func, expr, alias in aggregates:
+            if expr is None and func is not AggFunc.COUNT:
+                raise PlanError(f"{func.value}(*) is not defined")
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def name(self) -> str:
+        aggs = ", ".join(
+            f"{f.value}({e if e is not None else '*'}) AS {a}"
+            for f, e, a in self.aggregates)
+        if self.group_by:
+            return f"Aggregate(by {', '.join(self.group_by)}: {aggs})"
+        return f"Aggregate({aggs})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        child_schema = self.children[0].schema(ctx)
+        out: Dict[str, DataType] = {}
+        for key in self.group_by:
+            if key not in child_schema:
+                raise PlanError(f"GROUP BY column {key!r} not available")
+            out[key] = child_schema[key]
+        for func, expr, alias in self.aggregates:
+            if func is AggFunc.COUNT:
+                out[alias] = DataType.INT64
+            elif func is AggFunc.AVG:
+                out[alias] = DataType.FLOAT64
+            else:
+                out[alias] = expr.dtype(child_schema)
+        return out
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        if not self.group_by:
+            return 1.0
+        child = self.children[0].estimated_rows(ctx)
+        return max(1.0, child ** 0.5)  # square-root heuristic
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        n = batch_rows(batch)
+        ctx.charge_cpu("hash", ctx.costs.group_ns_per_row * n)
+        ctx.charge_cpu("arithmetic",
+                       ctx.costs.agg_ns_per_value * n
+                       * max(1, len(self.aggregates)))
+        ctx.charge_tuples(n)
+
+        if self.group_by:
+            group_ids, group_keys = self._group(batch, n)
+            self.aux_bytes = 48 * len(group_keys) + 8 * n
+        else:
+            # A global aggregate always produces exactly one row, even
+            # over empty input (COUNT(*) = 0), per SQL semantics.
+            group_ids = np.zeros(n, dtype=np.int64)
+            group_keys = {(): 0}
+        n_groups = len(group_keys)
+        child_schema = self.children[0].schema(ctx)
+
+        out: Batch = {}
+        ordered = sorted(group_keys.items(), key=lambda kv: kv[1])
+        for pos, key_name in enumerate(self.group_by):
+            values = [key for key, __ in ordered]
+            dtype = child_schema[key_name]
+            if dtype is DataType.STRING:
+                col = np.empty(n_groups, dtype=object)
+                for i, key in enumerate(values):
+                    col[i] = key[pos]
+            else:
+                col = np.asarray([key[pos] for key in values],
+                                 dtype=dtype.numpy_dtype)
+            out[key_name] = col
+
+        for func, expr, alias in self.aggregates:
+            values = self._aggregate(func, expr, batch, group_ids, n_groups)
+            if func is AggFunc.COUNT:
+                values = values.astype(np.int64)
+            elif func is not AggFunc.AVG and expr is not None \
+                    and expr.dtype(child_schema) is DataType.INT64:
+                values = values.astype(np.int64)
+            out[alias] = values
+        return out
+
+    def _group(self, batch: Batch, n: int):
+        key_cols = [batch[k] for k in self.group_by]
+        group_keys: Dict[tuple, int] = {}
+        group_ids = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            key = tuple(col[i] for col in key_cols)
+            gid = group_keys.get(key)
+            if gid is None:
+                gid = len(group_keys)
+                group_keys[key] = gid
+            group_ids[i] = gid
+        return group_ids, group_keys
+
+    @staticmethod
+    def _aggregate(func: AggFunc, expr: Optional[Expr], batch: Batch,
+                   group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+        if n_groups == 0:
+            # Grouped aggregation over empty input: zero output rows.
+            return np.zeros(0, dtype=np.float64)
+        if func is AggFunc.COUNT:
+            counts = np.bincount(group_ids, minlength=n_groups)
+            return counts.astype(np.int64)
+        values = np.asarray(expr.evaluate(batch), dtype=np.float64)
+        if func is AggFunc.SUM or func is AggFunc.AVG:
+            sums = np.bincount(group_ids, weights=values,
+                               minlength=n_groups)
+            if func is AggFunc.SUM:
+                return sums
+            counts = np.bincount(group_ids, minlength=n_groups)
+            return sums / np.maximum(counts, 1)
+        fill = np.inf if func is AggFunc.MIN else -np.inf
+        out = np.full(n_groups, fill, dtype=np.float64)
+        ufunc = np.minimum if func is AggFunc.MIN else np.maximum
+        ufunc.at(out, group_ids, values)
+        return out
+
+
+class MergeJoin(PlanNode):
+    """Equi-join by merging two inputs sorted on their keys.
+
+    Both children MUST deliver rows sorted ascending on the join keys;
+    the operator verifies this and raises otherwise (silent wrong
+    results are worse than an error).  Cost is linear in the two input
+    sizes plus the output — the textbook alternative to hashing when
+    sort order is already available.
+    """
+
+    category = "sort"
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_key: str, right_key: str):
+        super().__init__([left, right])
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def name(self) -> str:
+        return f"MergeJoin({self.left_key}={self.right_key})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return HashJoin(self.children[0], self.children[1],
+                        [self.left_key], [self.right_key]).schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        left = self.children[0].estimated_rows(ctx)
+        right = self.children[1].estimated_rows(ctx)
+        return max(left, right) if min(left, right) else 0.0
+
+    @staticmethod
+    def _check_sorted(values: np.ndarray, side: str) -> None:
+        if len(values) > 1 and np.any(values[1:] < values[:-1]):
+            raise PlanError(
+                f"MergeJoin {side} input is not sorted on its join key")
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        left, right = child_batches
+        require_columns(left, [self.left_key], self.name() + " (left)")
+        require_columns(right, [self.right_key], self.name() + " (right)")
+        lk = left[self.left_key]
+        rk = right[self.right_key]
+        self._check_sorted(lk, "left")
+        self._check_sorted(rk, "right")
+        n_left, n_right = len(lk), len(rk)
+        ctx.charge_cpu("sort", ctx.costs.filter_ns_per_value
+                       * (n_left + n_right))
+        ctx.charge_tuples(n_left + n_right)
+
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        i = j = 0
+        while i < n_left and j < n_right:
+            if lk[i] < rk[j]:
+                i += 1
+            elif lk[i] > rk[j]:
+                j += 1
+            else:
+                # Collect the full duplicate run on both sides.
+                key = lk[i]
+                i_end = i
+                while i_end < n_left and lk[i_end] == key:
+                    i_end += 1
+                j_end = j
+                while j_end < n_right and rk[j_end] == key:
+                    j_end += 1
+                for a in range(i, i_end):
+                    for b in range(j, j_end):
+                        left_idx.append(a)
+                        right_idx.append(b)
+                i, j = i_end, j_end
+
+        li = np.asarray(left_idx, dtype=np.int64)
+        ri = np.asarray(right_idx, dtype=np.int64)
+        out: Batch = {name: arr[li] for name, arr in left.items()}
+        for name, arr in right.items():
+            if name in out:
+                if name == self.right_key:
+                    continue
+                raise PlanError(
+                    f"join would produce duplicate column {name!r}")
+            out[name] = arr[ri]
+        return out
+
+
+class Distinct(PlanNode):
+    """Remove duplicate rows, preserving first-occurrence order."""
+
+    category = "hash"
+
+    def __init__(self, child: PlanNode):
+        super().__init__([child])
+
+    def name(self) -> str:
+        return "Distinct"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return self.children[0].schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        child = self.children[0].estimated_rows(ctx)
+        return max(1.0, child ** 0.5)
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        n = batch_rows(batch)
+        ctx.charge_cpu("hash", ctx.costs.group_ns_per_row * n)
+        ctx.charge_tuples(n)
+        columns = list(batch)
+        seen: Dict[tuple, None] = {}
+        keep: List[int] = []
+        for i in range(n):
+            key = tuple(batch[c][i] for c in columns)
+            if key not in seen:
+                seen[key] = None
+                keep.append(i)
+        idx = np.asarray(keep, dtype=np.int64)
+        return {name: arr[idx] for name, arr in batch.items()}
+
+
+class Sort(PlanNode):
+    """Stable multi-key sort."""
+
+    category = "sort"
+
+    def __init__(self, child: PlanNode,
+                 keys: Sequence[Tuple[str, bool]]):
+        super().__init__([child])
+        if not keys:
+            raise PlanError("sort needs at least one key")
+        self.keys = tuple(keys)  # (column, ascending)
+
+    def name(self) -> str:
+        rendered = ", ".join(f"{k} {'ASC' if asc else 'DESC'}"
+                             for k, asc in self.keys)
+        return f"Sort({rendered})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return self.children[0].schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        return self.children[0].estimated_rows(ctx)
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        require_columns(batch, [k for k, __ in self.keys], self.name())
+        n = batch_rows(batch)
+        if n > 1:
+            ctx.charge_cpu("sort", ctx.costs.sort_ns_per_compare
+                           * n * math.log2(n))
+        ctx.charge_tuples(n)
+        order = np.arange(n)
+        self.aux_bytes = 8 * n  # the permutation vector
+        # Stable sorts applied from the least significant key backwards.
+        for column, ascending in reversed(self.keys):
+            values = batch[column][order]
+            idx = np.argsort(values, kind="stable")
+            if not ascending:
+                idx = idx[::-1]
+            order = order[idx]
+        return {name: arr[order] for name, arr in batch.items()}
+
+
+class Limit(PlanNode):
+    """Keep the first ``n`` rows."""
+
+    category = "scan"
+
+    def __init__(self, child: PlanNode, n: int):
+        super().__init__([child])
+        if n < 0:
+            raise PlanError(f"LIMIT must be >= 0, got {n}")
+        self.n = n
+
+    def name(self) -> str:
+        return f"Limit({self.n})"
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        return self.children[0].schema(ctx)
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        return min(float(self.n), self.children[0].estimated_rows(ctx))
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        batch = child_batches[0]
+        return {name: arr[:self.n] for name, arr in batch.items()}

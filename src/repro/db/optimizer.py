@@ -1,0 +1,264 @@
+"""The MiniDB planner/optimizer.
+
+Turns a parsed :class:`~repro.db.parser.SelectStatement` into a physical
+plan.  Two quality levels exist, driven by the engine's ``tuned`` flag —
+deliberately so, to reproduce the tutorial's "factor 2-10 between
+out-of-the-box and tuned configurations" observation (slides 42-45):
+
+- **tuned** (default): column pruning on scans, predicate pushdown below
+  joins, hash joins with the build side on the smaller input;
+- **untuned**: whole-row scans, filters evaluated only after all joins,
+  nested-loop joins in textual order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.expressions import (
+    ColumnRef,
+    Expr,
+    conjoin,
+    split_conjuncts,
+)
+from repro.db.indexes import IndexCatalog, try_index_scan
+from repro.db.operators import (
+    AggFunc,
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.db.parser import SelectItem, SelectStatement
+from repro.db.plan import PlanNode
+from repro.db.storage import Database
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Optimizer behaviour knobs."""
+
+    tuned: bool = True
+    prune_columns: bool = True
+    pushdown: bool = True
+    hash_joins: bool = True
+
+    @classmethod
+    def untuned(cls) -> "PlannerOptions":
+        """The out-of-the-box configuration of slide 42's war story:
+        no column pruning, no predicate pushdown — but still sane join
+        algorithms (the 2-10x band is about configuration, not about
+        quadratic blow-ups)."""
+        return cls(tuned=False, prune_columns=False, pushdown=False,
+                   hash_joins=True)
+
+    @classmethod
+    def naive(cls) -> "PlannerOptions":
+        """Everything off, including hash joins: the strawman prototype
+        a nested-loop comparison baseline needs (see E19's speed-up)."""
+        return cls(tuned=False, prune_columns=False, pushdown=False,
+                   hash_joins=False)
+
+
+def _referenced_columns(statement: SelectStatement) -> Set[str]:
+    """Every column name the statement touches outside join conditions.
+
+    Join-key columns are resolved separately (see :func:`_resolve_join`)
+    because the same key name may legitimately appear on both sides of an
+    equi-join.
+    """
+    columns: Set[str] = set()
+    for item in statement.items:
+        if item.expr is not None:
+            columns |= item.expr.columns()
+    if statement.where is not None:
+        columns |= statement.where.columns()
+    columns |= set(statement.group_by)
+    return columns
+
+
+def _resolve_join(database: Database, join, available: Sequence[str]
+                  ) -> Tuple[str, str, str]:
+    """Orient one join clause.
+
+    Returns ``(left_col, left_owner, right_col)`` where ``left_col``
+    comes from the tables joined so far and ``right_col`` from the new
+    table.  Handles both orientations and same-named keys.
+    """
+    new = join.table
+    a, b = join.left_column, join.right_column
+
+    def owners_in_available(col: str) -> List[str]:
+        return [t for t in available
+                if database.table(t).has_column(col)]
+
+    def in_new(col: str) -> bool:
+        return database.table(new).has_column(col)
+
+    if a == b:
+        owners = owners_in_available(a)
+        if not owners or not in_new(a):
+            raise PlanError(
+                f"join key {a!r} must exist both in {new!r} and in an "
+                f"already-joined table ({list(available)})")
+        if len(owners) > 1:
+            raise PlanError(f"join key {a!r} is ambiguous across {owners}")
+        return a, owners[0], a
+
+    for left_col, right_col in ((a, b), (b, a)):
+        owners = owners_in_available(left_col)
+        if len(owners) == 1 and in_new(right_col):
+            return left_col, owners[0], right_col
+    raise PlanError(
+        f"cannot orient join condition {a}={b}: one side must come from "
+        f"{list(available)} and the other from {new!r}")
+
+
+def plan_statement(statement: SelectStatement, database: Database,
+                   options: Optional[PlannerOptions] = None,
+                   indexes: Optional[IndexCatalog] = None) -> PlanNode:
+    """Build the physical plan for one statement.
+
+    When an :class:`~repro.db.indexes.IndexCatalog` is supplied and the
+    options are tuned, a selective indexable equality conjunct turns the
+    base access path into an :class:`~repro.db.indexes.IndexScan`.
+    """
+    options = options if options is not None else PlannerOptions()
+    tables = statement.tables
+    for table in tables:
+        database.table(table)  # raises CatalogError for unknown tables
+    if len(set(tables)) != len(tables):
+        raise PlanError(f"self-joins are not supported: {tables}")
+
+    # Which table owns each referenced column (must be unambiguous).
+    ownership: Dict[str, str] = {}
+    for column in _referenced_columns(statement):
+        owner, __ = database.resolve_column(column, tables)
+        ownership[column] = owner
+
+    per_table_columns: Dict[str, Set[str]] = {t: set() for t in tables}
+    for column, owner in ownership.items():
+        per_table_columns[owner].add(column)
+
+    # Orient join clauses and account their key columns per table.
+    oriented: List[Tuple[str, str, str]] = []  # (left_col, left_owner, right_col)
+    available: List[str] = [statement.table]
+    for join in statement.joins:
+        left_col, left_owner, right_col = _resolve_join(
+            database, join, available)
+        oriented.append((left_col, left_owner, right_col))
+        per_table_columns[left_owner].add(left_col)
+        per_table_columns[join.table].add(right_col)
+        available.append(join.table)
+
+    # Split WHERE into pushable and residual conjuncts.
+    pushed: Dict[str, List[Expr]] = {t: [] for t in tables}
+    residual: List[Expr] = []
+    if statement.where is not None:
+        for conjunct in split_conjuncts(statement.where):
+            owners = {ownership[c] for c in conjunct.columns()}
+            if options.pushdown and len(owners) == 1:
+                pushed[owners.pop()].append(conjunct)
+            else:
+                residual.append(conjunct)
+
+    def scan_for(table: str) -> PlanNode:
+        columns: Optional[List[str]] = None
+        if options.prune_columns:
+            columns = sorted(per_table_columns[table])
+            if not columns:
+                # COUNT(*)-style queries reference no columns; a scan
+                # still needs one to carry the row count.
+                columns = [database.table(table).column_names[0]]
+        conjuncts = list(pushed[table])
+        node: Optional[PlanNode] = None
+        if indexes is not None and options.tuned:
+            for i, conjunct in enumerate(conjuncts):
+                index_scan = try_index_scan(database, indexes, table,
+                                            conjunct, columns)
+                if index_scan is not None:
+                    node = index_scan
+                    del conjuncts[i]
+                    break
+        if node is None:
+            node = SeqScan(table, columns=columns)
+        if conjuncts:
+            node = Filter(node, conjoin(conjuncts))
+        return node
+
+    plan = scan_for(statement.table)
+    for join, (left_col, __, right_col) in zip(statement.joins, oriented):
+        right = scan_for(join.table)
+        if options.hash_joins:
+            plan = HashJoin(plan, right, [left_col], [right_col])
+        else:
+            plan = NestedLoopJoin(plan, right, [left_col], [right_col])
+
+    if residual:
+        plan = Filter(plan, conjoin(residual))
+
+    plan = _plan_output(statement, plan)
+
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.order_by:
+        plan = Sort(plan, statement.order_by)
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit)
+    return plan
+
+
+def _plan_output(statement: SelectStatement, plan: PlanNode) -> PlanNode:
+    """Aggregation and final projection."""
+    if statement.has_aggregates or statement.group_by:
+        aggregates: List[Tuple[AggFunc, Optional[Expr], str]] = []
+        for item in statement.items:
+            if item.is_aggregate:
+                aggregates.append((item.agg, item.expr, item.alias))
+            else:
+                if not isinstance(item.expr, ColumnRef) \
+                        or item.expr.name not in statement.group_by:
+                    raise PlanError(
+                        f"non-aggregate output {item.alias!r} must be a "
+                        f"GROUP BY column; grouped by "
+                        f"{list(statement.group_by)}")
+        plan = Aggregate(plan, statement.group_by, aggregates)
+        # Reorder/rename the aggregate's output to the SELECT list shape.
+        items = []
+        for item in statement.items:
+            source = item.alias if item.is_aggregate else item.expr.name
+            items.append((ColumnRef(source), item.alias))
+        aliases = {alias for __, alias in items}
+        for column, __ in statement.order_by:
+            if column not in aliases:
+                raise PlanError(
+                    f"ORDER BY column {column!r} is not in the output; "
+                    f"outputs: {sorted(aliases)}")
+        plan = Project(plan, items)
+        if statement.having is not None:
+            unknown = [c for c in statement.having.columns()
+                       if c not in aliases]
+            if unknown:
+                raise PlanError(
+                    f"HAVING references {unknown} which are not output "
+                    f"columns; outputs: {sorted(aliases)}")
+            plan = Filter(plan, statement.having)
+        return plan
+
+    if statement.having is not None:
+        raise PlanError("HAVING requires GROUP BY or aggregates")
+    items = [(item.expr, item.alias) for item in statement.items]
+    return Project(plan, items)
+
+
+def count_plan_nodes(plan: PlanNode) -> int:
+    """Number of nodes in a plan (used to charge optimizer CPU cost)."""
+    return sum(1 for __ in plan.walk())

@@ -1,0 +1,122 @@
+"""Plan nodes: the common shape of MiniDB physical operators.
+
+A plan is a tree of :class:`PlanNode`.  Executing a node returns a
+*batch* (column-name → numpy array).  Nodes record execution statistics
+(rows produced, self time) used by EXPLAIN/TRACE/PROFILE — the
+introspection surface the tutorial recommends exploiting (slides 28, 52).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.context import ExecutionContext
+from repro.db.types import DataType
+from repro.errors import PlanError
+
+Batch = Dict[str, np.ndarray]
+
+
+def batch_rows(batch: Batch) -> int:
+    """Row count of a batch (0 for an empty mapping)."""
+    for arr in batch.values():
+        return len(arr)
+    return 0
+
+
+def batch_bytes(batch: Batch) -> int:
+    """Approximate bytes a batch occupies (strings estimated at 16B)."""
+    total = 0
+    for arr in batch.values():
+        if arr.dtype == object:
+            total += len(arr) * 16
+        else:
+            total += int(arr.nbytes)
+    return total
+
+
+class PlanNode:
+    """Base physical operator."""
+
+    #: Build-model category this operator's CPU work belongs to.
+    category = "scan"
+
+    def __init__(self, children: Sequence["PlanNode"] = ()):
+        self.children: Tuple["PlanNode", ...] = tuple(children)
+        # Statistics filled in by execute():
+        self.rows_out: Optional[int] = None
+        self.self_seconds: float = 0.0
+        self.total_seconds: float = 0.0
+        #: Bytes of auxiliary structures (hash tables, sort buffers)
+        #: the operator held while running; set by _run.
+        self.aux_bytes: int = 0
+
+    # -- static interface -------------------------------------------------
+
+    def name(self) -> str:
+        """Operator name with its key arguments, for EXPLAIN."""
+        raise NotImplementedError
+
+    def schema(self, ctx: ExecutionContext) -> Dict[str, DataType]:
+        """Output columns and their types."""
+        raise NotImplementedError
+
+    def estimated_rows(self, ctx: ExecutionContext) -> float:
+        """Optimizer cardinality estimate."""
+        raise NotImplementedError
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, ctx: ExecutionContext) -> Batch:
+        """Run the subtree, recording timing and memory statistics."""
+        start = ctx.now()
+        child_batches = [child.execute(ctx) for child in self.children]
+        children_seconds = sum(c.total_seconds for c in self.children)
+        batch = self._run(ctx, child_batches)
+        end = ctx.now()
+        self.total_seconds = end - start
+        self.self_seconds = self.total_seconds - children_seconds
+        self.rows_out = batch_rows(batch)
+        # Peak working set at this node: inputs + output + auxiliaries.
+        inputs = sum(batch_bytes(b) for b in child_batches)
+        ctx.track_memory(inputs + batch_bytes(batch) + self.aux_bytes)
+        return batch
+
+    def _run(self, ctx: ExecutionContext,
+             child_batches: List[Batch]) -> Batch:
+        raise NotImplementedError
+
+    # -- reporting ---------------------------------------------------------
+
+    def walk(self):
+        """Yield every node, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def explain(self, ctx: Optional[ExecutionContext] = None,
+                indent: int = 0) -> str:
+        """EXPLAIN-style tree rendering; includes estimates when a
+        context is given and actuals after execution."""
+        parts = [self.name()]
+        if ctx is not None:
+            parts.append(f"est_rows={self.estimated_rows(ctx):.0f}")
+        if self.rows_out is not None:
+            parts.append(f"rows={self.rows_out}")
+            parts.append(f"self={self.self_seconds * 1000:.3f}ms")
+        line = "  " * indent + "-> " + "  ".join(parts)
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(ctx, indent + 1))
+        return "\n".join(lines)
+
+
+def require_columns(batch: Batch, names: Sequence[str],
+                    where: str) -> None:
+    """Raise :class:`PlanError` unless the batch provides *names*."""
+    missing = [n for n in names if n not in batch]
+    if missing:
+        raise PlanError(f"{where}: missing columns {missing}; "
+                        f"batch has {sorted(batch)}")

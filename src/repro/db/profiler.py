@@ -1,0 +1,95 @@
+"""Query profiling: phase and per-operator breakdowns.
+
+Slide 28 shows MonetDB's ``-t`` output (Trans/Shred/Query/Print phases)
+and slide 54 contrasts a MySQL gprof trace with a MonetDB MIL trace for
+TPC-H Q1.  MiniDB exposes the same introspection: every executed query
+can report where its (simulated) time went, per phase and per operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.db.plan import PlanNode
+from repro.errors import DatabaseError
+
+#: Engine phases, in execution order.
+PHASES = ("parse", "optimize", "execute", "print")
+
+
+@dataclass(frozen=True)
+class OperatorTiming:
+    """One operator's contribution to the execute phase."""
+
+    operator: str
+    self_ms: float
+    rows: int
+
+    def format(self, total_ms: float) -> str:
+        share = (100.0 * self.self_ms / total_ms) if total_ms else 0.0
+        return (f"  {self.operator:<44} {self.self_ms:>10.3f} ms "
+                f"{share:>5.1f}%  rows={self.rows}")
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The full timing breakdown of one query execution (simulated ms)."""
+
+    sql: str
+    phase_ms: Mapping[str, float]
+    operators: Tuple[OperatorTiming, ...]
+
+    def __post_init__(self):
+        unknown = [p for p in self.phase_ms if p not in PHASES]
+        if unknown:
+            raise DatabaseError(
+                f"unknown phases {unknown}; known: {list(PHASES)}")
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.phase_ms.values())
+
+    @property
+    def execute_ms(self) -> float:
+        return self.phase_ms.get("execute", 0.0)
+
+    def phase_share(self, phase: str) -> float:
+        """Fraction of total time spent in one phase."""
+        if phase not in PHASES:
+            raise DatabaseError(f"unknown phase {phase!r}")
+        total = self.total_ms
+        return self.phase_ms.get(phase, 0.0) / total if total else 0.0
+
+    def dominant_operator(self) -> OperatorTiming:
+        if not self.operators:
+            raise DatabaseError("profile has no operator timings")
+        return max(self.operators, key=lambda op: op.self_ms)
+
+    def format(self) -> str:
+        """MonetDB-``-t``-style rendering (slide 29)."""
+        lines = []
+        for phase in PHASES:
+            if phase in self.phase_ms:
+                label = phase.capitalize()
+                lines.append(f"{label:<9}{self.phase_ms[phase]:>10.3f} msec")
+        lines.append(f"{'Total':<9}{self.total_ms:>10.3f} msec")
+        if self.operators:
+            lines.append("operators:")
+            execute = self.execute_ms
+            for op in self.operators:
+                lines.append(op.format(execute))
+        return "\n".join(lines)
+
+
+def operator_timings(plan: PlanNode) -> Tuple[OperatorTiming, ...]:
+    """Collect per-operator self times from an executed plan."""
+    timings = []
+    for node in plan.walk():
+        if node.rows_out is None:
+            raise DatabaseError(
+                f"plan node {node.name()} was never executed")
+        timings.append(OperatorTiming(operator=node.name(),
+                                      self_ms=node.self_seconds * 1000.0,
+                                      rows=node.rows_out))
+    return tuple(timings)

@@ -1,0 +1,172 @@
+"""Columnar storage: columns, tables, and the database catalogue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.types import DataType, coerce_array
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Name and logical type of one column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise CatalogError(f"bad column name {self.name!r}")
+
+
+class Column:
+    """A named, typed numpy-backed column."""
+
+    def __init__(self, schema: ColumnSchema, data: np.ndarray):
+        if data.dtype != schema.dtype.numpy_dtype:
+            raise CatalogError(
+                f"column {schema.name!r}: array dtype {data.dtype} does not "
+                f"match {schema.dtype.value}")
+        self.schema = schema
+        self.data = data
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def dtype(self) -> DataType:
+        return self.schema.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def bytes_used(self) -> int:
+        return len(self.data) * self.dtype.byte_width
+
+
+class Table:
+    """An immutable columnar table.
+
+    Built via :meth:`from_columns`; all columns must have equal length.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name or not name.replace("_", "").isalnum():
+            raise CatalogError(f"bad table name {name!r}")
+        if not columns:
+            raise CatalogError(f"table {name!r} needs at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise CatalogError(
+                f"table {name!r}: columns have differing lengths {lengths}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"table {name!r}: duplicate column names")
+        self.name = name
+        self._columns: Dict[str, Column] = {c.name: c for c in columns}
+        self._order: Tuple[str, ...] = tuple(names)
+        self.n_rows = len(columns[0])
+
+    @classmethod
+    def from_columns(cls, name: str,
+                     schema: Sequence[Tuple[str, DataType]],
+                     data: Mapping[str, Iterable[Any]]) -> "Table":
+        """Build a table from raw per-column value sequences."""
+        missing = [col for col, __ in schema if col not in data]
+        if missing:
+            raise CatalogError(f"table {name!r}: missing data for {missing}")
+        extra = [col for col in data if col not in {c for c, __ in schema}]
+        if extra:
+            raise CatalogError(f"table {name!r}: data for unknown {extra}")
+        columns = []
+        for col_name, dtype in schema:
+            values = data[col_name]
+            seq = values if hasattr(values, "__len__") else list(values)
+            columns.append(Column(ColumnSchema(col_name, dtype),
+                                  coerce_array(seq, dtype)))
+        return cls(name, columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return self._order
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {list(self._order)}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def schema(self) -> Tuple[ColumnSchema, ...]:
+        return tuple(self._columns[n].schema for n in self._order)
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(c.bytes_used for c in self._columns.values())
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """All column arrays, keyed by name (shared, do not mutate)."""
+        return {n: self._columns[n].data for n in self._order}
+
+    def row(self, i: int) -> Tuple[Any, ...]:
+        """One row as a tuple, in column order (for tests/inspection)."""
+        if not 0 <= i < self.n_rows:
+            raise CatalogError(
+                f"row {i} out of range for table {self.name!r} "
+                f"({self.n_rows} rows)")
+        return tuple(self._columns[n].data[i] for n in self._order)
+
+
+class Database:
+    """The catalogue: a named collection of tables."""
+
+    def __init__(self, name: str = "minidb"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; known: {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def resolve_column(self, column: str,
+                       tables: Sequence[str]) -> Tuple[str, DataType]:
+        """Find which of *tables* provides *column*; must be unambiguous."""
+        owners = [t for t in tables if self.table(t).has_column(column)]
+        if not owners:
+            raise CatalogError(
+                f"column {column!r} not found in tables {list(tables)}")
+        if len(owners) > 1:
+            raise CatalogError(
+                f"column {column!r} is ambiguous across {owners}")
+        return owners[0], self.table(owners[0]).column(column).dtype

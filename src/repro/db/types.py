@@ -1,0 +1,112 @@
+"""MiniDB column types.
+
+MiniDB is columnar: every column is a numpy array of one of four logical
+types.  Dates are stored as int64 days-since-epoch so that range
+predicates stay vectorisable; strings use object arrays so LIKE patterns
+and variable lengths work without padding games.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Logical column types."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"       # stored as int64 days since 1970-01-01
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        if self is DataType.INT64 or self is DataType.DATE:
+            return np.dtype(np.int64)
+        if self is DataType.FLOAT64:
+            return np.dtype(np.float64)
+        return np.dtype(object)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT64, DataType.FLOAT64)
+
+    @property
+    def byte_width(self) -> int:
+        """Approximate storage bytes per value (strings assume 16)."""
+        if self is DataType.STRING:
+            return 16
+        return 8
+
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def date_to_days(value: "_dt.date | str") -> int:
+    """Convert a date (or ISO string) to days-since-epoch."""
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    if not isinstance(value, _dt.date):
+        raise TypeMismatchError(f"not a date: {value!r}")
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert days-since-epoch back to a date."""
+    return _EPOCH + _dt.timedelta(days=int(days))
+
+
+def coerce_array(values: Any, dtype: DataType) -> np.ndarray:
+    """Build a column array of the given logical type from raw values.
+
+    DATE columns accept ISO strings, ``datetime.date`` objects, or ints.
+    """
+    if dtype is DataType.DATE:
+        out = np.empty(len(values), dtype=np.int64)
+        for i, v in enumerate(values):
+            out[i] = v if isinstance(v, (int, np.integer)) else date_to_days(v)
+        return out
+    if dtype is DataType.STRING:
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            if not isinstance(v, str):
+                raise TypeMismatchError(
+                    f"string column got non-string {v!r} at row {i}")
+            arr[i] = v
+        return arr
+    try:
+        return np.asarray(values, dtype=dtype.numpy_dtype)
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(
+            f"cannot coerce values to {dtype.value}: {exc}") from exc
+
+
+def common_numeric_type(a: DataType, b: DataType) -> DataType:
+    """Result type of arithmetic between two columns."""
+    if not (a.is_numeric and b.is_numeric):
+        raise TypeMismatchError(
+            f"arithmetic needs numeric operands, got {a.value} and {b.value}")
+    if DataType.FLOAT64 in (a, b):
+        return DataType.FLOAT64
+    return DataType.INT64
+
+
+def literal_type(value: Any) -> DataType:
+    """Logical type of a Python literal."""
+    if isinstance(value, bool):
+        raise TypeMismatchError("MiniDB has no boolean column type")
+    if isinstance(value, (int, np.integer)):
+        return DataType.INT64
+    if isinstance(value, (float, np.floating)):
+        return DataType.FLOAT64
+    if isinstance(value, str):
+        return DataType.STRING
+    if isinstance(value, _dt.date):
+        return DataType.DATE
+    raise TypeMismatchError(f"unsupported literal {value!r}")

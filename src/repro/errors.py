@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` framework.
+
+Every error raised by the framework derives from :class:`ReproError` so that
+callers can catch framework failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class DesignError(ReproError):
+    """Invalid experiment design: bad factors, levels, or generators."""
+
+
+class ConfoundingError(DesignError):
+    """Invalid generator algebra in a fractional factorial design."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be taken or is inconsistent."""
+
+
+class ProtocolError(MeasurementError):
+    """A run protocol was configured or applied incorrectly."""
+
+
+class DatabaseError(ReproError):
+    """Base class for MiniDB errors."""
+
+
+class CatalogError(DatabaseError):
+    """Unknown or duplicate table/column."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be parsed."""
+
+
+class PlanError(DatabaseError):
+    """A query plan is malformed or cannot be executed."""
+
+
+class TypeMismatchError(DatabaseError):
+    """An expression combines incompatible column types."""
+
+
+class WorkloadError(ReproError):
+    """A workload or data generator was configured incorrectly."""
+
+
+class ConfigError(ReproError):
+    """A configuration file or property set is invalid or missing."""
+
+
+class SuiteError(ReproError):
+    """An experiment suite is malformed or an experiment is unknown."""
+
+
+class ChartError(ReproError):
+    """A chart specification is structurally invalid."""
+
+
+class GuidelineViolation(ChartError):
+    """A chart violates one of the tutorial's presentation guidelines.
+
+    Raised only when linting in ``strict`` mode; the default linter
+    collects violations into a report instead.
+    """
+
+
+class HardwareModelError(ReproError):
+    """A simulated hardware component was configured inconsistently."""

@@ -1,0 +1,34 @@
+"""Paper experiments: one module per tutorial table/figure (E01-E20).
+
+Each ``eNN_*`` module exposes a ``run(...)`` function returning a typed
+result object with a ``format()`` method that prints the same rows or
+series the tutorial shows.  The benchmark harness under ``benchmarks/``
+and the integration tests under ``tests/integration/`` both drive these
+functions, so the reproduction is checked and timed from one code path.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.experiments.e01_server_client import run_e01
+from repro.experiments.e02_hot_cold import run_e02
+from repro.experiments.e03_dbg_opt import run_e03
+from repro.experiments.e04_memory_wall import run_e04
+from repro.experiments.e05_profile import run_e05
+from repro.experiments.e06_interaction import run_e06
+from repro.experiments.e07_design_sizes import run_e07
+from repro.experiments.e08_orthogonal import run_e08
+from repro.experiments.e09_twotwo import run_e09
+from repro.experiments.e10_allocation import run_e10
+from repro.experiments.e11_fractional import run_e11
+from repro.experiments.e12_confounding import run_e12
+from repro.experiments.e13_guidelines import run_e13
+from repro.experiments.e14_histogram import run_e14
+from repro.experiments.e15_gnuplot import run_e15
+from repro.experiments.e16_locale import run_e16
+from repro.experiments.e17_sigmod import run_e17
+from repro.experiments.e18_fair_comparison import run_e18
+from repro.experiments.e19_metrics import run_e19
+from repro.experiments.e20_twostage import run_e20
+
+__all__ = [f"run_e{i:02d}" for i in range(1, 21)]

@@ -1,0 +1,96 @@
+"""E01 — server vs client time and the output sink (slides 23-26).
+
+The tutorial measures TPC-H Q1 (tiny 1.3KB result) and Q16 (1.2MB
+result) four ways: server user, server real, client real with output to
+a file, and client real with output to the terminal.  The lesson: the
+numbers differ, and for large results the sink dominates — "be aware
+what you measure!".
+
+We rerun the same matrix on MiniDB over the TPC-H-like workload.
+Absolute milliseconds differ from the authors' 2008 laptop; the shape
+reproduced is
+
+- server user <= server real (I/O shows up in real time only);
+- client real (file) is barely above server real;
+- client real (terminal) exceeds client real (file), and the gap grows
+  with the result size (Q16 ≫ Q1 relative overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.db import Client, Engine, EngineConfig, FileSink, TerminalSink
+from repro.workloads import generate_tpch, tpch_query
+
+
+@dataclass(frozen=True)
+class QueryRow:
+    """One row of the slide-23 table, simulated milliseconds."""
+
+    query: int
+    server_user_ms: float
+    server_real_ms: float
+    client_real_file_ms: float
+    client_real_terminal_ms: float
+    result_bytes: int
+
+    @property
+    def terminal_overhead_ms(self) -> float:
+        return self.client_real_terminal_ms - self.client_real_file_ms
+
+
+@dataclass(frozen=True)
+class E01Result:
+    rows: Tuple[QueryRow, ...]
+
+    def row(self, query: int) -> QueryRow:
+        for row in self.rows:
+            if row.query == query:
+                return row
+        raise KeyError(query)
+
+    def format(self) -> str:
+        lines = [
+            "E01: server vs client time, file vs terminal sink "
+            "(simulated ms)",
+            f"{'Q':>3} {'srv user':>10} {'srv real':>10} "
+            f"{'cli file':>10} {'cli term':>10} {'result':>10}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.query:>3} {row.server_user_ms:>10.1f} "
+                f"{row.server_real_ms:>10.1f} "
+                f"{row.client_real_file_ms:>10.1f} "
+                f"{row.client_real_terminal_ms:>10.1f} "
+                f"{row.result_bytes / 1024:>8.1f}KB")
+        lines.append("Be aware what you measure!")
+        return "\n".join(lines)
+
+
+def _measure(db_factory, query: int, sink_cls) -> Tuple[float, float, float, int]:
+    engine = Engine(db_factory(), EngineConfig())
+    client = Client(engine, sink_cls())
+    # Hot protocol, "last of three consecutive runs" like the tutorial.
+    measurement = None
+    for __ in range(3):
+        measurement = client.run(tpch_query(query))
+    return (measurement.server_user_ms, measurement.server_real_ms,
+            measurement.client_real_ms, measurement.result_bytes)
+
+
+def run_e01(sf: float = 0.01, seed: int = 42,
+            queries: Tuple[int, ...] = (1, 16)) -> E01Result:
+    """Reproduce the slide-23 table for the given queries."""
+    db = generate_tpch(sf=sf, seed=seed)
+
+    rows = []
+    for query in queries:
+        user, real, file_ms, n_bytes = _measure(lambda: db, query, FileSink)
+        __, __, term_ms, __ = _measure(lambda: db, query, TerminalSink)
+        rows.append(QueryRow(
+            query=query, server_user_ms=user, server_real_ms=real,
+            client_real_file_ms=file_ms,
+            client_real_terminal_ms=term_ms, result_bytes=n_bytes))
+    return E01Result(rows=tuple(rows))

@@ -1,0 +1,90 @@
+"""E02 — hot vs cold runs, user vs real time (slides 30-36).
+
+The tutorial's table for TPC-H Q1 on the laptop:
+
+=====  ======  ======  ======  ======
+Q      cold user  cold real  hot user  hot real
+1      2930       13243      2830      3534
+=====  ======  ======  ======  ======
+
+(milliseconds).  The shape: cold *real* time is ~3.7x the hot real time
+because a cold run reads every page off the 5400RPM disk, while *user*
+(CPU) time barely changes.  MiniDB reproduces this through its buffer
+pool + disk model under the framework's cold/hot run protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.db import Engine, EngineConfig
+from repro.measurement import (
+    PickRule,
+    RunProtocol,
+    State,
+)
+from repro.workloads import EngineQueryWorkload, generate_tpch, tpch_query
+
+
+@dataclass(frozen=True)
+class HotColdRow:
+    query: int
+    cold_user_ms: float
+    cold_real_ms: float
+    hot_user_ms: float
+    hot_real_ms: float
+
+    @property
+    def cold_hot_real_ratio(self) -> float:
+        return self.cold_real_ms / self.hot_real_ms if self.hot_real_ms \
+            else float("inf")
+
+
+@dataclass(frozen=True)
+class E02Result:
+    rows: Tuple[HotColdRow, ...]
+    protocol_doc: str
+
+    def format(self) -> str:
+        lines = [
+            "E02: hot vs cold runs (simulated ms)",
+            f"{'Q':>3} {'cold user':>10} {'cold real':>10} "
+            f"{'hot user':>10} {'hot real':>10} {'ratio':>7}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.query:>3} {row.cold_user_ms:>10.1f} "
+                f"{row.cold_real_ms:>10.1f} {row.hot_user_ms:>10.1f} "
+                f"{row.hot_real_ms:>10.1f} "
+                f"{row.cold_hot_real_ratio:>6.1f}x")
+        lines.append(f"protocol: {self.protocol_doc}")
+        lines.append("Be aware what you measure!")
+        return "\n".join(lines)
+
+
+def run_e02(sf: float = 0.01, seed: int = 42,
+            queries: Tuple[int, ...] = (1,)) -> E02Result:
+    """Measure each query under a cold and a hot protocol."""
+    db = generate_tpch(sf=sf, seed=seed)
+    cold_protocol = RunProtocol(state=State.COLD, repetitions=3,
+                                pick=PickRule.LAST, warmups=0)
+    hot_protocol = RunProtocol(state=State.HOT, repetitions=3,
+                               pick=PickRule.LAST, warmups=1)
+    rows = []
+    for query in queries:
+        engine = Engine(db, EngineConfig())
+        workload = EngineQueryWorkload(engine, tpch_query(query))
+        cold = cold_protocol.execute(workload.run,
+                                     make_cold=workload.make_cold,
+                                     clock=engine.clock).picked
+        hot = hot_protocol.execute(workload.run,
+                                   make_cold=workload.make_cold,
+                                   clock=engine.clock).picked
+        rows.append(HotColdRow(
+            query=query,
+            cold_user_ms=cold.user_ms(), cold_real_ms=cold.real_ms(),
+            hot_user_ms=hot.user_ms(), hot_real_ms=hot.real_ms()))
+    doc = (f"cold: {cold_protocol.describe()}; "
+           f"hot: {hot_protocol.describe()}")
+    return E02Result(rows=tuple(rows), protocol_doc=doc)

@@ -1,0 +1,80 @@
+"""E03 — DBG/OPT relative execution time over 22 queries (slides 40-41).
+
+The tutorial's figure plots, for each TPC-H query, the ratio of execution
+time under a debug build (``-g -O0``) to an optimized build
+(``-O6 ...``): values range from ~1.0 to ~2.2 depending on the query's
+operator mix (I/O-bound queries barely change; expression-heavy scans
+double).
+
+MiniDB executes every workload query under both
+:class:`~repro.hardware.compiler.BuildModel` modes; the ratio emerges
+from each plan's operator mix, exactly the mechanism behind the original
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.db import Engine, EngineConfig
+from repro.hardware import BuildMode, BuildModel
+from repro.workloads import all_query_numbers, generate_tpch, tpch_query
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    query: int
+    opt_ms: float
+    dbg_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return self.dbg_ms / self.opt_ms if self.opt_ms else float("inf")
+
+
+@dataclass(frozen=True)
+class E03Result:
+    points: Tuple[RatioPoint, ...]
+
+    @property
+    def ratios(self) -> Tuple[float, ...]:
+        return tuple(p.ratio for p in self.points)
+
+    def format(self) -> str:
+        lines = ["E03: DBG/OPT relative execution time per TPC-H query",
+                 f"{'Q':>3} {'OPT ms':>10} {'DBG ms':>10} {'DBG/OPT':>8}"]
+        for p in self.points:
+            bar = "#" * int(round((p.ratio - 1.0) * 20))
+            lines.append(f"{p.query:>3} {p.opt_ms:>10.2f} "
+                         f"{p.dbg_ms:>10.2f} {p.ratio:>7.2f}  |{bar}")
+        lines.append("(compiler optimization: up to ~2x, varying by "
+                      "operator mix)")
+        return "\n".join(lines)
+
+
+def _hot_user_ms(engine: Engine, sql: str) -> float:
+    """User (CPU) time of the last of three hot runs."""
+    result = None
+    for __ in range(3):
+        result = engine.execute(sql)
+    return result.server_time.user_ms()
+
+
+def run_e03(sf: float = 0.005, seed: int = 42) -> E03Result:
+    """Run all 22 queries under OPT and DBG builds; report ratios.
+
+    User time is compared (the compiler cannot speed up the disk), hot
+    runs so I/O noise is out — matching how the original experiment was
+    sensibly run.
+    """
+    db = generate_tpch(sf=sf, seed=seed)
+    opt_engine = Engine(db, EngineConfig(build=BuildModel(BuildMode.OPT)))
+    dbg_engine = Engine(db, EngineConfig(build=BuildModel(BuildMode.DBG)))
+    points = []
+    for query in all_query_numbers():
+        sql = tpch_query(query)
+        opt_ms = _hot_user_ms(opt_engine, sql)
+        dbg_ms = _hot_user_ms(dbg_engine, sql)
+        points.append(RatioPoint(query=query, opt_ms=opt_ms, dbg_ms=dbg_ms))
+    return E03Result(points=tuple(points))

@@ -1,0 +1,41 @@
+"""E06 — factor interaction tables (slide 58).
+
+Two 2x2 response tables: (a) the effect of A is the same at every level
+of B (parallel lines, no interaction); (b) one cell changes from 8 to 9
+and the effect of A now depends on B (interaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import InteractionTable, slide58_tables
+
+
+@dataclass(frozen=True)
+class E06Result:
+    table_a: InteractionTable
+    table_b: InteractionTable
+
+    def format(self) -> str:
+        lines = [
+            "E06: factor interaction (slide 58)",
+            "",
+            "(a) no interaction:",
+            self.table_a.format(),
+            f"    effect of A at B1: {self.table_a.effect_of_a('B1'):g}, "
+            f"at B2: {self.table_a.effect_of_a('B2'):g} "
+            f"-> interaction: {self.table_a.has_interaction()}",
+            "",
+            "(b) interaction:",
+            self.table_b.format(),
+            f"    effect of A at B1: {self.table_b.effect_of_a('B1'):g}, "
+            f"at B2: {self.table_b.effect_of_a('B2'):g} "
+            f"-> interaction: {self.table_b.has_interaction()}",
+        ]
+        return "\n".join(lines)
+
+
+def run_e06() -> E06Result:
+    table_a, table_b = slide58_tables()
+    return E06Result(table_a=table_a, table_b=table_b)

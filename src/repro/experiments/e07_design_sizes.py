@@ -1,0 +1,69 @@
+"""E07 — how many experiments does each design need? (slides 56-66).
+
+The tutorial's motivating scenario: 5 parameters with 10-40 values each.
+A full factorial needs at least 10^5 experiments; a simple one-at-a-time
+design needs only 1 + Σ(n_i - 1) but cannot see interactions; a 2^k
+first-cut over the extremes needs 32; a 2^(k-p) fraction even fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core import (
+    fractional_size,
+    full_factorial_size,
+    simple_design_size,
+    two_level_size,
+)
+
+
+@dataclass(frozen=True)
+class DesignSizeRow:
+    design: str
+    experiments: int
+    sees_interactions: str
+
+
+@dataclass(frozen=True)
+class E07Result:
+    level_counts: Tuple[int, ...]
+    rows: Tuple[DesignSizeRow, ...]
+
+    def size_of(self, design: str) -> int:
+        for row in self.rows:
+            if row.design == design:
+                return row.experiments
+        raise KeyError(design)
+
+    def format(self) -> str:
+        lines = [
+            f"E07: design sizes for {len(self.level_counts)} factors with "
+            f"levels {list(self.level_counts)}",
+            f"{'design':<24} {'experiments':>12}  interactions?",
+        ]
+        for row in self.rows:
+            lines.append(f"{row.design:<24} {row.experiments:>12,}  "
+                         f"{row.sees_interactions}")
+        lines.append("-> run a 2^k (or 2^(k-p)) first, evaluate factor "
+                      "importance, then refine")
+        return "\n".join(lines)
+
+
+def run_e07(level_counts: Sequence[int] = (10, 20, 25, 30, 40),
+            fraction_p: int = 2) -> E07Result:
+    """Tabulate every classical design's size for the given scenario."""
+    level_counts = tuple(level_counts)
+    k = len(level_counts)
+    rows = (
+        DesignSizeRow("full factorial",
+                      full_factorial_size(level_counts), "all"),
+        DesignSizeRow("simple (one-at-a-time)",
+                      simple_design_size(level_counts), "none"),
+        DesignSizeRow("2^k (extremes)", two_level_size(k), "all (2-level)"),
+        DesignSizeRow(f"2^(k-{fraction_p}) fraction",
+                      fractional_size(k, fraction_p),
+                      "confounded (see E12)"),
+    )
+    return E07Result(level_counts=level_counts, rows=rows)

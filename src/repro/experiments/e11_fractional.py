@@ -1,0 +1,56 @@
+"""E11 — constructing a 2^(7-4) fractional sign table (slides 100-103).
+
+Seven factors A..G in eight experiments: build the full factorial over
+A, B, C, then relabel the four interaction columns AB, AC, BC, ABC as
+D, E, F, G.  The tutorial verifies: seven zero-sum columns, orthogonal
+factor columns, all interaction information erased.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core import SignTable, fractional_sign_table
+
+FACTORS = "ABCDEFG"
+
+GENERATORS = {
+    "D": ("A", "B"),
+    "E": ("A", "C"),
+    "F": ("B", "C"),
+    "G": ("A", "B", "C"),
+}
+
+
+@dataclass(frozen=True)
+class E11Result:
+    table: SignTable
+
+    @property
+    def n_experiments(self) -> int:
+        return self.table.n_rows
+
+    def all_columns_zero_sum(self) -> bool:
+        return all(self.table.is_zero_sum(f) for f in FACTORS)
+
+    def all_columns_orthogonal(self) -> bool:
+        return all(self.table.are_orthogonal(a, b)
+                   for a, b in itertools.combinations(FACTORS, 2))
+
+    def format(self) -> str:
+        lines = [
+            "E11: the 2^(7-4) design (slide 103) — 7 factors in 8 runs",
+            self.table.format(["Exp."] if False else list(FACTORS)),
+            f"zero-sum columns: {self.all_columns_zero_sum()}; "
+            f"pairwise orthogonal: {self.all_columns_orthogonal()}",
+            "generators: D=AB, E=AC, F=BC, G=ABC "
+            "(all interaction columns consumed)",
+        ]
+        return "\n".join(lines)
+
+
+def run_e11() -> E11Result:
+    table = fractional_sign_table(["A", "B", "C"], GENERATORS)
+    table.validate()
+    return E11Result(table=table)

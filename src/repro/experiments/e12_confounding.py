@@ -1,0 +1,47 @@
+"""E12 — comparing two 2^(4-1) designs by confounding (slides 104-109).
+
+Design ``D = ABC``: I = ABCD, main effects confound only third-order
+interactions (resolution IV).  Design ``D = AB``: I = ABD, main effects
+confound two-factor interactions (resolution III).  By the sparsity-of-
+effects principle the tutorial prefers D = ABC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AliasStructure, compare_designs
+
+FACTORS = "ABCD"
+
+
+@dataclass(frozen=True)
+class E12Result:
+    design_abc: AliasStructure
+    design_ab: AliasStructure
+    preferred: str   # "a" (D=ABC), "b" (D=AB), or "tie"
+
+    def format(self) -> str:
+        lines = [
+            "E12: confounding of two 2^(4-1) designs (slides 105-109)",
+            "",
+            f"D = ABC  (resolution {self.design_abc.design_resolution}):",
+            _indent(self.design_abc.format()),
+            "",
+            f"D = AB   (resolution {self.design_ab.design_resolution}):",
+            _indent(self.design_ab.format()),
+            "",
+            "preferred: D = ABC — it confounds only higher-order "
+            "interactions ('sparsity of effects')",
+        ]
+        return "\n".join(lines)
+
+
+def _indent(text: str) -> str:
+    return "\n".join("  " + line for line in text.splitlines())
+
+
+def run_e12() -> E12Result:
+    abc, ab, winner = compare_designs(
+        FACTORS, {"D": ("A", "B", "C")}, {"D": ("A", "B")})
+    return E12Result(design_abc=abc, design_ab=ab, preferred=winner)

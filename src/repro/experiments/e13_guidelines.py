@@ -1,0 +1,121 @@
+"""E13 — the presentation rules applied to good and bad charts
+(slides 115-146).
+
+A battery of charts reproducing each pictorial game the tutorial warns
+about — too many curves, missing units, symbol labels, truncated axes
+(the MINE-vs-YOURS game), missing confidence intervals, thin histogram
+cells, distorted aspect ratios, inconsistent curve styles — plus a clean
+chart that passes every rule.  The linter must catch each planted
+violation and nothing on the clean chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.viz import (
+    ChartKind,
+    ChartSpec,
+    Series,
+    StyleRegistry,
+    Finding,
+    bar_chart,
+    line_chart,
+    lint_chart,
+    pie_chart,
+)
+
+
+def _series(label, n=4, **kwargs):
+    return Series(label, tuple(range(n)),
+                  tuple(float(i + 1) for i in range(n)), **kwargs)
+
+
+def build_battery() -> Dict[str, ChartSpec]:
+    """Every planted-violation chart, keyed by the rule it violates."""
+    return {
+        "clean": line_chart(
+            "Response time vs users",
+            [_series("system A"), _series("system B")],
+            "Number of users", "Response time (ms)"),
+        "max-curves": line_chart(
+            "Too many curves",
+            [_series(f"variant {i}") for i in range(8)],
+            "Number of users", "Response time (ms)"),
+        "max-bars": bar_chart(
+            "Too many bars",
+            [Series("times", tuple(range(12)),
+                    tuple(float(i) for i in range(12)))],
+            "Query", "Time (ms)"),
+        "max-slices": pie_chart(
+            "Too many slices", [f"part {i}" for i in range(9)],
+            [1.0] * 9),
+        "units": line_chart(
+            "No unit on the y axis", [_series("a")],
+            "Number of users", "CPU time"),
+        "symbols": line_chart(
+            "Arrival rate λ sweep", [_series("μ=1"), _series("μ=2")],
+            "Arrival rate λ", "Response time (ms)"),
+        "zero-origin": line_chart(
+            "MINE is better than YOURS",
+            [_series("MINE"), _series("YOURS")],
+            "Run", "Time (ms)", y_starts_at_zero=False),
+        "confidence-intervals": line_chart(
+            "Random quantities, no error bars",
+            [_series("MINE", stochastic=True)],
+            "Run", "Time (ms)"),
+        "histogram-cells": ChartSpec(
+            ChartKind.HISTOGRAM, "Thin cells",
+            (Series("frequency", ("[0,2)", "[2,4)", "[4,6)"),
+                    (2.0, 3.0, 12.0)),),
+            x_label="Response time (s)", y_label="Frequency (count)"),
+        "aspect-ratio": line_chart(
+            "Stretched", [_series("a")],
+            "Number of users", "Response time (ms)", aspect_ratio=0.2),
+        "mixed-units": line_chart(
+            "Everything on one chart",
+            [_series("Response time", unit="ms"),
+             _series("Throughput", unit="jobs/s"),
+             _series("Utilization", unit="%")],
+            "Number of users", "value (various)"),
+    }
+
+
+@dataclass(frozen=True)
+class E13Result:
+    findings: Mapping[str, Tuple[Finding, ...]]
+    style_findings: Tuple[Finding, ...]
+
+    def caught(self, rule: str) -> bool:
+        """Did the linter flag the chart planted for this rule?"""
+        return any(f.rule == rule for f in self.findings.get(rule, ()))
+
+    def clean_chart_passes(self) -> bool:
+        return self.findings.get("clean", ()) == ()
+
+    def format(self) -> str:
+        lines = ["E13: presentation-guideline linting (slides 115-146)",
+                 f"{'planted violation':<24} caught?"]
+        for rule in sorted(self.findings):
+            if rule == "clean":
+                continue
+            lines.append(f"{rule:<24} {self.caught(rule)}")
+        lines.append(f"{'(clean chart)':<24} "
+                     f"passes={self.clean_chart_passes()}")
+        lines.append(f"{'style-consistency':<24} "
+                     f"{bool(self.style_findings)}")
+        return "\n".join(lines)
+
+
+def run_e13() -> E13Result:
+    battery = build_battery()
+    findings = {name: lint_chart(chart)
+                for name, chart in battery.items()}
+    # Style consistency across two figures (slide 135).
+    registry = StyleRegistry()
+    registry.register(line_chart(
+        "fig 1", [_series("mine", style="solid")], "Users", "Time (ms)"))
+    style_findings = registry.register(line_chart(
+        "fig 2", [_series("mine", style="dashed")], "Users", "Time (ms)"))
+    return E13Result(findings=findings, style_findings=style_findings)

@@ -1,0 +1,51 @@
+"""E14 — manipulating histogram cell size (slide 144).
+
+The same 36 response-time observations binned two ways: six 2-unit
+cells (a detailed distribution, but some cells hold fewer than 5 points,
+violating the rule of thumb) versus two 6-unit cells (rule satisfied,
+detail gone).  The tutorial's point: the rule bounds the binning but is
+"not sufficient to uniquely determine what one should do".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.viz import Histogram, bin_values, finest_valid_binning
+
+#: 36 observations shaped like slide 144's fine histogram
+#: (frequencies 4, 6, 8, 9, 6, 3 over [0,12) in 2-unit cells).
+SLIDE_SAMPLE: Tuple[float, ...] = tuple(
+    [1.0] * 4 + [3.0] * 6 + [5.0] * 8 + [7.0] * 9 + [9.0] * 6 + [11.0] * 3)
+
+
+@dataclass(frozen=True)
+class E14Result:
+    fine: Histogram
+    coarse: Histogram
+    recommended: Histogram
+
+    def format(self) -> str:
+        def render(histogram: Histogram) -> str:
+            cells = "  ".join(
+                f"{label}:{count}" for label, count in
+                zip(histogram.cell_labels(), histogram.counts))
+            ok = histogram.satisfies_cell_rule()
+            return f"{cells}   (>=5 per cell: {ok})"
+
+        lines = [
+            "E14: histogram cell-size games (slide 144), 36 points",
+            f"6 cells : {render(self.fine)}",
+            f"2 cells : {render(self.coarse)}",
+            f"auto    : {render(self.recommended)}",
+            "rule of thumb bounds the binning but does not determine it",
+        ]
+        return "\n".join(lines)
+
+
+def run_e14() -> E14Result:
+    fine = bin_values(SLIDE_SAMPLE, 6, low=0, high=12)
+    coarse = bin_values(SLIDE_SAMPLE, 2, low=0, high=12)
+    recommended = finest_valid_binning(SLIDE_SAMPLE, max_cells=6)
+    return E14Result(fine=fine, coarse=coarse, recommended=recommended)

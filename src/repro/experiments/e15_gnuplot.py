@@ -1,0 +1,72 @@
+"""E15 — automatic graph generation with gnuplot (slides 198-205).
+
+The tutorial's recipe, executed end to end: measure scale-factor points
+with MiniDB, store them as ``results-m1-n5.csv``, emit the matching
+``plot-m1-n5.gnu`` command file (terminal, output, title, axis labels,
+the slide-146 size-ratio rule), inside the recommended suite directory
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple
+
+from repro.db import Engine, EngineConfig
+from repro.measurement import ResultSet
+from repro.repeat import ExperimentSuite, Properties
+from repro.workloads import generate_tpch, tpch_query
+
+
+@dataclass(frozen=True)
+class E15Result:
+    csv_path: Path
+    gnu_path: Path
+    points: Tuple[Tuple[float, float], ...]
+
+    def script_text(self) -> str:
+        return self.gnu_path.read_text(encoding="utf-8")
+
+    def csv_text(self) -> str:
+        return self.csv_path.read_text(encoding="utf-8")
+
+    def format(self) -> str:
+        lines = [
+            "E15: automatic graph generation (slides 202-205)",
+            f"results file : {self.csv_path}",
+            f"command file : {self.gnu_path}",
+            "",
+            "--- gnuplot script ---",
+            self.script_text().rstrip(),
+            "",
+            "run `gnuplot " + self.gnu_path.name + "` to produce the .eps",
+        ]
+        return "\n".join(lines)
+
+
+def run_e15(root: "str | Path", sf_values: Tuple[float, ...] =
+            (0.002, 0.004, 0.008), seed: int = 42) -> E15Result:
+    """Measure Q6 at several scale factors and emit csv + gnuplot files."""
+    root = Path(root)
+
+    def experiment(properties: Properties) -> ResultSet:
+        results = ResultSet("scaling")
+        for sf in sf_values:
+            engine = Engine(generate_tpch(sf=sf, seed=seed),
+                            EngineConfig())
+            measurement = None
+            for __ in range(3):
+                measurement = engine.execute(tpch_query(6))
+            results.add({"sf": sf},
+                        {"ms": measurement.server_time.real_ms()})
+        return results
+
+    suite = ExperimentSuite(root, name="e15")
+    suite.add("scaling", experiment,
+              description="Execution time for various scale factors",
+              plot_x="sf", plot_y="ms")
+    run = suite.run("scaling")
+    points = tuple(run.results.series("sf", "ms"))
+    return E15Result(csv_path=run.csv_path, gnu_path=run.gnuplot_path,
+                     points=points)

@@ -1,0 +1,56 @@
+"""E16 — the locale copy-paste corruption (slides 212-215).
+
+``avgs.out`` holds the averages 13.666, 15, 12.3333, 13; pasting into a
+comma-decimal OpenOffice turns them into 13666, 15, 123333, 13.  The
+corruption detector flags exactly the two mangled cells; the correctly
+parsed column is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.viz import (
+    CorruptionReport,
+    detect_corruption,
+    parse_correctly,
+    simulate_locale_paste,
+)
+
+#: The avgs.out column from slide 212.
+SLIDE_TEXTS: Tuple[str, ...] = ("13.666", "15", "12.3333", "13")
+
+
+@dataclass(frozen=True)
+class E16Result:
+    good_values: Tuple[float, ...]
+    corrupted_values: Tuple[float, ...]
+    good_report: CorruptionReport
+    corrupted_report: CorruptionReport
+
+    def format(self) -> str:
+        rows = []
+        for text, good, bad in zip(SLIDE_TEXTS, self.good_values,
+                                   self.corrupted_values):
+            flag = " <-- corrupted" if good != bad else ""
+            rows.append(f"  {text:>10} -> correct {good:>10g}   "
+                        f"pasted {bad:>10g}{flag}")
+        lines = [
+            "E16: locale copy-paste corruption (slide 212)",
+            "file avgs.out pasted into a comma-decimal spreadsheet:",
+            *rows,
+            f"detector on pasted column : {self.corrupted_report.format()}",
+            f"detector on correct column: {self.good_report.format()}",
+            "=> generate your own graphs from scripts, never by hand",
+        ]
+        return "\n".join(lines)
+
+
+def run_e16() -> E16Result:
+    good = tuple(parse_correctly(SLIDE_TEXTS))
+    bad = tuple(simulate_locale_paste(SLIDE_TEXTS))
+    return E16Result(
+        good_values=good, corrupted_values=bad,
+        good_report=detect_corruption(good),
+        corrupted_report=detect_corruption(bad))

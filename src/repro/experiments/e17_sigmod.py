@@ -1,0 +1,65 @@
+"""E17 — the SIGMOD 2008 repeatability outcomes (slides 218-220).
+
+Three pie charts: accepted papers (78), rejected verified papers (11),
+all verified papers (64), each split into all/some/none repeated (plus
+excuse/no-submission for the accepted pool).  Totals are exact from the
+slides; per-category splits are estimated from the pie geometry (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.repeat import (
+    ACCEPTED,
+    ALL_VERIFIED,
+    AssessmentOutcome,
+    REJECTED_VERIFIED,
+    SIGMOD_2008_SUBMISSIONS,
+    SIGMOD_2008_WITH_CODE,
+    format_outcome,
+)
+from repro.viz import pie_chart, lint_chart, render_pie
+
+
+@dataclass(frozen=True)
+class E17Result:
+    pools: Tuple[AssessmentOutcome, ...]
+
+    def pool(self, name_fragment: str) -> AssessmentOutcome:
+        for pool in self.pools:
+            if name_fragment in pool.pool:
+                return pool
+        raise KeyError(name_fragment)
+
+    def pies_pass_guidelines(self) -> bool:
+        """Each pool's pie obeys the <=8-slices rule (tutorial eats its
+        own dog food)."""
+        for pool in self.pools:
+            labels = list(pool.counts)
+            values = [float(v) for v in pool.counts.values()]
+            chart = pie_chart(pool.pool, labels, values)
+            if any(f.severity == "error" for f in lint_chart(chart)):
+                return False
+        return True
+
+    def format(self) -> str:
+        lines = [
+            "E17: SIGMOD 2008 repeatability assessment (slides 218-220)",
+            f"{SIGMOD_2008_WITH_CODE} of {SIGMOD_2008_SUBMISSIONS} "
+            "submissions provided code",
+            "",
+        ]
+        for pool in self.pools:
+            lines.append(format_outcome(pool))
+            labels = [c.replace("_", " ") for c in pool.counts]
+            values = [float(v) for v in pool.counts.values()]
+            lines.append(render_pie(labels, values))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def run_e17() -> E17Result:
+    return E17Result(pools=(ACCEPTED, REJECTED_VERIFIED, ALL_VERIFIED))

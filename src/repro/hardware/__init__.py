@@ -1,0 +1,51 @@
+"""Simulated hardware: caches, CPU generations, counters, builds, specs."""
+
+from repro.hardware.cache import CacheHierarchy, CacheLevel
+from repro.hardware.compiler import (
+    BuildMode,
+    BuildModel,
+    DEFAULT_DBG_FACTORS,
+    OPERATION_CATEGORIES,
+    dbg_opt_ratio,
+)
+from repro.hardware.counters import EVENTS, HardwareCounters
+from repro.hardware.cpu import (
+    CPU_GENERATIONS,
+    CpuModel,
+    ScanCost,
+    cpu_by_name,
+    max_scan_cost,
+)
+from repro.hardware.machine import (
+    CpuSpec,
+    DiskSpec,
+    MachineSpec,
+    NetworkSpec,
+    SpecIssue,
+    TUTORIAL_LAPTOP,
+    check_spec_text,
+)
+
+__all__ = [
+    "BuildMode",
+    "BuildModel",
+    "CPU_GENERATIONS",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CpuModel",
+    "CpuSpec",
+    "DEFAULT_DBG_FACTORS",
+    "DiskSpec",
+    "EVENTS",
+    "HardwareCounters",
+    "MachineSpec",
+    "NetworkSpec",
+    "OPERATION_CATEGORIES",
+    "ScanCost",
+    "SpecIssue",
+    "TUTORIAL_LAPTOP",
+    "check_spec_text",
+    "cpu_by_name",
+    "dbg_opt_ratio",
+    "max_scan_cost",
+]

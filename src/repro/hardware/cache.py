@@ -1,0 +1,234 @@
+"""A cache-hierarchy simulator for dissecting CPU vs memory cost.
+
+The tutorial's memory-wall example (slides 46-51) shows that a simple
+in-memory scan barely speeds up across a decade of 10x CPU clock
+improvements because memory access cost dominates.  Explaining it needs a
+model of cache hits and misses; this module provides one.
+
+Two granularities are supported:
+
+- :meth:`CacheHierarchy.access` — per-address LRU simulation (exact, used
+  by tests and small workloads);
+- :meth:`CacheHierarchy.sequential_scan` — closed-form accounting of a
+  sequential scan of ``n`` items (used by the memory-wall benchmark and
+  MiniDB's column scans, where per-address simulation would be too slow in
+  pure Python).
+
+Both update the same :class:`~repro.hardware.counters.HardwareCounters`
+and report cost in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hardware.counters import HardwareCounters
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level's geometry and hit latency.
+
+    ``latency_ns`` is the cost of *serving* an access from this level.
+    A fully-associative LRU replacement policy is simulated — simple and
+    adequate for the sequential/random access patterns database operators
+    produce.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    latency_ns: float
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise HardwareModelError(
+                f"{self.name}: sizes must be positive")
+        if self.size_bytes % self.line_bytes:
+            raise HardwareModelError(
+                f"{self.name}: size must be a multiple of the line size")
+        if self.latency_ns < 0:
+            raise HardwareModelError(f"{self.name}: latency must be >= 0")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+class CacheHierarchy:
+    """L1 [, L2, ...] backed by main memory.
+
+    Parameters
+    ----------
+    levels:
+        Cache levels ordered from closest (L1) to farthest.  Line sizes
+        must be non-decreasing toward memory.
+    memory_latency_ns:
+        Cost of a main-memory access (the "memory wall" constant that
+        clock speed does not improve).
+    counters:
+        Optional shared counter bundle; a fresh one is created otherwise.
+    """
+
+    def __init__(self, levels: Sequence[CacheLevel],
+                 memory_latency_ns: float,
+                 counters: Optional[HardwareCounters] = None):
+        if not levels:
+            raise HardwareModelError("need at least one cache level")
+        if len(levels) > 2:
+            raise HardwareModelError(
+                "the simulator models at most two cache levels (L1, L2)")
+        for near, far in zip(levels, levels[1:]):
+            if near.line_bytes > far.line_bytes:
+                raise HardwareModelError(
+                    f"line size must not shrink toward memory "
+                    f"({near.name}={near.line_bytes} > "
+                    f"{far.name}={far.line_bytes})")
+            if near.size_bytes > far.size_bytes:
+                raise HardwareModelError(
+                    f"capacity must not shrink toward memory "
+                    f"({near.name} > {far.name})")
+        if memory_latency_ns < 0:
+            raise HardwareModelError("memory latency must be >= 0")
+        self.levels = tuple(levels)
+        self.memory_latency_ns = float(memory_latency_ns)
+        self.counters = counters if counters is not None else HardwareCounters()
+        self._lines: List[OrderedDict] = [OrderedDict() for _ in levels]
+
+    # ------------------------------------------------------------- exact sim
+
+    def access(self, address: int, size: int = 1) -> float:
+        """Simulate a load of ``size`` bytes at ``address``; return ns.
+
+        Every cache line touched is looked up level by level; a miss at
+        the last level costs a memory access.  Lines are installed in
+        every level on the way back (inclusive hierarchy).
+        """
+        if address < 0 or size <= 0:
+            raise HardwareModelError(
+                f"bad access address={address} size={size}")
+        total_ns = 0.0
+        line = self.levels[0].line_bytes
+        first = address // line
+        last = (address + size - 1) // line
+        for line_no in range(first, last + 1):
+            total_ns += self._access_line(line_no)
+        return total_ns
+
+    def _access_line(self, line_no: int) -> float:
+        self.counters.increment("mem_accesses")
+        for idx, level in enumerate(self.levels):
+            # Translate the L1 line number to this level's line number.
+            scale = level.line_bytes // self.levels[0].line_bytes
+            key = line_no // scale
+            store = self._lines[idx]
+            if key in store:
+                store.move_to_end(key)
+                self.counters.increment(f"l{idx + 1}_hits")
+                self._install(line_no, upto=idx)
+                return level.latency_ns
+            self.counters.increment(f"l{idx + 1}_misses")
+        self._install(line_no, upto=len(self.levels) - 1)
+        return self.memory_latency_ns
+
+    def _install(self, line_no: int, upto: int) -> None:
+        """Install the line into levels 0..upto (inclusive hierarchy)."""
+        for idx in range(upto + 1):
+            level = self.levels[idx]
+            scale = level.line_bytes // self.levels[0].line_bytes
+            key = line_no // scale
+            store = self._lines[idx]
+            store[key] = True
+            store.move_to_end(key)
+            while len(store) > level.n_lines:
+                store.popitem(last=False)
+
+    # -------------------------------------------------------- analytic model
+
+    def sequential_scan(self, n_items: int, item_bytes: int,
+                        already_cached: bool = False) -> float:
+        """Closed-form cost (ns) of scanning ``n_items`` contiguous items.
+
+        A sequential scan touches ``ceil(n*item/line)`` distinct lines per
+        level.  If the data fits in a level and ``already_cached`` is
+        true, accesses hit there; otherwise each new line costs a miss at
+        every level it does not fit in, and the remaining accesses hit L1.
+        Counters are updated to match the analytic counts.
+        """
+        if n_items < 0 or item_bytes <= 0:
+            raise HardwareModelError(
+                f"bad scan n_items={n_items} item_bytes={item_bytes}")
+        if n_items == 0:
+            return 0.0
+        total_bytes = n_items * item_bytes
+        self.counters.increment("mem_accesses", n_items)
+
+        # Which level (if any) already holds the data?
+        hit_level = None
+        if already_cached:
+            for idx, level in enumerate(self.levels):
+                if total_bytes <= level.size_bytes:
+                    hit_level = idx
+                    break
+
+        if hit_level is not None:
+            level = self.levels[hit_level]
+            for idx in range(hit_level):
+                lines = -(-total_bytes // self.levels[idx].line_bytes)
+                self.counters.increment(f"l{idx + 1}_misses", lines)
+                self.counters.increment(
+                    f"l{idx + 1}_hits", max(0, n_items - lines))
+            lines = -(-total_bytes // level.line_bytes)
+            self.counters.increment(f"l{hit_level + 1}_hits", n_items)
+            return n_items * level.latency_ns
+
+        # Data streams from memory: every new line is a full miss chain.
+        l1 = self.levels[0]
+        l1_lines = -(-total_bytes // l1.line_bytes)
+        cost = 0.0
+        for idx, level in enumerate(self.levels):
+            lines = -(-total_bytes // level.line_bytes)
+            self.counters.increment(f"l{idx + 1}_misses", lines)
+        self.counters.increment("l1_hits", max(0, n_items - l1_lines))
+        cost += l1_lines * self.memory_latency_ns
+        cost += max(0, n_items - l1_lines) * l1.latency_ns
+        return cost
+
+    def random_accesses(self, n_accesses: int, working_set_bytes: int,
+                        item_bytes: int = 8) -> float:
+        """Closed-form cost (ns) of uniform random accesses.
+
+        The hit level is the first cache the working set fits into; a
+        working set larger than every cache pays memory latency on the
+        miss fraction (approximated as capacity/working-set hits at the
+        largest level).
+        """
+        if n_accesses < 0 or working_set_bytes <= 0:
+            raise HardwareModelError("bad random access parameters")
+        if n_accesses == 0:
+            return 0.0
+        self.counters.increment("mem_accesses", n_accesses)
+        for idx, level in enumerate(self.levels):
+            if working_set_bytes <= level.size_bytes:
+                self.counters.increment(f"l{idx + 1}_hits", n_accesses)
+                return n_accesses * level.latency_ns
+            self.counters.increment(f"l{idx + 1}_misses", n_accesses)
+        last = self.levels[-1]
+        hit_fraction = min(1.0, last.size_bytes / working_set_bytes)
+        hits = int(n_accesses * hit_fraction)
+        misses = n_accesses - hits
+        return hits * last.latency_ns + misses * self.memory_latency_ns
+
+    def flush(self) -> None:
+        """Empty every cache level (the cold state)."""
+        for store in self._lines:
+            store.clear()
+
+    def resident_lines(self, level: int = 1) -> int:
+        """How many lines the given level currently holds."""
+        if not 1 <= level <= len(self.levels):
+            raise HardwareModelError(f"no cache level {level}")
+        return len(self._lines[level - 1])

@@ -1,0 +1,83 @@
+"""Hardware performance counters (PAPI-style), simulated.
+
+Slide 47: standard profiling cannot explain the memory wall — "use
+hardware performance counters to analyze cache-hits, -misses & memory
+accesses (VTune, oprofile, perfctr, perfmon2, PAPI, PCL, ...)".  Our
+simulated substrate exposes the same kind of event counts so analyses can
+dissect CPU versus memory cost exactly as the tutorial demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import HardwareModelError
+
+#: Counter names, modelled after PAPI preset events.
+EVENTS = (
+    "cycles",          # PAPI_TOT_CYC
+    "instructions",    # PAPI_TOT_INS
+    "l1_hits",
+    "l1_misses",       # PAPI_L1_DCM
+    "l2_hits",
+    "l2_misses",       # PAPI_L2_DCM
+    "mem_accesses",    # loads+stores issued
+    "io_reads",        # simulated disk page reads
+    "io_writes",
+)
+
+
+@dataclass
+class HardwareCounters:
+    """A mutable bundle of event counts.
+
+    Counters only ever increase; :meth:`snapshot` + :meth:`since` give the
+    usual start/stop delta reading pattern.
+    """
+
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in EVENTS})
+
+    def increment(self, event: str, amount: int = 1) -> None:
+        if event not in self.counts:
+            raise HardwareModelError(
+                f"unknown counter {event!r}; known: {list(EVENTS)}")
+        if amount < 0:
+            raise HardwareModelError(
+                f"counters only increase; got {amount} for {event!r}")
+        self.counts[event] += amount
+
+    def read(self, event: str) -> int:
+        if event not in self.counts:
+            raise HardwareModelError(
+                f"unknown counter {event!r}; known: {list(EVENTS)}")
+        return self.counts[event]
+
+    def snapshot(self) -> Mapping[str, int]:
+        """An immutable copy of all counts."""
+        return dict(self.counts)
+
+    def since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
+        """Delta of every counter against an earlier snapshot."""
+        return {name: self.counts[name] - snapshot.get(name, 0)
+                for name in self.counts}
+
+    def reset(self) -> None:
+        for name in self.counts:
+            self.counts[name] = 0
+
+    def miss_rate(self, level: int = 1) -> float:
+        """Cache miss rate at L1 or L2 (0.0 when no accesses occurred)."""
+        if level not in (1, 2):
+            raise HardwareModelError(f"no cache level {level}")
+        hits = self.counts[f"l{level}_hits"]
+        misses = self.counts[f"l{level}_misses"]
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def format(self) -> str:
+        lines = ["hardware counters:"]
+        for name in EVENTS:
+            lines.append(f"  {name:<14} {self.counts[name]:>14,}")
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""CPU generation models for the memory-wall experiment.
+
+Slides 46 and 51 plot the per-iteration cost of ``SELECT MAX(column)``
+across five machines (1992 Sun LX ... 2000 Origin2000): clock speed
+improved ~10x, yet total time per iteration barely moved because the
+memory-access component stayed roughly constant.  :data:`CPU_GENERATIONS`
+encodes those machines; :class:`CpuModel` converts instruction counts into
+nanoseconds and pairs with a :class:`~repro.hardware.cache.CacheHierarchy`
+configured with the machine's memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hardware.cache import CacheHierarchy, CacheLevel
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A CPU's timing-relevant parameters.
+
+    ``cpi`` is the average cycles-per-instruction for simple integer code;
+    ``memory_latency_ns`` the cost of a DRAM access — the quantity that
+    improved far slower than clock speed through the 1990s.
+    """
+
+    name: str
+    year: int
+    clock_mhz: float
+    cpi: float
+    memory_latency_ns: float
+    l1_kb: int = 16
+    l2_kb: int = 0          # 0 = no L2
+    l1_latency_ns: float = 0.0   # derived from clock when 0
+    system: str = ""
+
+    def __post_init__(self):
+        if self.clock_mhz <= 0 or self.cpi <= 0:
+            raise HardwareModelError(
+                f"{self.name}: clock and CPI must be positive")
+        if self.memory_latency_ns <= 0:
+            raise HardwareModelError(
+                f"{self.name}: memory latency must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1000.0 / self.clock_mhz
+
+    def instruction_ns(self, n_instructions: float) -> float:
+        """Pure-CPU cost of executing ``n`` simple instructions."""
+        if n_instructions < 0:
+            raise HardwareModelError("instruction count must be >= 0")
+        return n_instructions * self.cpi * self.cycle_ns
+
+    def build_hierarchy(self) -> CacheHierarchy:
+        """A cache hierarchy calibrated to this machine."""
+        l1_latency = self.l1_latency_ns or self.cycle_ns
+        levels = [CacheLevel("L1", self.l1_kb * 1024, 32, l1_latency)]
+        if self.l2_kb:
+            levels.append(CacheLevel("L2", self.l2_kb * 1024, 64,
+                                     max(l1_latency * 4, 4 * self.cycle_ns)))
+        return CacheHierarchy(levels, self.memory_latency_ns)
+
+
+#: The five machines of the tutorial's memory-wall figure (slide 46).
+#: Clock speeds and years are from the slide; CPI and DRAM latencies are
+#: period-typical values chosen so the figure's shape reproduces: CPU cost
+#: per iteration shrinks ~10x while the memory component stays ~flat.
+CPU_GENERATIONS: Tuple[CpuModel, ...] = (
+    CpuModel(name="Sparc", year=1992, clock_mhz=50, cpi=1.6,
+             memory_latency_ns=135.0, l1_kb=16, system="Sun LX"),
+    CpuModel(name="UltraSparc", year=1996, clock_mhz=200, cpi=1.2,
+             memory_latency_ns=120.0, l1_kb=16, l2_kb=512,
+             system="Sun Ultra"),
+    CpuModel(name="UltraSparcII", year=1997, clock_mhz=296, cpi=1.1,
+             memory_latency_ns=115.0, l1_kb=16, l2_kb=1024,
+             system="Sun Ultra"),
+    CpuModel(name="Alpha", year=1998, clock_mhz=500, cpi=1.0,
+             memory_latency_ns=110.0, l1_kb=64, l2_kb=4096,
+             system="DEC Alpha"),
+    CpuModel(name="R12000", year=2000, clock_mhz=300, cpi=1.0,
+             memory_latency_ns=100.0, l1_kb=32, l2_kb=8192,
+             system="Origin2000"),
+)
+
+
+def cpu_by_name(name: str) -> CpuModel:
+    """Look up a catalogue CPU by name."""
+    for cpu in CPU_GENERATIONS:
+        if cpu.name == name:
+            return cpu
+    raise HardwareModelError(
+        f"unknown CPU {name!r}; catalogue: "
+        f"{[c.name for c in CPU_GENERATIONS]}")
+
+
+@dataclass(frozen=True)
+class ScanCost:
+    """Dissected per-iteration cost of an in-memory scan on one machine."""
+
+    cpu: CpuModel
+    cpu_ns_per_iter: float
+    memory_ns_per_iter: float
+
+    @property
+    def total_ns_per_iter(self) -> float:
+        return self.cpu_ns_per_iter + self.memory_ns_per_iter
+
+
+def max_scan_cost(cpu: CpuModel, n_items: int = 1_000_000,
+                  item_bytes: int = 8,
+                  instructions_per_iter: float = 4.0) -> ScanCost:
+    """Per-iteration cost of ``SELECT MAX(column)`` over an array.
+
+    The loop body (load, compare, branch, increment) costs
+    ``instructions_per_iter`` instructions of pure CPU time; memory cost
+    comes from the cache model streaming the column from DRAM.  Returns
+    the dissection the tutorial's stacked-bar figure plots.
+    """
+    if n_items <= 0:
+        raise HardwareModelError("n_items must be positive")
+    hierarchy = cpu.build_hierarchy()
+    memory_ns = hierarchy.sequential_scan(n_items, item_bytes,
+                                          already_cached=False)
+    cpu_ns = cpu.instruction_ns(instructions_per_iter * n_items)
+    return ScanCost(cpu=cpu,
+                    cpu_ns_per_iter=cpu_ns / n_items,
+                    memory_ns_per_iter=memory_ns / n_items)

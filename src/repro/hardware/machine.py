@@ -1,0 +1,166 @@
+"""Machine specifications: neither under- nor over-specified.
+
+Slides 149-155: "We use a machine with 3.4 GHz" is under-specified;
+pasting 151 lines of ``lspci -v`` is over-specified.  The tutorial's
+recommended level of detail is exactly what :class:`MachineSpec` captures:
+
+- CPU: vendor, model, generation, clock speed, cache size(s);
+- main memory size;
+- disk size and speed;
+- network type, speed, topology (when relevant).
+
+:func:`check_spec_text` additionally lints free-text hardware
+descriptions found in papers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    vendor: str
+    model: str
+    clock_ghz: float
+    l1_cache_kb: int = 0
+    l2_cache_kb: int = 0
+
+    def __post_init__(self):
+        if self.clock_ghz <= 0:
+            raise HardwareModelError("clock speed must be positive")
+
+    def describe(self) -> str:
+        caches = []
+        if self.l1_cache_kb:
+            caches.append(f"{self.l1_cache_kb}KB L1 cache")
+        if self.l2_cache_kb:
+            if self.l2_cache_kb >= 1024:
+                caches.append(f"{self.l2_cache_kb // 1024}MB L2 cache")
+            else:
+                caches.append(f"{self.l2_cache_kb}KB L2 cache")
+        suffix = (", " + ", ".join(caches)) if caches else ""
+        return f"{self.clock_ghz:g} GHz {self.vendor} {self.model}{suffix}"
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    size_gb: float
+    rpm: int = 0
+    kind: str = "HDD"
+    raid: str = ""
+
+    def __post_init__(self):
+        if self.size_gb <= 0:
+            raise HardwareModelError("disk size must be positive")
+
+    def describe(self) -> str:
+        parts = [f"{self.size_gb:g}GB {self.kind}"]
+        if self.rpm:
+            parts.append(f"@ {self.rpm}RPM")
+        if self.raid:
+            parts.append(f"({self.raid})")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    kind: str
+    speed_gbps: float
+    topology: str = ""
+
+    def describe(self) -> str:
+        text = f"{self.speed_gbps:g}Gb {self.kind}"
+        if self.topology:
+            text += f", {self.topology}"
+        return text
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The tutorial-recommended hardware description (slide 155)."""
+
+    cpu: CpuSpec
+    memory_gb: float
+    disk: DiskSpec
+    network: Optional[NetworkSpec] = None
+
+    def __post_init__(self):
+        if self.memory_gb <= 0:
+            raise HardwareModelError("memory size must be positive")
+
+    def describe(self) -> str:
+        """Multi-line, paper-ready hardware paragraph."""
+        lines = [
+            f"CPU:     {self.cpu.describe()}",
+            f"Memory:  {self.memory_gb:g}GB RAM",
+            f"Disk:    {self.disk.describe()}",
+        ]
+        if self.network is not None:
+            lines.append(f"Network: {self.network.describe()}")
+        return "\n".join(lines)
+
+
+#: The tutorial's own measurement laptop (slides 23, 33).
+TUTORIAL_LAPTOP = MachineSpec(
+    cpu=CpuSpec(vendor="Intel", model="Pentium M (Dothan)", clock_ghz=1.5,
+                l1_cache_kb=32, l2_cache_kb=2048),
+    memory_gb=2.0,
+    disk=DiskSpec(size_gb=120, rpm=5400, kind="Laptop ATA disk"),
+)
+
+
+@dataclass(frozen=True)
+class SpecIssue:
+    kind: str      # "under" or "over"
+    detail: str
+
+
+def check_spec_text(text: str) -> Tuple[SpecIssue, ...]:
+    """Lint a free-text hardware description.
+
+    Flags *under-specification* (mentions a clock speed but no CPU model,
+    or no memory size, or no disk info) and *over-specification* (raw
+    dumps: dozens of lines, lspci/cpuinfo noise like bus addresses or
+    kernel driver lines).
+    """
+    issues: List[SpecIssue] = []
+    lowered = text.lower()
+
+    has_clock = bool(re.search(r"\d+(\.\d+)?\s*[gm]hz", lowered))
+    has_model = bool(re.search(
+        r"pentium|xeon|opteron|athlon|core|sparc|alpha|power|ryzen|epyc"
+        r"|itanium|celeron|arm|r1[02]000", lowered))
+    has_memory = bool(re.search(r"\d+\s*[gmt]b\s*(of\s*)?(ram|memory|main)",
+                                lowered))
+    has_disk = bool(re.search(r"disk|ssd|raid|rpm|nvme", lowered))
+    has_cache = bool(re.search(r"\d+\s*[km]b\s*(l[123]\s*)?cache", lowered))
+
+    if has_clock and not has_model:
+        issues.append(SpecIssue(
+            "under", "clock speed given without CPU vendor/model "
+            "(slide 149: a '3.4 GHz machine' could be almost anything)"))
+    if not has_memory:
+        issues.append(SpecIssue("under", "main memory size missing"))
+    if not has_disk:
+        issues.append(SpecIssue("under", "disk size/speed missing"))
+    if has_model and not has_cache:
+        issues.append(SpecIssue("under", "CPU cache size(s) missing"))
+
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if len(lines) > 40:
+        issues.append(SpecIssue(
+            "over", f"{len(lines)} lines of hardware description "
+            "(slide 153: a raw lspci dump is over-specified)"))
+    noise = re.findall(
+        r"kernel driver|irq \d+|subsystem:|bus master|prefetchable"
+        r"|bogomips|fdiv_bug|stepping", lowered)
+    if noise:
+        issues.append(SpecIssue(
+            "over", "raw cpuinfo/lspci noise present "
+            f"({len(noise)} matches, e.g. {noise[0]!r})"))
+    return tuple(issues)

@@ -1,0 +1,79 @@
+"""Measurement: clocks, timers, run protocols, statistics, result sets."""
+
+from repro.measurement.calibration import (
+    ClockCalibration,
+    calibrate_clock,
+    measure_until_stable,
+    repetitions_for_ci,
+)
+from repro.measurement.clocks import (
+    Clock,
+    ClockSample,
+    ProcessClock,
+    VirtualClock,
+    WallClock,
+)
+from repro.measurement.harness import (
+    HarnessReport,
+    Workload,
+    run_harness,
+    workload_from_callable,
+)
+from repro.measurement.noise import NoiseModel, NoisyWorkload
+from repro.measurement.protocol import (
+    COLD_MEDIAN_OF_THREE,
+    LAST_OF_THREE_HOT,
+    PickRule,
+    ProtocolResult,
+    RunProtocol,
+    State,
+)
+from repro.measurement.results import Record, ResultSet
+from repro.measurement.stats import (
+    ConfidenceInterval,
+    Summary,
+    coefficient_of_variation,
+    confidence_interval,
+    detect_outliers,
+    geometric_mean,
+    statistically_different,
+    summarize,
+)
+from repro.measurement.timer import TimeBreakdown, Timer, time_callable
+
+__all__ = [
+    "COLD_MEDIAN_OF_THREE",
+    "ClockCalibration",
+    "calibrate_clock",
+    "measure_until_stable",
+    "repetitions_for_ci",
+    "Clock",
+    "ClockSample",
+    "ConfidenceInterval",
+    "HarnessReport",
+    "LAST_OF_THREE_HOT",
+    "NoiseModel",
+    "NoisyWorkload",
+    "PickRule",
+    "ProcessClock",
+    "ProtocolResult",
+    "Record",
+    "ResultSet",
+    "RunProtocol",
+    "State",
+    "Summary",
+    "TimeBreakdown",
+    "Timer",
+    "VirtualClock",
+    "WallClock",
+    "Workload",
+    "coefficient_of_variation",
+    "confidence_interval",
+    "detect_outliers",
+    "geometric_mean",
+    "run_harness",
+    "statistically_different",
+    "summarize",
+    "time_callable",
+    "workload_from_callable",
+]

@@ -1,0 +1,129 @@
+"""Timer calibration and adaptive repetition counts.
+
+Slide 27 warns that a timer's resolution "can be as low as 10
+milliseconds" — measuring anything near or below the resolution is
+noise.  :func:`calibrate_clock` estimates a clock's resolution and
+per-sample overhead so a protocol can refuse measurements that are too
+short; :func:`repetitions_for_ci` and :func:`measure_until_stable`
+choose the replication count from the data (rather than the tutorial's
+common-mistake #1 of ignoring experimental error).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.errors import MeasurementError
+from repro.measurement.clocks import Clock, ProcessClock
+from repro.measurement.stats import confidence_interval, summarize
+
+
+@dataclass(frozen=True)
+class ClockCalibration:
+    """Measured properties of one clock."""
+
+    resolution_s: float       # smallest observed nonzero increment
+    overhead_s: float         # mean cost of taking one sample
+    samples: int
+
+    def minimum_measurable_s(self, relative_error: float = 0.01) -> float:
+        """Shortest duration measurable within ``relative_error``.
+
+        A measurement of duration d has quantisation error up to one
+        resolution step, so d must exceed ``resolution / relative_error``.
+        """
+        if not 0 < relative_error < 1:
+            raise MeasurementError("relative error must be in (0,1)")
+        return self.resolution_s / relative_error
+
+    def format(self) -> str:
+        return (f"clock resolution ~{self.resolution_s * 1e9:.0f} ns, "
+                f"sampling overhead ~{self.overhead_s * 1e9:.0f} ns "
+                f"({self.samples} samples)")
+
+
+def calibrate_clock(clock: Optional[Clock] = None,
+                    samples: int = 2000) -> ClockCalibration:
+    """Estimate a clock's resolution and sampling overhead.
+
+    Resolution: the smallest nonzero difference between consecutive
+    samples.  Overhead: total elapsed across the burst divided by the
+    number of samples.
+    """
+    if samples < 10:
+        raise MeasurementError("need at least 10 samples to calibrate")
+    clock = clock if clock is not None else ProcessClock()
+    readings: List[float] = []
+    for __ in range(samples):
+        readings.append(clock.sample().real)
+    deltas = [b - a for a, b in zip(readings, readings[1:]) if b > a]
+    if not deltas:
+        raise MeasurementError(
+            "the clock never advanced during calibration; it has no "
+            "usable resolution at this sampling rate")
+    resolution = min(deltas)
+    overhead = (readings[-1] - readings[0]) / (samples - 1)
+    return ClockCalibration(resolution_s=resolution, overhead_s=overhead,
+                            samples=samples)
+
+
+def repetitions_for_ci(pilot: Sequence[float],
+                       target_relative_halfwidth: float = 0.05,
+                       confidence: float = 0.95) -> int:
+    """How many repetitions reach the target CI half-width?
+
+    Standard sample-size estimate from a pilot sample (Jain, ch. 13):
+    ``n = (z * s / (r * mean))^2`` with the pilot's mean/stddev.  Returns
+    at least the pilot size when the pilot already suffices.
+    """
+    if not 0 < target_relative_halfwidth < 1:
+        raise MeasurementError(
+            "target relative half-width must be in (0,1)")
+    s = summarize(pilot)
+    if s.n < 2:
+        raise MeasurementError("the pilot needs at least 2 measurements")
+    if s.mean == 0:
+        raise MeasurementError(
+            "relative precision is undefined for a zero mean")
+    if s.stddev == 0:
+        return s.n
+    z = float(_scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    needed = (z * s.stddev / (target_relative_halfwidth
+                              * abs(s.mean))) ** 2
+    return max(s.n, int(math.ceil(needed)))
+
+
+def measure_until_stable(measure_once: Callable[[], float],
+                         target_relative_halfwidth: float = 0.05,
+                         confidence: float = 0.95,
+                         min_runs: int = 5,
+                         max_runs: int = 1000) -> List[float]:
+    """Repeat a measurement until its CI is tight enough (or max_runs).
+
+    Returns every collected measurement.  Raises if the budget runs out
+    before reaching the target — better an error than a silently noisy
+    number.
+    """
+    if min_runs < 2:
+        raise MeasurementError("need at least 2 runs to form an interval")
+    if max_runs < min_runs:
+        raise MeasurementError("max_runs must be >= min_runs")
+    values: List[float] = []
+    for i in range(max_runs):
+        values.append(float(measure_once()))
+        if len(values) < min_runs:
+            continue
+        ci = confidence_interval(values, confidence)
+        if ci.mean == 0:
+            continue
+        if ci.half_width / abs(ci.mean) <= target_relative_halfwidth:
+            return values
+    raise MeasurementError(
+        f"measurement did not stabilise within {max_runs} runs "
+        f"(relative half-width still above "
+        f"{target_relative_halfwidth:.1%}); the workload is too noisy "
+        "or too short for the clock")

@@ -1,0 +1,138 @@
+"""The measurement harness: run a workload over a design under a protocol.
+
+This is where the three planning ingredients of the tutorial meet:
+
+- a **design** chooses which configurations to measure
+  (:mod:`repro.core.designs`);
+- a **protocol** says how each configuration is measured
+  (:mod:`repro.measurement.protocol`);
+- the harness collects everything into a factor-keyed
+  :class:`~repro.measurement.results.ResultSet` ready for analysis and
+  plotting.
+
+The workload is any object implementing :class:`Workload`'s three hooks
+(setup/run/make_cold); plain callables can be adapted with
+:func:`workload_from_callable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import MeasurementError
+from repro.core.designs import Design
+from repro.measurement.clocks import Clock
+from repro.measurement.protocol import ProtocolResult, RunProtocol
+from repro.measurement.results import ResultSet
+
+
+class Workload:
+    """A configurable, re-runnable unit of measured work.
+
+    Subclasses override :meth:`run` (mandatory) plus optionally
+    :meth:`setup` (applied once per configuration, unmeasured) and
+    :meth:`make_cold` (restore the cold state; needed for cold protocols).
+    """
+
+    def setup(self, config: Mapping[str, Any]) -> None:
+        """Apply one design point's configuration (unmeasured)."""
+
+    def run(self) -> None:
+        """Execute the measured work once."""
+        raise NotImplementedError
+
+    def make_cold(self) -> None:
+        """Restore the cold state.  Default: not supported."""
+        raise MeasurementError(
+            f"{type(self).__name__} does not support cold runs "
+            "(no make_cold implementation)")
+
+    @property
+    def supports_cold(self) -> bool:
+        return type(self).make_cold is not Workload.make_cold
+
+
+class _CallableWorkload(Workload):
+    def __init__(self, fn: Callable[[Mapping[str, Any]], None],
+                 make_cold: Optional[Callable[[], None]] = None):
+        self._fn = fn
+        self._make_cold = make_cold
+        self._config: Mapping[str, Any] = {}
+
+    def setup(self, config: Mapping[str, Any]) -> None:
+        self._config = config
+
+    def run(self) -> None:
+        self._fn(self._config)
+
+    def make_cold(self) -> None:
+        if self._make_cold is None:
+            super().make_cold()
+        else:
+            self._make_cold()
+
+    @property
+    def supports_cold(self) -> bool:
+        return self._make_cold is not None
+
+
+def workload_from_callable(fn: Callable[[Mapping[str, Any]], None],
+                           make_cold: Optional[Callable[[], None]] = None
+                           ) -> Workload:
+    """Adapt ``fn(config)`` (plus optional cold hook) into a Workload."""
+    return _CallableWorkload(fn, make_cold)
+
+
+@dataclass(frozen=True)
+class HarnessReport:
+    """Everything a harness execution produced."""
+
+    results: ResultSet
+    raw: Mapping[int, ProtocolResult]  # design point index -> full timings
+    protocol: RunProtocol
+    design_description: str
+
+    def documentation(self) -> str:
+        """The methodology paragraph to publish with the numbers."""
+        return (f"{self.design_description}; "
+                f"protocol: {self.protocol.describe()}")
+
+
+def run_harness(design: Design, workload: Workload,
+                protocol: RunProtocol,
+                clock: Optional[Clock] = None,
+                extra_metrics: Optional[
+                    Callable[[Mapping[str, Any]], Mapping[str, float]]] = None,
+                name: str = "results") -> HarnessReport:
+    """Measure *workload* at every design point under *protocol*.
+
+    For each point the harness records ``real_ms``, ``user_ms`` and
+    ``sys_ms`` of the protocol's picked run; ``extra_metrics(config)`` may
+    contribute additional columns (e.g. result sizes, simulated cache
+    misses) evaluated after the measured runs.
+    """
+    results = ResultSet(name=name)
+    raw = {}
+    make_cold = workload.make_cold if workload.supports_cold else None
+    for point in design.points():
+        workload.setup(point.config)
+        outcome = protocol.execute(workload.run, make_cold=make_cold,
+                                   clock=clock, label=name)
+        picked = outcome.picked
+        metrics = {
+            "real_ms": picked.real_ms(),
+            "user_ms": picked.user_ms(),
+            "sys_ms": picked.system_ms(),
+        }
+        if extra_metrics is not None:
+            extra = dict(extra_metrics(point.config))
+            overlap = set(extra) & set(metrics)
+            if overlap:
+                raise MeasurementError(
+                    f"extra metrics shadow built-ins: {sorted(overlap)}")
+            metrics.update(extra)
+        results.add(point.config, metrics)
+        raw[point.index] = outcome
+    return HarnessReport(results=results, raw=raw, protocol=protocol,
+                         design_description=design.describe())

@@ -1,0 +1,99 @@
+"""Deterministic measurement noise for studying experimental error.
+
+The tutorial's common mistake #1 is ignoring the variation due to
+experimental error.  Studying that variation — and testing the
+statistics that handle it — needs *controllable* noise: OS jitter,
+interrupts, occasional outliers.  :class:`NoiseModel` produces seeded,
+reproducible perturbations; :class:`NoisyWorkload` wraps any workload
+and injects the jitter as extra simulated CPU time, so replicated-design
+analyses (:func:`repro.core.analyze_replicated`,
+:func:`repro.measurement.measure_until_stable`) can be demonstrated and
+tested against known ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.measurement.clocks import VirtualClock
+from repro.measurement.harness import Workload
+
+
+@dataclass
+class NoiseModel:
+    """Seeded multiplicative jitter plus rare outliers.
+
+    Each call to :meth:`perturb` scales a base duration by
+    ``N(1, relative_std)`` (truncated at +-3 sigma and floored at 10% of
+    the base) and, with probability ``outlier_probability``, multiplies
+    by ``outlier_scale`` — the "a cron job fired" event.
+    """
+
+    seed: int = 7
+    relative_std: float = 0.05
+    outlier_probability: float = 0.0
+    outlier_scale: float = 5.0
+
+    def __post_init__(self):
+        if self.relative_std < 0:
+            raise MeasurementError("relative_std must be >= 0")
+        if not 0.0 <= self.outlier_probability < 1.0:
+            raise MeasurementError(
+                "outlier probability must be in [0, 1)")
+        if self.outlier_scale <= 1.0:
+            raise MeasurementError("outlier scale must exceed 1")
+        self._rng = np.random.default_rng(self.seed)
+
+    def perturb(self, base_seconds: float) -> float:
+        """One noisy duration derived from *base_seconds*."""
+        if base_seconds < 0:
+            raise MeasurementError("base duration must be >= 0")
+        z = float(np.clip(self._rng.normal(), -3.0, 3.0))
+        factor = max(0.1, 1.0 + self.relative_std * z)
+        if self.outlier_probability and \
+                self._rng.random() < self.outlier_probability:
+            factor *= self.outlier_scale
+        return base_seconds * factor
+
+    def reset(self) -> None:
+        """Restart the noise stream from the seed (exact replay)."""
+        self._rng = np.random.default_rng(self.seed)
+
+
+class NoisyWorkload(Workload):
+    """Wraps a workload, adding jitter as extra simulated CPU time.
+
+    The wrapped workload must run against the given
+    :class:`~repro.measurement.clocks.VirtualClock`; the wrapper measures
+    each inner run's duration and appends
+    ``perturbed_duration - duration`` (never negative: jitter only adds
+    time, as real interference does).
+    """
+
+    def __init__(self, inner: Workload, clock: VirtualClock,
+                 noise: Optional[NoiseModel] = None):
+        self.inner = inner
+        self.clock = clock
+        self.noise = noise if noise is not None else NoiseModel()
+
+    def setup(self, config: Mapping[str, Any]) -> None:
+        self.inner.setup(config)
+
+    def run(self) -> None:
+        start = self.clock.now
+        self.inner.run()
+        base = self.clock.now - start
+        extra = max(0.0, self.noise.perturb(base) - base)
+        if extra:
+            self.clock.advance(cpu_seconds=extra)
+
+    def make_cold(self) -> None:
+        self.inner.make_cold()
+
+    @property
+    def supports_cold(self) -> bool:
+        return self.inner.supports_cold

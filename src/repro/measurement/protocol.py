@@ -1,0 +1,178 @@
+"""Run protocols: hot vs cold runs, warmups, repetitions, picking rules.
+
+The tutorial devotes several slides (30-36) to the difference between hot
+and cold runs and to documenting exactly what was done:
+
+- **cold run** — the query runs right after the system starts, with no
+  benchmark-relevant data cached anywhere (achieved here by calling the
+  workload's ``make_cold`` hook, e.g. flushing MiniDB's buffer pool);
+- **hot run** — query-relevant data is as close to the CPU as possible,
+  achieved by running the query at least once before the measured run.
+
+The tutorial's own tables use "measured last of three consecutive runs";
+that picking rule and others are available via :class:`PickRule`.
+:class:`RunProtocol` bundles state policy, repetitions, and picking, and
+its :meth:`describe` produces the documentation string the tutorial tells
+authors to publish.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.measurement.clocks import Clock
+from repro.measurement.timer import TimeBreakdown, Timer
+
+
+class State(enum.Enum):
+    """Cache-state policy for measured runs."""
+
+    COLD = "cold"
+    HOT = "hot"
+
+
+class PickRule(enum.Enum):
+    """How the reported number is chosen from the repeated measurements."""
+
+    LAST = "last"        # the tutorial's "last of three consecutive runs"
+    MEAN = "mean"
+    MEDIAN = "median"
+    MIN = "min"
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """All measurements of one protocol execution plus the picked one."""
+
+    runs: Sequence[TimeBreakdown]
+    picked: TimeBreakdown
+    protocol: "RunProtocol"
+
+    @property
+    def reals(self) -> List[float]:
+        return [r.real for r in self.runs]
+
+    @property
+    def users(self) -> List[float]:
+        return [r.user for r in self.runs]
+
+
+@dataclass(frozen=True)
+class RunProtocol:
+    """A fully documented measurement procedure.
+
+    Parameters
+    ----------
+    state:
+        :attr:`State.COLD` re-colds the system before *every* measured
+        run; :attr:`State.HOT` warms it up (``warmups`` unmeasured runs)
+        once, then measures.
+    repetitions:
+        Number of measured runs (>= 1).
+    pick:
+        How to pick the reported measurement from the repetitions.
+    warmups:
+        Unmeasured warm-up runs before measuring (HOT only; must be >= 1
+        for a hot protocol so the definition's "run at least once before"
+        holds).
+    """
+
+    state: State = State.HOT
+    repetitions: int = 3
+    pick: PickRule = PickRule.LAST
+    warmups: int = 1
+
+    def __post_init__(self):
+        if self.repetitions < 1:
+            raise ProtocolError(
+                f"repetitions must be >= 1, got {self.repetitions}")
+        if self.state is State.HOT and self.warmups < 1:
+            raise ProtocolError(
+                "a hot protocol needs at least one warm-up run "
+                "(the query must run once before the measured run)")
+        if self.state is State.COLD and self.warmups != 0:
+            raise ProtocolError(
+                "a cold protocol cannot have warm-up runs: warm-ups would "
+                "preload exactly the caches a cold run must find empty")
+
+    def execute(self, run: Callable[[], object],
+                make_cold: Optional[Callable[[], None]] = None,
+                clock: Optional[Clock] = None,
+                label: str = "") -> ProtocolResult:
+        """Run the workload under this protocol and collect timings.
+
+        Parameters
+        ----------
+        run:
+            Executes the workload once (e.g. one query).
+        make_cold:
+            Restores the cold state (flush buffer pools / caches).
+            Mandatory for COLD protocols.
+        clock:
+            Clock to measure against; defaults to the process clock.
+            Pass the substrate's ``VirtualClock`` for simulated time.
+        """
+        if self.state is State.COLD and make_cold is None:
+            raise ProtocolError(
+                "a cold protocol needs a make_cold() hook — a clean state "
+                "must be re-established before every measured run")
+
+        if self.state is State.HOT:
+            if make_cold is not None:
+                make_cold()  # start from a defined state, then warm up
+            for _ in range(self.warmups):
+                run()
+
+        runs: List[TimeBreakdown] = []
+        for i in range(self.repetitions):
+            if self.state is State.COLD:
+                make_cold()
+            timer = Timer(label=f"{label}#{i}" if label else f"run#{i}",
+                          clock=clock)
+            with timer:
+                run()
+            runs.append(timer.result)
+        return ProtocolResult(runs=tuple(runs), picked=self._pick(runs),
+                              protocol=self)
+
+    def _pick(self, runs: Sequence[TimeBreakdown]) -> TimeBreakdown:
+        if self.pick is PickRule.LAST:
+            return runs[-1]
+        if self.pick is PickRule.MIN:
+            return min(runs, key=lambda r: r.real)
+        reals = sorted(runs, key=lambda r: r.real)
+        if self.pick is PickRule.MEDIAN:
+            return reals[len(reals) // 2]
+        if self.pick is PickRule.MEAN:
+            n = len(runs)
+            return TimeBreakdown(
+                label=runs[0].label.split("#")[0] + "#mean",
+                real=sum(r.real for r in runs) / n,
+                user=sum(r.user for r in runs) / n,
+                system=sum(r.system for r in runs) / n)
+        raise ProtocolError(f"unknown pick rule {self.pick!r}")
+
+    def describe(self) -> str:
+        """The sentence the tutorial asks authors to publish."""
+        if self.state is State.COLD:
+            how = ("system re-colded (caches flushed) before each measured "
+                   "run")
+        else:
+            how = (f"{self.warmups} unmeasured warm-up run(s), data "
+                   "resident before measuring")
+        return (f"{self.state.value} runs: {how}; {self.repetitions} "
+                f"measured repetition(s); reported value = "
+                f"{self.pick.value} of the measured runs")
+
+
+#: The protocol the tutorial's own tables use (slides 23, 33):
+#: "measured last of three consecutive runs".
+LAST_OF_THREE_HOT = RunProtocol(state=State.HOT, repetitions=3,
+                                pick=PickRule.LAST, warmups=1)
+
+#: A strict cold protocol with three repetitions, reporting the median.
+COLD_MEDIAN_OF_THREE = RunProtocol(state=State.COLD, repetitions=3,
+                                   pick=PickRule.MEDIAN, warmups=0)

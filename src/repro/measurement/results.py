@@ -1,0 +1,187 @@
+"""Result sets: factor-keyed measurement records with CSV round-trip.
+
+The repeatability section of the tutorial wants every measured point to be
+regenerable from scripts and stored in files a plotting tool can consume
+(slides 198-205).  A :class:`ResultSet` is the in-memory form: records of
+factor levels plus measured metrics, written to and read from CSV with
+locale-safe (``.``-decimal) formatting — see slide 212 for what happens
+otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Record:
+    """One measured point: factor levels plus metric values."""
+
+    factors: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+    def value(self, metric: str) -> float:
+        try:
+            return self.metrics[metric]
+        except KeyError:
+            raise MeasurementError(
+                f"record has no metric {metric!r}; "
+                f"metrics: {sorted(self.metrics)}") from None
+
+
+class ResultSet:
+    """An append-only collection of :class:`Record` with uniform columns.
+
+    The first appended record fixes the factor and metric column sets;
+    later records must match, which catches the classic "forgot to log a
+    parameter" mistake early.
+    """
+
+    def __init__(self, name: str = "results"):
+        self.name = name
+        self._records: List[Record] = []
+        self._factor_names: Optional[Tuple[str, ...]] = None
+        self._metric_names: Optional[Tuple[str, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    @property
+    def factor_names(self) -> Tuple[str, ...]:
+        return self._factor_names or ()
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        return self._metric_names or ()
+
+    def add(self, factors: Mapping[str, Any],
+            metrics: Mapping[str, float]) -> Record:
+        """Append one record, enforcing a uniform schema."""
+        if self._factor_names is None:
+            if set(factors) & set(metrics):
+                raise MeasurementError(
+                    "factor and metric names overlap: "
+                    f"{sorted(set(factors) & set(metrics))}")
+            self._factor_names = tuple(factors)
+            self._metric_names = tuple(metrics)
+        else:
+            if set(factors) != set(self._factor_names):
+                raise MeasurementError(
+                    f"record factors {sorted(factors)} do not match the "
+                    f"result set's {sorted(self._factor_names)}")
+            if set(metrics) != set(self._metric_names):
+                raise MeasurementError(
+                    f"record metrics {sorted(metrics)} do not match the "
+                    f"result set's {sorted(self._metric_names)}")
+        record = Record(factors=dict(factors),
+                        metrics={k: float(v) for k, v in metrics.items()})
+        self._records.append(record)
+        return record
+
+    def filter(self, **conditions: Any) -> "ResultSet":
+        """New result set with records whose factors match *conditions*."""
+        out = ResultSet(name=self.name)
+        for record in self._records:
+            if all(record.factors.get(k) == v
+                   for k, v in conditions.items()):
+                out.add(record.factors, record.metrics)
+        return out
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one factor or metric column, in append order."""
+        if self._factor_names and name in self._factor_names:
+            return [r.factors[name] for r in self._records]
+        if self._metric_names and name in self._metric_names:
+            return [r.metrics[name] for r in self._records]
+        raise MeasurementError(
+            f"unknown column {name!r}; factors: {self.factor_names}, "
+            f"metrics: {self.metric_names}")
+
+    def series(self, x: str, y: str) -> List[Tuple[Any, float]]:
+        """(x, y) pairs ready for plotting."""
+        return list(zip(self.column(x), self.column(y)))
+
+    def lookup(self, metric: str, **conditions: Any) -> float:
+        """The metric value of the single record matching *conditions*."""
+        matches = self.filter(**conditions)
+        if len(matches) != 1:
+            raise MeasurementError(
+                f"expected exactly one record for {conditions}, "
+                f"found {len(matches)}")
+        return next(iter(matches)).value(metric)
+
+    # ------------------------------------------------------------------ CSV
+
+    def to_csv(self, path: Optional[Path] = None) -> str:
+        """Serialise to CSV (factors first, then metrics); optionally write.
+
+        Floats are rendered with ``repr`` (always ``.`` decimal separator)
+        so the file survives locale-confused spreadsheet tools.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        header = list(self.factor_names) + list(self.metric_names)
+        writer.writerow(header)
+        for record in self._records:
+            row = [record.factors[n] for n in self.factor_names]
+            row += [repr(record.metrics[n]) for n in self.metric_names]
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_csv(cls, text_or_path: str | Path,
+                 metric_names: Sequence[str],
+                 name: str = "results") -> "ResultSet":
+        """Parse a CSV produced by :meth:`to_csv`.
+
+        ``metric_names`` identifies which header columns are metrics; the
+        rest are treated as factors (kept as strings, except values that
+        parse as int/float).
+        """
+        path = Path(text_or_path) if not str(text_or_path).count("\n") else None
+        text = Path(text_or_path).read_text(encoding="utf-8") if path \
+            else str(text_or_path)
+        reader = csv.reader(io.StringIO(text))
+        rows = list(reader)
+        if not rows:
+            raise MeasurementError("empty CSV")
+        header = rows[0]
+        unknown = [m for m in metric_names if m not in header]
+        if unknown:
+            raise MeasurementError(
+                f"metric columns {unknown} not in CSV header {header}")
+        out = cls(name=name)
+        for row in rows[1:]:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise MeasurementError(
+                    f"row {row} does not match header {header}")
+            cells = dict(zip(header, row))
+            factors = {k: _parse_cell(v) for k, v in cells.items()
+                       if k not in metric_names}
+            metrics = {k: float(cells[k]) for k in metric_names}
+            out.add(factors, metrics)
+        return out
+
+
+def _parse_cell(text: str) -> Any:
+    """Best-effort typed parse of a CSV factor cell."""
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text

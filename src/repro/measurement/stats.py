@@ -1,0 +1,134 @@
+"""Statistics over repeated measurements.
+
+Implements the summaries the tutorial's presentation section leans on:
+means with Student-t confidence intervals, and the CI-overlap test behind
+"overlapping confidence intervals sometimes mean the two quantities are
+statistically indifferent" (slide 142).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of one measurement sample."""
+
+    n: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 2:
+            return 0.0
+        return self.stddev / math.sqrt(self.n)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True if the two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute :class:`Summary` statistics; sample stddev (ddof=1)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("cannot summarize an empty sample")
+    stddev = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(n=int(arr.size), mean=float(arr.mean()), stddev=stddev,
+                   minimum=float(arr.min()), maximum=float(arr.max()),
+                   median=float(np.median(arr)))
+
+
+def confidence_interval(values: Sequence[float],
+                        confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval for the sample mean.
+
+    A single observation yields a degenerate (zero-width) interval, which
+    the linter in :mod:`repro.viz.guidelines` flags as unplottable.
+    """
+    if not 0 < confidence < 1:
+        raise MeasurementError(
+            f"confidence must be in (0,1), got {confidence}")
+    s = summarize(values)
+    if s.n < 2:
+        return ConfidenceInterval(mean=s.mean, low=s.mean, high=s.mean,
+                                  confidence=confidence)
+    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, s.n - 1))
+    half = t * s.stderr
+    return ConfidenceInterval(mean=s.mean, low=s.mean - half,
+                              high=s.mean + half, confidence=confidence)
+
+
+def statistically_different(a: Sequence[float], b: Sequence[float],
+                            confidence: float = 0.95) -> bool:
+    """Decide whether two samples differ, by CI overlap (slide 142).
+
+    Non-overlapping confidence intervals mean the means differ at the
+    given confidence; overlapping intervals mean the data cannot
+    distinguish them ("MINE vs YOURS" may be statistically indifferent).
+    """
+    return not confidence_interval(a, confidence).overlaps(
+        confidence_interval(b, confidence))
+
+
+def detect_outliers(values: Sequence[float],
+                    z_threshold: float = 3.0) -> Tuple[int, ...]:
+    """Indices of values more than ``z_threshold`` sample stddevs from
+    the mean.  With fewer than 3 values nothing can be called an outlier."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 3:
+        return ()
+    mean = arr.mean()
+    std = arr.std(ddof=1)
+    if std == 0:
+        return ()
+    z = np.abs(arr - mean) / std
+    return tuple(int(i) for i in np.nonzero(z > z_threshold)[0])
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Relative dispersion stddev/mean; guards against a zero mean."""
+    s = summarize(values)
+    if s.mean == 0:
+        raise MeasurementError("coefficient of variation undefined at mean 0")
+    return s.stddev / abs(s.mean)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for ratios such as speed-ups."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("cannot average an empty sample")
+    if np.any(arr <= 0):
+        raise MeasurementError("geometric mean needs strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,96 @@
+"""Timers producing real/user/system breakdowns.
+
+"Be aware what you measure!" (slides 23-26): a single number is
+meaningless without knowing whether it is wall-clock or CPU time, whether
+it is server-side or client-side, and where the result output went.
+:class:`Timer` therefore always returns a full
+:class:`~repro.measurement.clocks.ClockSample` breakdown, tagged with a
+label describing *what* was measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import MeasurementError
+from repro.measurement.clocks import Clock, ClockSample, ProcessClock
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """A measured duration with its real/user/system split, in seconds."""
+
+    label: str
+    real: float
+    user: float
+    system: float
+
+    @property
+    def cpu(self) -> float:
+        return self.user + self.system
+
+    @property
+    def io_wait(self) -> float:
+        return max(0.0, self.real - self.cpu)
+
+    def real_ms(self) -> float:
+        """Real time in milliseconds (the unit the tutorial's tables use)."""
+        return self.real * 1000.0
+
+    def user_ms(self) -> float:
+        return self.user * 1000.0
+
+    def system_ms(self) -> float:
+        return self.system * 1000.0
+
+    def format(self) -> str:
+        return (f"{self.label}: real {self.real_ms():.3f} ms, "
+                f"user {self.user_ms():.3f} ms, "
+                f"sys {self.system_ms():.3f} ms")
+
+
+class Timer:
+    """Context manager measuring one code block against a clock.
+
+    Usage::
+
+        timer = Timer("query-1", clock=ProcessClock())
+        with timer:
+            run_query()
+        print(timer.result.format())
+
+    A :class:`~repro.measurement.clocks.VirtualClock` may be passed to
+    time simulated work deterministically.
+    """
+
+    def __init__(self, label: str = "", clock: Optional[Clock] = None):
+        self.label = label
+        self.clock = clock if clock is not None else ProcessClock()
+        self._start: Optional[ClockSample] = None
+        self.result: Optional[TimeBreakdown] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock.sample()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is None:
+            raise MeasurementError("timer exited without entering")
+        delta = self.clock.sample() - self._start
+        self.result = TimeBreakdown(label=self.label, real=delta.real,
+                                    user=delta.user, system=delta.system)
+        self._start = None
+
+    def measure(self, fn: Callable[[], object]) -> TimeBreakdown:
+        """Time a zero-argument callable and return the breakdown."""
+        with self:
+            fn()
+        assert self.result is not None
+        return self.result
+
+
+def time_callable(fn: Callable[[], object], label: str = "",
+                  clock: Optional[Clock] = None) -> TimeBreakdown:
+    """One-shot convenience wrapper around :class:`Timer`."""
+    return Timer(label=label, clock=clock).measure(fn)

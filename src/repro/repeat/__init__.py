@@ -1,0 +1,53 @@
+"""Repeatability: properties, suites, manifests, archives, assessment."""
+
+from repro.repeat.archive import (
+    ArchiveRecord,
+    archive_results,
+    capture_environment,
+    format_environment,
+    load_archive,
+)
+from repro.repeat.assessment import (
+    ACCEPTED,
+    ALL_VERIFIED,
+    AssessmentOutcome,
+    CATEGORIES,
+    REJECTED_VERIFIED,
+    SIGMOD_2008_SUBMISSIONS,
+    SIGMOD_2008_WITH_CODE,
+    combine,
+    format_outcome,
+)
+from repro.repeat.manifest import InstallInfo, render_manifest, write_manifest
+from repro.repeat.properties import Properties
+from repro.repeat.suite import (
+    Experiment,
+    ExperimentRun,
+    ExperimentSuite,
+    SUITE_DIRECTORIES,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "ALL_VERIFIED",
+    "ArchiveRecord",
+    "AssessmentOutcome",
+    "CATEGORIES",
+    "Experiment",
+    "ExperimentRun",
+    "ExperimentSuite",
+    "InstallInfo",
+    "Properties",
+    "REJECTED_VERIFIED",
+    "SIGMOD_2008_SUBMISSIONS",
+    "SIGMOD_2008_WITH_CODE",
+    "SUITE_DIRECTORIES",
+    "archive_results",
+    "capture_environment",
+    "combine",
+    "format_environment",
+    "format_outcome",
+    "load_archive",
+    "render_manifest",
+    "write_manifest",
+]

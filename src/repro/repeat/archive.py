@@ -1,0 +1,114 @@
+"""Environment capture and result archiving.
+
+Slides 155-156: publish the hardware spec at the right level of detail
+and "product names, exact version numbers" of the software.  Slide 227's
+war story ("no trace about the identity of the used documents has been
+kept") motivates :func:`archive_results`: fingerprint every result file
+so a re-run can prove it reproduced the same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+import scipy
+
+from repro.errors import SuiteError
+
+
+def capture_environment(extra: Optional[Mapping[str, str]] = None
+                        ) -> Dict[str, str]:
+    """The software side of the tutorial's environment specification."""
+    env = {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+    }
+    if extra:
+        overlap = set(env) & set(extra)
+        if overlap:
+            raise SuiteError(
+                f"extra environment keys shadow built-ins: {sorted(overlap)}")
+        env.update(extra)
+    return env
+
+
+def format_environment(env: Mapping[str, str]) -> str:
+    width = max(len(k) for k in env)
+    return "\n".join(f"{k.ljust(width)}  {env[k]}" for k in sorted(env))
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArchiveRecord:
+    """The integrity record of one archived suite run."""
+
+    environment: Mapping[str, str]
+    file_hashes: Mapping[str, str]
+
+    def matches(self, other: "ArchiveRecord") -> Tuple[bool, List[str]]:
+        """Compare result fingerprints; returns (identical, differences)."""
+        differences: List[str] = []
+        all_files = sorted(set(self.file_hashes) | set(other.file_hashes))
+        for name in all_files:
+            mine = self.file_hashes.get(name)
+            theirs = other.file_hashes.get(name)
+            if mine != theirs:
+                differences.append(
+                    f"{name}: {mine or 'missing'} != {theirs or 'missing'}")
+        return (not differences, differences)
+
+
+def archive_results(root: "str | Path",
+                    extra_environment: Optional[Mapping[str, str]] = None
+                    ) -> ArchiveRecord:
+    """Fingerprint every file under ``root/res`` and record the environment.
+
+    Writes ``root/archive.json`` and returns the record.
+    """
+    root = Path(root)
+    res = root / "res"
+    if not res.is_dir():
+        raise SuiteError(
+            f"no results directory at {res}; run the suite first")
+    hashes: Dict[str, str] = {}
+    for path in sorted(res.rglob("*")):
+        if path.is_file():
+            hashes[str(path.relative_to(root))] = _sha256(path)
+    if not hashes:
+        raise SuiteError(f"results directory {res} is empty")
+    record = ArchiveRecord(environment=capture_environment(extra_environment),
+                           file_hashes=hashes)
+    payload = {"environment": dict(record.environment),
+               "file_hashes": dict(record.file_hashes)}
+    (root / "archive.json").write_text(json.dumps(payload, indent=2,
+                                                  sort_keys=True),
+                                       encoding="utf-8")
+    return record
+
+
+def load_archive(root: "str | Path") -> ArchiveRecord:
+    """Load a previously written ``archive.json``."""
+    path = Path(root) / "archive.json"
+    if not path.exists():
+        raise SuiteError(f"no archive at {path}")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return ArchiveRecord(environment=payload["environment"],
+                         file_hashes=payload["file_hashes"])

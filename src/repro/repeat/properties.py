@@ -1,0 +1,153 @@
+"""The Properties pattern: defaults + file + command-line overrides.
+
+Slides 183-195 recommend the ``java.util.Properties`` idiom for making
+experiments parameterizable: a map of string key/value pairs initialised
+from constant defaults, optionally overridden from a file and finally
+from ``-Dkey=value`` command-line arguments.  This module is the Python
+equivalent, with typed accessors and meaningful errors (slide 189:
+"report meaningful error if the configuration file is not found").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+_TRUE = {"true", "yes", "on", "1"}
+_FALSE = {"false", "no", "off", "0"}
+
+
+class Properties:
+    """String key/value configuration with layered overrides.
+
+    Precedence (lowest to highest): constructor defaults, values loaded
+    with :meth:`load_file`, values set with :meth:`set` /
+    :meth:`apply_cli_overrides`.
+    """
+
+    def __init__(self, defaults: Optional[Mapping[str, str]] = None):
+        self._values: Dict[str, str] = {}
+        if defaults:
+            for key, value in defaults.items():
+                self._check_key(key)
+                self._values[key] = str(value)
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not key or "=" in key or any(c.isspace() for c in key):
+            raise ConfigError(f"bad property key {key!r}")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._values))
+
+    def as_dict(self) -> Dict[str, str]:
+        return dict(self._values)
+
+    # -- mutation -----------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        self._check_key(key)
+        self._values[key] = str(value)
+
+    def load_file(self, path: "str | Path") -> int:
+        """Load ``key=value`` lines (``#`` comments); returns keys read.
+
+        A missing file raises :class:`ConfigError` naming the path — the
+        tutorial's meaningful-error requirement.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ConfigError(
+                f"configuration file not found: {path} "
+                f"(expected a key=value properties file; working "
+                f"directory is {Path.cwd()})")
+        count = 0
+        for line_no, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if "=" not in line:
+                raise ConfigError(
+                    f"{path}:{line_no}: expected key=value, got {raw!r}")
+            key, __, value = line.partition("=")
+            self.set(key.strip(), value.strip())
+            count += 1
+        return count
+
+    def store_file(self, path: "str | Path", comment: str = "") -> None:
+        """Write all properties to a file, sorted by key."""
+        lines: List[str] = []
+        if comment:
+            lines.extend(f"# {ln}" for ln in comment.splitlines())
+        lines.extend(f"{k}={self._values[k]}" for k in self.keys())
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def apply_cli_overrides(self, argv: Sequence[str]) -> List[str]:
+        """Apply ``-Dkey=value`` arguments; returns the non-D leftovers.
+
+        Mirrors ``java -DdataDir=./test pack.AnyClass`` (slide 195).
+        """
+        rest: List[str] = []
+        for arg in argv:
+            if arg.startswith("-D"):
+                body = arg[2:]
+                if "=" not in body:
+                    raise ConfigError(
+                        f"bad override {arg!r}: expected -Dkey=value")
+                key, __, value = body.partition("=")
+                self.set(key, value)
+            else:
+                rest.append(arg)
+        return rest
+
+    # -- typed accessors -----------------------------------------------------
+
+    def get(self, key: str, default: Optional[str] = None) -> str:
+        if key in self._values:
+            return self._values[key]
+        if default is not None:
+            return default
+        raise ConfigError(
+            f"missing property {key!r}; known keys: {list(self.keys())}")
+
+    def get_int(self, key: str, default: Optional[int] = None) -> int:
+        raw = self.get(key, None if default is None else str(default))
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"property {key!r} should be an integer, got {raw!r}"
+            ) from None
+
+    def get_float(self, key: str, default: Optional[float] = None) -> float:
+        raw = self.get(key, None if default is None else repr(default))
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"property {key!r} should be a number, got {raw!r}"
+            ) from None
+
+    def get_bool(self, key: str, default: Optional[bool] = None) -> bool:
+        raw = self.get(key, None if default is None else str(default))
+        lowered = raw.strip().lower()
+        if lowered in _TRUE:
+            return True
+        if lowered in _FALSE:
+            return False
+        raise ConfigError(
+            f"property {key!r} should be a boolean "
+            f"({sorted(_TRUE)} / {sorted(_FALSE)}), got {raw!r}")
+
+    def get_path(self, key: str,
+                 default: Optional[str] = None) -> Path:
+        return Path(self.get(key, default))

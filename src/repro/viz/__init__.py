@@ -1,0 +1,81 @@
+"""Presentation: chart specs, guideline linting, gnuplot/ASCII output."""
+
+from repro.viz.ascii import (
+    render_bars,
+    render_chart,
+    render_pie,
+    render_series_table,
+    render_stacked_bars,
+)
+from repro.viz.charts import (
+    ChartKind,
+    ChartSpec,
+    Series,
+    bar_chart,
+    line_chart,
+    pie_chart,
+)
+from repro.viz.gnuplot import GnuplotScript, from_chart, size_ratio_settings
+from repro.viz.guidelines import (
+    Finding,
+    MAX_BARS,
+    MAX_LINE_CURVES,
+    MAX_PIE_SLICES,
+    MIN_HISTOGRAM_CELL_POINTS,
+    StyleRegistry,
+    errors_only,
+    lint_chart,
+)
+from repro.viz.histogram import Histogram, bin_values, finest_valid_binning
+from repro.viz.latex import (
+    LatexTable,
+    check_units_in_headers,
+    escape,
+    format_number,
+    from_result_set,
+)
+from repro.viz.locale_check import (
+    CorruptionReport,
+    check_round_trip,
+    detect_corruption,
+    parse_correctly,
+    simulate_locale_paste,
+)
+
+__all__ = [
+    "ChartKind",
+    "ChartSpec",
+    "CorruptionReport",
+    "Finding",
+    "GnuplotScript",
+    "Histogram",
+    "LatexTable",
+    "check_units_in_headers",
+    "escape",
+    "format_number",
+    "from_result_set",
+    "MAX_BARS",
+    "MAX_LINE_CURVES",
+    "MAX_PIE_SLICES",
+    "MIN_HISTOGRAM_CELL_POINTS",
+    "Series",
+    "StyleRegistry",
+    "bar_chart",
+    "bin_values",
+    "check_round_trip",
+    "detect_corruption",
+    "errors_only",
+    "finest_valid_binning",
+    "from_chart",
+    "line_chart",
+    "lint_chart",
+    "parse_correctly",
+    "pie_chart",
+    "render_bars",
+    "render_chart",
+    "render_pie",
+    "render_series_table",
+    "render_stacked_bars",
+    "simulate_locale_paste",
+    "size_ratio_settings",
+]

@@ -1,0 +1,120 @@
+"""Terminal renderings of charts (used by the benchmark harness output).
+
+Not a replacement for gnuplot — these exist so every benchmark can print
+the *shape* of its figure directly into the bench log, which is where the
+paper-vs-measured comparison in EXPERIMENTS.md comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ChartError
+from repro.viz.charts import ChartKind, ChartSpec, Series
+
+
+def render_bars(labels: Sequence[Any], values: Sequence[float],
+                width: int = 50, unit: str = "") -> str:
+    """A horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ChartError("labels and values must have equal length")
+    if not labels:
+        raise ChartError("nothing to render")
+    if any(v < 0 for v in values):
+        raise ChartError("bar values must be >= 0")
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(value / peak * width)))
+        suffix = f" {value:g}{unit}"
+        lines.append(f"{str(label).rjust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def render_stacked_bars(labels: Sequence[Any],
+                        components: Sequence[Tuple[str, Sequence[float]]],
+                        width: int = 50, unit: str = "") -> str:
+    """Stacked horizontal bars (e.g. CPU vs memory cost per machine).
+
+    Each component gets a distinct fill character, cycled from ``#=+*o``.
+    """
+    if not components:
+        raise ChartError("need at least one component")
+    n = len(labels)
+    for name, values in components:
+        if len(values) != n:
+            raise ChartError(
+                f"component {name!r} has {len(values)} values for "
+                f"{n} labels")
+    fills = "#=+*o"
+    totals = [sum(values[i] for __, values in components)
+              for i in range(n)]
+    peak = max(totals) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    legend = "  ".join(f"{fills[j % len(fills)]}={name}"
+                       for j, (name, __) in enumerate(components))
+    lines.append(f"{' ' * label_width}  [{legend}]")
+    for i, label in enumerate(labels):
+        bar = ""
+        for j, (__, values) in enumerate(components):
+            chars = int(round(values[i] / peak * width))
+            bar += fills[j % len(fills)] * chars
+        lines.append(f"{str(label).rjust(label_width)} |{bar} "
+                     f"{totals[i]:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_pie(labels: Sequence[str], values: Sequence[float],
+               width: int = 40) -> str:
+    """A pie chart as a percentage table with proportional bars."""
+    if len(labels) != len(values):
+        raise ChartError("labels and values must have equal length")
+    total = float(sum(values))
+    if total <= 0:
+        raise ChartError("pie total must be positive")
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        share = value / total
+        bar = "#" * int(round(share * width))
+        lines.append(f"{str(label).rjust(label_width)} "
+                     f"{100 * share:5.1f}% |{bar}")
+    return "\n".join(lines)
+
+
+def render_series_table(series: Sequence[Series],
+                        x_header: str = "x") -> str:
+    """Aligned numeric table of several series over the same x values."""
+    if not series:
+        raise ChartError("nothing to render")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ChartError(
+                "all series must share the same x values for a table")
+    headers = [x_header] + [s.label for s in series]
+    widths = [max(len(h), 12) for h in headers]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for i, x in enumerate(xs):
+        cells = [str(x).rjust(widths[0])]
+        for j, s in enumerate(series):
+            cells.append(f"{s.ys[i]:.4g}".rjust(widths[j + 1]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_chart(chart: ChartSpec, width: int = 50) -> str:
+    """Best-effort rendering of any ChartSpec."""
+    header = f"== {chart.title} =="
+    if chart.kind is ChartKind.PIE:
+        body = render_pie(list(chart.series[0].xs),
+                          list(chart.series[0].ys), width=width)
+    elif chart.kind is ChartKind.BAR and chart.n_series == 1:
+        body = render_bars(list(chart.series[0].xs),
+                           list(chart.series[0].ys), width=width)
+    else:
+        body = render_series_table(chart.series,
+                                   x_header=chart.x_label or "x")
+    return f"{header}\n{body}"

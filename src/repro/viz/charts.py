@@ -1,0 +1,153 @@
+"""Chart specifications: the structured form the guidelines lint.
+
+A :class:`ChartSpec` is a renderer-independent description of one figure
+(kind, axis labels with units, series with optional confidence
+intervals).  The ASCII renderer, the gnuplot emitter, and the guidelines
+linter all consume it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ChartError
+
+
+class ChartKind(enum.Enum):
+    LINE = "line"
+    BAR = "bar"
+    PIE = "pie"
+    HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series.
+
+    ``y_err`` holds half-widths of confidence intervals when the values
+    are random quantities (slide 142); ``stochastic`` marks series whose
+    values came from noisy measurements so the linter can demand error
+    bars.  ``style`` identifies the visual style so the linter can check
+    a curve keeps its layout across figures (slide 135).  ``unit`` names
+    the quantity's unit ("ms", "%", "jobs/s") so the linter can flag
+    charts that mix several result variables on one axis (slide 129).
+    """
+
+    label: str
+    xs: Tuple[Any, ...]
+    ys: Tuple[float, ...]
+    y_err: Optional[Tuple[float, ...]] = None
+    stochastic: bool = False
+    style: str = ""
+    unit: str = ""
+
+    def __init__(self, label: str, xs: Sequence[Any],
+                 ys: Sequence[float],
+                 y_err: Optional[Sequence[float]] = None,
+                 stochastic: bool = False, style: str = "",
+                 unit: str = ""):
+        if not label:
+            raise ChartError("series needs a label")
+        xs = tuple(xs)
+        ys = tuple(float(y) for y in ys)
+        if len(xs) != len(ys):
+            raise ChartError(
+                f"series {label!r}: {len(xs)} x values vs {len(ys)} y values")
+        if not xs:
+            raise ChartError(f"series {label!r} is empty")
+        if y_err is not None:
+            y_err = tuple(float(e) for e in y_err)
+            if len(y_err) != len(ys):
+                raise ChartError(
+                    f"series {label!r}: error bars must match the values")
+            if any(e < 0 for e in y_err):
+                raise ChartError(
+                    f"series {label!r}: error half-widths must be >= 0")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "xs", xs)
+        object.__setattr__(self, "ys", ys)
+        object.__setattr__(self, "y_err", y_err)
+        object.__setattr__(self, "stochastic", stochastic)
+        object.__setattr__(self, "style", style)
+        object.__setattr__(self, "unit", unit)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+@dataclass(frozen=True)
+class ChartSpec:
+    """One figure.
+
+    ``y_starts_at_zero`` declares the y-axis origin (slide 138's
+    truncated-axis game is flagged when it is False without
+    justification); ``aspect_ratio`` is height/width (the tutorial
+    recommends 3/4).
+    """
+
+    kind: ChartKind
+    title: str
+    series: Tuple[Series, ...]
+    x_label: str = ""
+    y_label: str = ""
+    y_starts_at_zero: bool = True
+    axis_break_justified: bool = False
+    aspect_ratio: float = 0.75
+
+    def __init__(self, kind: ChartKind, title: str,
+                 series: Sequence[Series], x_label: str = "",
+                 y_label: str = "", y_starts_at_zero: bool = True,
+                 axis_break_justified: bool = False,
+                 aspect_ratio: float = 0.75):
+        if not isinstance(kind, ChartKind):
+            raise ChartError(f"bad chart kind {kind!r}")
+        series = tuple(series)
+        if not series:
+            raise ChartError("a chart needs at least one series")
+        labels = [s.label for s in series]
+        if len(set(labels)) != len(labels):
+            raise ChartError(f"duplicate series labels {labels}")
+        if aspect_ratio <= 0:
+            raise ChartError("aspect ratio must be positive")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "title", title)
+        object.__setattr__(self, "series", series)
+        object.__setattr__(self, "x_label", x_label)
+        object.__setattr__(self, "y_label", y_label)
+        object.__setattr__(self, "y_starts_at_zero", y_starts_at_zero)
+        object.__setattr__(self, "axis_break_justified",
+                           axis_break_justified)
+        object.__setattr__(self, "aspect_ratio", aspect_ratio)
+
+    @property
+    def n_series(self) -> int:
+        return len(self.series)
+
+    def total_points(self) -> int:
+        return sum(len(s) for s in self.series)
+
+
+def line_chart(title: str, series: Sequence[Series], x_label: str,
+               y_label: str, **kwargs: Any) -> ChartSpec:
+    return ChartSpec(ChartKind.LINE, title, series, x_label=x_label,
+                     y_label=y_label, **kwargs)
+
+
+def bar_chart(title: str, series: Sequence[Series], x_label: str,
+              y_label: str, **kwargs: Any) -> ChartSpec:
+    return ChartSpec(ChartKind.BAR, title, series, x_label=x_label,
+                     y_label=y_label, **kwargs)
+
+
+def pie_chart(title: str, labels: Sequence[str],
+              values: Sequence[float], **kwargs: Any) -> ChartSpec:
+    """A pie: one series whose x values are the slice labels."""
+    if len(labels) != len(values):
+        raise ChartError("labels and values must have equal length")
+    if any(v < 0 for v in values):
+        raise ChartError("pie slices must be >= 0")
+    series = Series(label="slices", xs=tuple(labels),
+                    ys=tuple(float(v) for v in values))
+    return ChartSpec(ChartKind.PIE, title, (series,), **kwargs)

@@ -1,0 +1,186 @@
+"""The chart-guidelines linter: the tutorial's presentation rules as code.
+
+Rules implemented (slide numbers in parentheses):
+
+- ``max-curves``: a line chart should show at most 6 curves (128);
+- ``max-bars``: a bar chart at most 10 bars (128);
+- ``max-slices``: a pie chart at most 8 components (128);
+- ``axis-labels``: axes need informative labels (122);
+- ``units``: quantitative axis labels must include units, e.g.
+  "CPU time (ms)" (122);
+- ``symbols``: labels should use keywords, not Greek-letter symbols —
+  "the human brain is a poor join processor" (131);
+- ``zero-origin``: the y axis starts at zero unless a break is justified
+  — the MINE-vs-YOURS game (138);
+- ``confidence-intervals``: random quantities need error bars (142);
+- ``histogram-cells``: every histogram cell should hold >= 5 points (144);
+- ``aspect-ratio``: useful height ~ 3/4 of useful width (141/146);
+- ``style-consistency`` (via :class:`StyleRegistry`): a given curve keeps
+  the same layout from one figure to the next (135);
+- ``mixed-units``: one chart should not mix many result variables (129).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GuidelineViolation
+from repro.viz.charts import ChartKind, ChartSpec
+
+MAX_LINE_CURVES = 6
+MAX_BARS = 10
+MAX_PIE_SLICES = 8
+MIN_HISTOGRAM_CELL_POINTS = 5
+RECOMMENDED_ASPECT = 0.75
+ASPECT_TOLERANCE = 0.15
+
+_UNIT_PATTERN = re.compile(r"\(.+\)|\bper\b|%|/")
+_SYMBOL_PATTERN = re.compile(
+    r"[λμσθαβγδ]|\\(lambda|mu|sigma|theta|alpha|beta)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One guideline violation."""
+
+    rule: str
+    severity: str      # "error" | "warning"
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+
+def lint_chart(chart: ChartSpec, strict: bool = False) -> Tuple[Finding, ...]:
+    """Check one chart against every applicable rule.
+
+    With ``strict=True`` the first error-severity finding raises
+    :class:`~repro.errors.GuidelineViolation` instead of being returned.
+    """
+    findings: List[Finding] = []
+
+    if chart.kind is ChartKind.LINE and chart.n_series > MAX_LINE_CURVES:
+        findings.append(Finding(
+            "max-curves", "error",
+            f"{chart.n_series} curves on one line chart; the rule of "
+            f"thumb is at most {MAX_LINE_CURVES}"))
+    if chart.kind is ChartKind.BAR:
+        bars = chart.total_points()
+        if bars > MAX_BARS:
+            findings.append(Finding(
+                "max-bars", "error",
+                f"{bars} bars on one column chart; limit is {MAX_BARS}"))
+    if chart.kind is ChartKind.PIE:
+        slices = chart.total_points()
+        if slices > MAX_PIE_SLICES:
+            findings.append(Finding(
+                "max-slices", "error",
+                f"{slices} pie components; limit is {MAX_PIE_SLICES}"))
+
+    if chart.kind in (ChartKind.LINE, ChartKind.BAR, ChartKind.HISTOGRAM):
+        if not chart.x_label:
+            findings.append(Finding(
+                "axis-labels", "error", "x axis has no label"))
+        if not chart.y_label:
+            findings.append(Finding(
+                "axis-labels", "error", "y axis has no label"))
+        if chart.y_label and not _UNIT_PATTERN.search(chart.y_label):
+            findings.append(Finding(
+                "units", "warning",
+                f"y label {chart.y_label!r} has no unit; prefer "
+                "'CPU time (ms)' over 'CPU time'"))
+
+    for label in (chart.x_label, chart.y_label, chart.title):
+        if label and _SYMBOL_PATTERN.search(label):
+            findings.append(Finding(
+                "symbols", "warning",
+                f"label {label!r} uses symbols; use keywords instead — "
+                "the reader's brain is a poor join processor"))
+    for series in chart.series:
+        if _SYMBOL_PATTERN.search(series.label):
+            findings.append(Finding(
+                "symbols", "warning",
+                f"series label {series.label!r} uses symbols; spell it out"))
+
+    if chart.kind in (ChartKind.LINE, ChartKind.BAR) \
+            and not chart.y_starts_at_zero \
+            and not chart.axis_break_justified:
+        findings.append(Finding(
+            "zero-origin", "error",
+            "y axis does not start at zero and no axis break is "
+            "justified — the 'MINE is better than YOURS' game"))
+
+    for series in chart.series:
+        if series.stochastic and series.y_err is None:
+            findings.append(Finding(
+                "confidence-intervals", "error",
+                f"series {series.label!r} plots random quantities "
+                "without confidence intervals"))
+
+    if chart.kind is ChartKind.HISTOGRAM:
+        for series in chart.series:
+            thin = [(x, y) for x, y in zip(series.xs, series.ys)
+                    if 0 < y < MIN_HISTOGRAM_CELL_POINTS]
+            if thin:
+                findings.append(Finding(
+                    "histogram-cells", "warning",
+                    f"{len(thin)} histogram cell(s) hold fewer than "
+                    f"{MIN_HISTOGRAM_CELL_POINTS} points "
+                    f"(e.g. cell {thin[0][0]!r})"))
+
+    if chart.kind in (ChartKind.LINE, ChartKind.BAR):
+        units = {s.unit for s in chart.series if s.unit}
+        if len(units) > 1:
+            findings.append(Finding(
+                "mixed-units", "error",
+                f"one chart mixes result variables with units "
+                f"{sorted(units)} (slide 129: response time, throughput "
+                "and utilization on one y axis — 'Huh?')"))
+
+    if abs(chart.aspect_ratio - RECOMMENDED_ASPECT) > ASPECT_TOLERANCE:
+        findings.append(Finding(
+            "aspect-ratio", "warning",
+            f"height/width = {chart.aspect_ratio:.2f}; the recommended "
+            f"useful-area ratio is {RECOMMENDED_ASPECT}"))
+
+    if strict:
+        for finding in findings:
+            if finding.severity == "error":
+                raise GuidelineViolation(finding.format())
+    return tuple(findings)
+
+
+def errors_only(findings: Sequence[Finding]) -> Tuple[Finding, ...]:
+    return tuple(f for f in findings if f.severity == "error")
+
+
+class StyleRegistry:
+    """Tracks series styles across figures (slide 135's rule).
+
+    Register every chart of a paper; a series label appearing with two
+    different styles yields a ``style-consistency`` finding.
+    """
+
+    def __init__(self):
+        self._styles: Dict[str, Tuple[str, str]] = {}  # label -> (style, chart)
+        self.findings: List[Finding] = []
+
+    def register(self, chart: ChartSpec) -> Tuple[Finding, ...]:
+        new: List[Finding] = []
+        for series in chart.series:
+            if not series.style:
+                continue
+            seen = self._styles.get(series.label)
+            if seen is None:
+                self._styles[series.label] = (series.style, chart.title)
+            elif seen[0] != series.style:
+                new.append(Finding(
+                    "style-consistency", "error",
+                    f"series {series.label!r} is {seen[0]!r} in "
+                    f"{seen[1]!r} but {series.style!r} in "
+                    f"{chart.title!r}; keep a curve's layout identical "
+                    "across figures"))
+        self.findings.extend(new)
+        return tuple(new)

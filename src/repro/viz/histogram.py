@@ -1,0 +1,97 @@
+"""Histogram binning with the tutorial's cell-size rule (slide 144).
+
+The same 36 response-time points can look like a detailed distribution
+(six 2-unit cells) or a featureless two-bar plot (two 6-unit cells); the
+tutorial's rule of thumb — at least five points per cell — bounds how
+fine the binning may get, without uniquely determining it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChartError
+from repro.viz.charts import ChartKind, ChartSpec, Series
+from repro.viz.guidelines import MIN_HISTOGRAM_CELL_POINTS
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Binned data: edges (len n+1) and per-cell counts (len n)."""
+
+    edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.edges) != len(self.counts) + 1:
+            raise ChartError("need exactly one more edge than cells")
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.counts))
+
+    def cell_labels(self) -> List[str]:
+        return [f"[{self.edges[i]:g},{self.edges[i + 1]:g})"
+                for i in range(self.n_cells)]
+
+    def min_cell_count(self) -> int:
+        occupied = [c for c in self.counts if c > 0]
+        return min(occupied) if occupied else 0
+
+    def satisfies_cell_rule(
+            self, minimum: int = MIN_HISTOGRAM_CELL_POINTS) -> bool:
+        """True if every non-empty cell holds at least ``minimum`` points."""
+        return all(c == 0 or c >= minimum for c in self.counts)
+
+    def to_chart(self, title: str, x_label: str) -> ChartSpec:
+        series = Series(label="frequency", xs=tuple(self.cell_labels()),
+                        ys=tuple(float(c) for c in self.counts))
+        return ChartSpec(ChartKind.HISTOGRAM, title, (series,),
+                         x_label=x_label, y_label="Frequency (count)")
+
+
+def bin_values(values: Sequence[float], n_cells: int,
+               low: float = None, high: float = None) -> Histogram:
+    """Equal-width binning into ``n_cells`` cells.
+
+    The last cell is closed on the right so the maximum is included.
+    """
+    if n_cells < 1:
+        raise ChartError("need at least one cell")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ChartError("cannot bin an empty sample")
+    lo = float(arr.min()) if low is None else float(low)
+    hi = float(arr.max()) if high is None else float(high)
+    if lo >= hi:
+        hi = lo + 1.0
+    counts, edges = np.histogram(arr, bins=n_cells, range=(lo, hi))
+    return Histogram(edges=tuple(float(e) for e in edges),
+                     counts=tuple(int(c) for c in counts))
+
+
+def finest_valid_binning(values: Sequence[float], max_cells: int = 50,
+                         minimum: int = MIN_HISTOGRAM_CELL_POINTS
+                         ) -> Histogram:
+    """The most detailed equal-width binning obeying the cell rule.
+
+    Searches cell counts from ``max_cells`` down to 1 and returns the
+    first that keeps every non-empty cell at or above ``minimum`` points.
+    One cell always satisfies the rule when the sample is big enough;
+    tiny samples fall back to a single cell regardless.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ChartError("cannot bin an empty sample")
+    for n_cells in range(max_cells, 0, -1):
+        histogram = bin_values(arr, n_cells)
+        if histogram.satisfies_cell_rule(minimum):
+            return histogram
+    return bin_values(arr, 1)

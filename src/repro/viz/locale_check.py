@@ -1,0 +1,101 @@
+"""The locale copy-paste corruption of slide 212, as code.
+
+The tutorial's war story: ``avgs.out`` holds averages like ``13.666``;
+pasting into a locale-confused OpenOffice turns them into ``13666``
+(the ``.`` parsed as a thousands separator) — and the broken graph is
+"hard to figure out when you have to produce by hand 20 such graphs and
+most of them look OK".
+
+:func:`simulate_locale_paste` reproduces the corruption;
+:func:`detect_corruption` is the guard an automated pipeline should run,
+flagging values that jumped by ~10^3 relative to the column's scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ChartError
+
+
+def simulate_locale_paste(texts: Sequence[str]) -> List[float]:
+    """Parse decimal-point numbers the way a comma-decimal locale does.
+
+    ``"13.666"`` → 13666.0 (dot taken as a thousands separator);
+    ``"15"`` → 15.0.  This is the slide-212 bug, faithfully wrong.
+    """
+    out: List[float] = []
+    for text in texts:
+        cleaned = text.strip()
+        if not cleaned:
+            raise ChartError("empty cell cannot be pasted")
+        # A comma-decimal locale treats '.' as a grouping separator.
+        out.append(float(cleaned.replace(".", "")))
+    return out
+
+
+def parse_correctly(texts: Sequence[str]) -> List[float]:
+    """The correct, locale-independent parse ('.' is the decimal mark)."""
+    return [float(t.strip()) for t in texts]
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """Outcome of a corruption scan."""
+
+    suspicious_indices: Tuple[int, ...]
+    values: Tuple[float, ...]
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.suspicious_indices
+
+    def format(self) -> str:
+        if self.is_clean:
+            return "no locale corruption detected"
+        cells = ", ".join(
+            f"[{i}]={self.values[i]:g}" for i in self.suspicious_indices)
+        return (f"possible locale corruption at {cells}: values jumped "
+                f"by ~10^3 against the column median (slide 212)")
+
+
+def detect_corruption(values: Sequence[float],
+                      ratio_threshold: float = 100.0) -> CorruptionReport:
+    """Flag values ``ratio_threshold``x above the column's low quartile.
+
+    Locale corruption multiplies an affected cell by roughly 10^(number
+    of decimals), so corrupted cells sit orders of magnitude above their
+    neighbours.  The 25th percentile is the baseline (a median would be
+    dragged upward when several cells are corrupted at once).  A column
+    whose values legitimately span such ranges will false-positive —
+    that is the point: a human must look.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ChartError("cannot scan an empty column")
+    if ratio_threshold <= 1:
+        raise ChartError("ratio threshold must exceed 1")
+    positive = np.abs(arr[arr != 0])
+    if positive.size == 0:
+        return CorruptionReport(suspicious_indices=(),
+                                values=tuple(float(v) for v in arr))
+    baseline = float(np.percentile(positive, 25))
+    suspicious = tuple(
+        int(i) for i, v in enumerate(arr)
+        if baseline > 0 and abs(v) / baseline >= ratio_threshold)
+    return CorruptionReport(suspicious_indices=suspicious,
+                            values=tuple(float(v) for v in arr))
+
+
+def check_round_trip(texts: Sequence[str]) -> bool:
+    """True when a locale-confused paste would corrupt this column.
+
+    Compares the correct parse against the simulated bad parse; any
+    difference means the column is vulnerable (it contains decimals).
+    """
+    good = parse_correctly(texts)
+    bad = simulate_locale_paste(texts)
+    return any(g != b for g, b in zip(good, bad))

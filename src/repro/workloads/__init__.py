@@ -1,0 +1,84 @@
+"""Workloads: data generators, micro-benchmarks, TPC-H-like benchmark."""
+
+from repro.workloads.auction import (
+    AUCTION_QUERIES,
+    AuctionSizes,
+    all_auction_queries,
+    auction_query,
+    generate_auction,
+)
+from repro.workloads.distributions import (
+    choices,
+    correlated_pair,
+    make_rng,
+    normal_floats,
+    padded_strings,
+    random_dates,
+    sequential_ints,
+    uniform_floats,
+    uniform_ints,
+    zipf_ints,
+)
+from repro.workloads.microbench import (
+    Microbenchmark,
+    aggregate_microbenchmark,
+    join_microbenchmark,
+    select_microbenchmark,
+    sort_microbenchmark,
+)
+from repro.workloads.queries import EngineQueryWorkload, Query, QuerySet
+from repro.workloads.sweeps import SweepOutcome, run_scale_sweep
+from repro.workloads.synthetic import (
+    ColumnSpec,
+    GENERATOR_KINDS,
+    TableSpec,
+    generate_table,
+    selectivity_predicate_bound,
+    uniform_int_table,
+)
+from repro.workloads.tpch import (
+    TPCH_QUERIES,
+    TpchSizes,
+    all_query_numbers,
+    generate_tpch,
+    tpch_query,
+)
+
+__all__ = [
+    "AUCTION_QUERIES",
+    "AuctionSizes",
+    "all_auction_queries",
+    "auction_query",
+    "generate_auction",
+    "ColumnSpec",
+    "EngineQueryWorkload",
+    "GENERATOR_KINDS",
+    "Microbenchmark",
+    "Query",
+    "QuerySet",
+    "SweepOutcome",
+    "TPCH_QUERIES",
+    "TableSpec",
+    "run_scale_sweep",
+    "TpchSizes",
+    "aggregate_microbenchmark",
+    "all_query_numbers",
+    "choices",
+    "correlated_pair",
+    "generate_table",
+    "generate_tpch",
+    "join_microbenchmark",
+    "make_rng",
+    "normal_floats",
+    "padded_strings",
+    "random_dates",
+    "select_microbenchmark",
+    "selectivity_predicate_bound",
+    "sequential_ints",
+    "sort_microbenchmark",
+    "tpch_query",
+    "uniform_floats",
+    "uniform_int_table",
+    "uniform_ints",
+    "zipf_ints",
+]

@@ -1,0 +1,210 @@
+"""An XMark-inspired auction benchmark (relational shredding).
+
+Slide 13 lists the XML benchmark family (XMark, XBench, ...) next to the
+TPC suites.  MiniDB is relational, so this module provides the standard
+trick the XML community itself used for comparisons: the XMark auction
+site *shredded* into relations — people, categories, items, open bids,
+and closed auctions — plus a 10-query analytic workload whose queries
+keep the flavour of their XMark namesakes (point lookup, closed-auction
+aggregation, bidder/seller joins, income brackets, category rollups).
+
+Like the TPC-H-like generator, everything is produced deterministically
+from a scale factor and a seed.  Scale factor 1.0 ≈ 25,500 people /
+217,500 bids, mirroring XMark's document-size scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.db.storage import Database, Table
+from repro.db.types import DataType
+from repro.errors import WorkloadError
+from repro.workloads import distributions as dist
+
+COUNTRIES = ("Germany", "France", "Japan", "Brazil", "India",
+             "United States", "Netherlands", "Romania")
+
+CATEGORY_NAMES = ("antiques", "books", "cameras", "coins", "computers",
+                  "jewelry", "music", "sports", "stamps", "toys")
+
+#: XMark's continents become item regions.
+REGIONS = ("africa", "asia", "australia", "europe", "namerica",
+           "samerica")
+
+
+@dataclass(frozen=True)
+class AuctionSizes:
+    """Row counts at one scale factor (with small-sf minimums)."""
+
+    people: int
+    items: int
+    bids: int
+    closed: int
+
+    @classmethod
+    def for_scale(cls, sf: float) -> "AuctionSizes":
+        if sf <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {sf}")
+        people = max(50, int(25_500 * sf))
+        items = max(40, int(21_750 * sf))
+        closed = max(20, int(9_750 * sf))
+        bids = max(100, int(217_500 * sf))
+        return cls(people=people, items=items, bids=bids, closed=closed)
+
+
+def generate_auction(sf: float = 0.01, seed: int = 7) -> Database:
+    """Generate the auction-site database at scale factor ``sf``."""
+    sizes = AuctionSizes.for_scale(sf)
+    rng = dist.make_rng(seed)
+    db = Database(name=f"auction_sf{sf}")
+
+    db.create_table(Table.from_columns(
+        "categories",
+        [("category_id", DataType.INT64),
+         ("category_name", DataType.STRING)],
+        {"category_id": list(range(len(CATEGORY_NAMES))),
+         "category_name": list(CATEGORY_NAMES)}))
+
+    n_people = sizes.people
+    person_ids = dist.sequential_ints(n_people)
+    db.create_table(Table.from_columns(
+        "people",
+        [("person_id", DataType.INT64), ("person_name", DataType.STRING),
+         ("country", DataType.STRING), ("income", DataType.FLOAT64)],
+        {"person_id": person_ids,
+         "person_name": dist.padded_strings("Person#", person_ids),
+         "country": dist.choices(rng, n_people, COUNTRIES),
+         "income": np.round(dist.normal_floats(rng, n_people, 55_000.0,
+                                               18_000.0).clip(9_000), 2)}))
+
+    n_items = sizes.items
+    item_ids = dist.sequential_ints(n_items)
+    db.create_table(Table.from_columns(
+        "items",
+        [("item_id", DataType.INT64), ("category_id", DataType.INT64),
+         ("seller_id", DataType.INT64), ("region", DataType.STRING),
+         ("reserve_price", DataType.FLOAT64),
+         ("quantity", DataType.INT64)],
+        {"item_id": item_ids,
+         # Zipf-skewed categories: some categories are far more popular.
+         "category_id": dist.zipf_ints(rng, n_items,
+                                       len(CATEGORY_NAMES), skew=1.4),
+         "seller_id": dist.uniform_ints(rng, n_items, 1, n_people),
+         "region": dist.choices(rng, n_items, REGIONS),
+         "reserve_price": np.round(
+             dist.uniform_floats(rng, n_items, 5.0, 4_000.0), 2),
+         "quantity": dist.uniform_ints(rng, n_items, 1, 10)}))
+
+    n_bids = sizes.bids
+    bid_item = dist.zipf_ints(rng, n_bids, n_items, skew=1.3) + 1
+    db.create_table(Table.from_columns(
+        "bids",
+        [("bid_id", DataType.INT64), ("bid_item_id", DataType.INT64),
+         ("bidder_id", DataType.INT64), ("amount", DataType.FLOAT64),
+         ("bid_date", DataType.DATE)],
+        {"bid_id": dist.sequential_ints(n_bids),
+         "bid_item_id": bid_item,
+         "bidder_id": dist.uniform_ints(rng, n_bids, 1, n_people),
+         "amount": np.round(
+             dist.uniform_floats(rng, n_bids, 1.0, 5_000.0), 2),
+         "bid_date": dist.random_dates(rng, n_bids, "1998-01-01",
+                                       "2001-12-31")}))
+
+    n_closed = min(sizes.closed, n_items)
+    sold_items = rng.permutation(item_ids)[:n_closed].astype(np.int64)
+    db.create_table(Table.from_columns(
+        "closed_auctions",
+        [("sold_item_id", DataType.INT64), ("buyer_id", DataType.INT64),
+         ("final_price", DataType.FLOAT64), ("sale_date", DataType.DATE)],
+        {"sold_item_id": sold_items,
+         "buyer_id": dist.uniform_ints(rng, n_closed, 1, n_people),
+         "final_price": np.round(
+             dist.uniform_floats(rng, n_closed, 10.0, 6_000.0), 2),
+         "sale_date": dist.random_dates(rng, n_closed, "1999-01-01",
+                                        "2001-12-31")}))
+    return db
+
+
+#: Ten analytic queries in the spirit of their XMark namesakes.
+AUCTION_QUERIES: Dict[str, str] = {
+    # XMark Q1: return the name of the person with a given id.
+    "Q1_point_lookup": """
+        SELECT person_name FROM people WHERE person_id = 7""",
+    # XMark Q5: how many sold items cost more than 40?
+    "Q5_expensive_sales": """
+        SELECT COUNT(*) AS n FROM closed_auctions
+        WHERE final_price > 40.0""",
+    # XMark Q8: how many items did each person buy?
+    "Q8_purchases_per_buyer": """
+        SELECT person_name, COUNT(*) AS n_bought
+        FROM closed_auctions
+        JOIN people ON buyer_id = person_id
+        GROUP BY person_name
+        ORDER BY n_bought DESC, person_name
+        LIMIT 25""",
+    # XMark Q9: buyers joined with the items they bought.
+    "Q9_buyer_item_join": """
+        SELECT person_name, final_price
+        FROM closed_auctions
+        JOIN items ON sold_item_id = item_id
+        JOIN people ON buyer_id = person_id
+        WHERE reserve_price < final_price
+        ORDER BY final_price DESC
+        LIMIT 20""",
+    # XMark Q11/Q12 flavour: match people to items by income bracket.
+    "Q11_income_power": """
+        SELECT country, COUNT(*) AS wealthy, AVG(income) AS avg_income
+        FROM people
+        WHERE income > 75000.0
+        GROUP BY country
+        ORDER BY wealthy DESC, country""",
+    # XMark Q14: items whose region is given (string predicate).
+    "Q14_region_listing": """
+        SELECT COUNT(*) AS n, SUM(reserve_price) AS total_reserve
+        FROM items
+        WHERE region IN ('europe', 'asia')""",
+    # XMark Q19-ish: category rollup ordered by volume.
+    "Q19_category_rollup": """
+        SELECT category_name, COUNT(*) AS n_items,
+               AVG(reserve_price) AS avg_reserve
+        FROM items
+        JOIN categories ON category_id = category_id
+        GROUP BY category_name
+        ORDER BY n_items DESC, category_name""",
+    # XMark Q20: income brackets (the CASE profile, as separate counts).
+    "Q20_bracket_high": """
+        SELECT COUNT(*) AS n FROM people WHERE income >= 100000.0""",
+    # Bid-pressure query: hottest items by bid count (XMark "bidder"
+    # section analytics).
+    "BID_hot_items": """
+        SELECT bid_item_id, COUNT(*) AS n_bids, MAX(amount) AS top_bid
+        FROM bids
+        WHERE bid_date >= DATE '2000-01-01'
+        GROUP BY bid_item_id
+        ORDER BY n_bids DESC, bid_item_id
+        LIMIT 10""",
+    # Cross-section: bidders' countries by spend.
+    "BID_country_spend": """
+        SELECT country, SUM(amount) AS total_bid
+        FROM bids
+        JOIN people ON bidder_id = person_id
+        GROUP BY country
+        ORDER BY total_bid DESC""",
+}
+
+
+def auction_query(name: str) -> str:
+    """Look up one workload query by name."""
+    if name not in AUCTION_QUERIES:
+        raise WorkloadError(
+            f"unknown auction query {name!r}; "
+            f"known: {sorted(AUCTION_QUERIES)}")
+    return AUCTION_QUERIES[name]
+
+
+def all_auction_queries() -> Tuple[str, ...]:
+    return tuple(sorted(AUCTION_QUERIES))

@@ -1,0 +1,147 @@
+"""Seeded value generators for synthetic data.
+
+The tutorial lists what a micro-benchmark must control: "data size,
+value ranges and distribution, correlation" (slide 11).  These generators
+are all driven by an explicit seed so any dataset is exactly regenerable —
+the repeatability requirement that slide 226's war story ("no trace about
+the identity of the used documents has been kept") is about.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.types import date_to_days
+from repro.errors import WorkloadError
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """A numpy Generator from an explicit integer seed."""
+    if not isinstance(seed, (int, np.integer)):
+        raise WorkloadError(f"seed must be an int, got {type(seed).__name__}")
+    return np.random.default_rng(int(seed))
+
+
+def uniform_ints(rng: np.random.Generator, n: int, low: int,
+                 high: int) -> np.ndarray:
+    """Uniform integers in [low, high] inclusive."""
+    if n < 0:
+        raise WorkloadError("n must be >= 0")
+    if low > high:
+        raise WorkloadError(f"empty range [{low}, {high}]")
+    return rng.integers(low, high + 1, size=n, dtype=np.int64)
+
+
+def uniform_floats(rng: np.random.Generator, n: int, low: float,
+                   high: float) -> np.ndarray:
+    """Uniform floats in [low, high)."""
+    if n < 0:
+        raise WorkloadError("n must be >= 0")
+    if low >= high:
+        raise WorkloadError(f"empty range [{low}, {high})")
+    return rng.uniform(low, high, size=n)
+
+
+def normal_floats(rng: np.random.Generator, n: int, mean: float,
+                  stddev: float) -> np.ndarray:
+    """Gaussian values."""
+    if stddev < 0:
+        raise WorkloadError("stddev must be >= 0")
+    return rng.normal(mean, stddev, size=n)
+
+
+def zipf_ints(rng: np.random.Generator, n: int, n_values: int,
+              skew: float = 1.1) -> np.ndarray:
+    """Zipf-distributed integers in [0, n_values), bounded by rejection.
+
+    ``skew`` must be > 1 (numpy's zipf parameter); higher means more
+    skewed toward small values.
+    """
+    if n_values < 1:
+        raise WorkloadError("n_values must be >= 1")
+    if skew <= 1.0:
+        raise WorkloadError("zipf skew must be > 1")
+    out = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        draw = rng.zipf(skew, size=max(16, (n - filled) * 2))
+        draw = draw[draw <= n_values]
+        take = min(len(draw), n - filled)
+        out[filled:filled + take] = draw[:take] - 1
+        filled += take
+    return out
+
+
+def sequential_ints(n: int, start: int = 1) -> np.ndarray:
+    """A dense key column start..start+n-1 (primary keys)."""
+    if n < 0:
+        raise WorkloadError("n must be >= 0")
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def choices(rng: np.random.Generator, n: int,
+            vocabulary: Sequence[str],
+            weights: Optional[Sequence[float]] = None) -> List[str]:
+    """Strings drawn from a vocabulary, optionally weighted."""
+    if not vocabulary:
+        raise WorkloadError("vocabulary cannot be empty")
+    p = None
+    if weights is not None:
+        if len(weights) != len(vocabulary):
+            raise WorkloadError("weights must match the vocabulary length")
+        total = float(sum(weights))
+        if total <= 0:
+            raise WorkloadError("weights must sum to a positive value")
+        p = np.asarray(weights, dtype=float) / total
+    idx = rng.choice(len(vocabulary), size=n, p=p)
+    return [vocabulary[i] for i in idx]
+
+
+def correlated_pair(rng: np.random.Generator, n: int,
+                    correlation: float,
+                    low: float = 0.0, high: float = 1.0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Two float columns with (approximately) the given correlation.
+
+    Implemented as a Gaussian copula scaled into [low, high); correlation
+    must lie in [-1, 1].
+    """
+    if not -1.0 <= correlation <= 1.0:
+        raise WorkloadError(
+            f"correlation must be in [-1, 1], got {correlation}")
+    if low >= high:
+        raise WorkloadError(f"empty range [{low}, {high})")
+    x = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    y = correlation * x + np.sqrt(max(0.0, 1 - correlation ** 2)) * noise
+
+    def scale(values: np.ndarray) -> np.ndarray:
+        if len(values) == 0:
+            return values
+        lo, hi = values.min(), values.max()
+        if hi == lo:
+            return np.full_like(values, (low + high) / 2.0)
+        return low + (values - lo) / (hi - lo) * (high - low)
+
+    return scale(x), scale(y)
+
+
+def random_dates(rng: np.random.Generator, n: int, start_iso: str,
+                 end_iso: str) -> np.ndarray:
+    """Uniform dates in [start, end], as days-since-epoch int64."""
+    start = date_to_days(start_iso)
+    end = date_to_days(end_iso)
+    if start > end:
+        raise WorkloadError(f"empty date range [{start_iso}, {end_iso}]")
+    return rng.integers(start, end + 1, size=n, dtype=np.int64)
+
+
+def padded_strings(prefix: str, keys: np.ndarray, width: int = 9
+                   ) -> List[str]:
+    """Deterministic name strings like ``'Customer#000000007'``."""
+    if width < 1:
+        raise WorkloadError("width must be >= 1")
+    return [f"{prefix}{int(k):0{width}d}" for k in keys]

@@ -1,0 +1,136 @@
+"""Micro-benchmarks: isolated single-operator experiments.
+
+The tutorial defines a micro-benchmark as a "specialized, stand-alone
+piece of software isolating one particular piece of a larger system,
+e.g. a single DB operator (select, join, aggregation)".  These builders
+create exactly that: one table (or two), one operator, fully
+parameterised data characteristics, returning a ready-to-measure MiniDB
+engine plus the query exercising the operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.db.engine import Engine, EngineConfig
+from repro.db.storage import Database, Table
+from repro.db.types import DataType
+from repro.errors import WorkloadError
+from repro.workloads import distributions as dist
+from repro.workloads.synthetic import selectivity_predicate_bound
+
+_VALUE_LOW = 0
+_VALUE_HIGH = 999_999
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A ready-to-run micro-benchmark: an engine plus one query."""
+
+    name: str
+    engine: Engine
+    sql: str
+
+    def run(self):
+        return self.engine.execute(self.sql)
+
+
+def _single_table_db(name: str, n_rows: int, seed: int,
+                     extra_float: bool = True) -> Database:
+    rng = dist.make_rng(seed)
+    schema = [("id", DataType.INT64), ("k", DataType.INT64)]
+    data = {"id": dist.sequential_ints(n_rows),
+            "k": dist.uniform_ints(rng, n_rows, _VALUE_LOW, _VALUE_HIGH)}
+    if extra_float:
+        schema.append(("v", DataType.FLOAT64))
+        data["v"] = dist.uniform_floats(rng, n_rows, 0.0, 100.0)
+    db = Database(name=name)
+    db.create_table(Table.from_columns("t", schema, data))
+    return db
+
+
+def select_microbenchmark(n_rows: int, selectivity: float,
+                          seed: int = 7,
+                          config: Optional[EngineConfig] = None
+                          ) -> Microbenchmark:
+    """Selection at a controlled selectivity over a uniform column."""
+    if n_rows < 1:
+        raise WorkloadError("n_rows must be >= 1")
+    bound = selectivity_predicate_bound(_VALUE_LOW, _VALUE_HIGH, selectivity)
+    db = _single_table_db("select_micro", n_rows, seed)
+    engine = Engine(db, config)
+    sql = f"SELECT id, v FROM t WHERE k < {bound}"
+    return Microbenchmark(name=f"select(sel={selectivity})",
+                          engine=engine, sql=sql)
+
+
+def aggregate_microbenchmark(n_rows: int, n_groups: int,
+                             seed: int = 7,
+                             config: Optional[EngineConfig] = None
+                             ) -> Microbenchmark:
+    """GROUP BY with a controlled number of groups."""
+    if n_rows < 1 or n_groups < 1:
+        raise WorkloadError("n_rows and n_groups must be >= 1")
+    rng = dist.make_rng(seed)
+    db = Database(name="agg_micro")
+    db.create_table(Table.from_columns(
+        "t",
+        [("g", DataType.INT64), ("v", DataType.FLOAT64)],
+        {"g": dist.uniform_ints(rng, n_rows, 0, n_groups - 1),
+         "v": dist.uniform_floats(rng, n_rows, 0.0, 100.0)}))
+    engine = Engine(db, config)
+    sql = "SELECT g, SUM(v) AS total, COUNT(*) AS n FROM t GROUP BY g"
+    return Microbenchmark(name=f"aggregate(groups={n_groups})",
+                          engine=engine, sql=sql)
+
+
+def join_microbenchmark(n_left: int, n_right: int,
+                        match_fraction: float = 1.0,
+                        seed: int = 7,
+                        config: Optional[EngineConfig] = None
+                        ) -> Microbenchmark:
+    """Equi-join with a controlled match rate.
+
+    Every left row's key falls in [1, n_right]; ``match_fraction``
+    controls how many left keys have a partner (the rest point past the
+    right table's key range).
+    """
+    if n_left < 1 or n_right < 1:
+        raise WorkloadError("both sides need at least one row")
+    if not 0.0 <= match_fraction <= 1.0:
+        raise WorkloadError(
+            f"match_fraction must be in [0, 1], got {match_fraction}")
+    rng = dist.make_rng(seed)
+    matching = int(round(n_left * match_fraction))
+    left_keys = list(dist.uniform_ints(rng, matching, 1, n_right))
+    left_keys += list(dist.uniform_ints(rng, n_left - matching,
+                                        n_right + 1, 2 * n_right + 1))
+    db = Database(name="join_micro")
+    db.create_table(Table.from_columns(
+        "l",
+        [("fk", DataType.INT64), ("lv", DataType.FLOAT64)],
+        {"fk": left_keys,
+         "lv": dist.uniform_floats(rng, n_left, 0.0, 1.0)}))
+    db.create_table(Table.from_columns(
+        "r",
+        [("pk", DataType.INT64), ("rv", DataType.FLOAT64)],
+        {"pk": dist.sequential_ints(n_right),
+         "rv": dist.uniform_floats(rng, n_right, 0.0, 1.0)}))
+    engine = Engine(db, config)
+    sql = "SELECT SUM(lv * rv) AS dot FROM l JOIN r ON fk = pk"
+    return Microbenchmark(
+        name=f"join({n_left}x{n_right}, match={match_fraction})",
+        engine=engine, sql=sql)
+
+
+def sort_microbenchmark(n_rows: int, seed: int = 7,
+                        config: Optional[EngineConfig] = None
+                        ) -> Microbenchmark:
+    """ORDER BY over a uniform column."""
+    if n_rows < 1:
+        raise WorkloadError("n_rows must be >= 1")
+    db = _single_table_db("sort_micro", n_rows, seed)
+    engine = Engine(db, config)
+    sql = "SELECT id, k FROM t ORDER BY k"
+    return Microbenchmark(name=f"sort(n={n_rows})", engine=engine, sql=sql)

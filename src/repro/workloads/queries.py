@@ -1,0 +1,79 @@
+"""Query/workload abstractions bridging MiniDB and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.db.engine import Engine
+from repro.errors import WorkloadError
+from repro.measurement.harness import Workload
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named SQL query."""
+
+    name: str
+    sql: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise WorkloadError("query needs a name")
+        if not self.sql or not self.sql.strip():
+            raise WorkloadError(f"query {self.name!r} has empty SQL")
+
+
+class QuerySet:
+    """An ordered, named collection of queries."""
+
+    def __init__(self, name: str, queries: Sequence[Query]):
+        if not queries:
+            raise WorkloadError(f"query set {name!r} is empty")
+        names = [q.name for q in queries]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate query names in {name!r}")
+        self.name = name
+        self._queries: Tuple[Query, ...] = tuple(queries)
+        self._by_name: Dict[str, Query] = {q.name: q for q in queries}
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, name: str) -> Query:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown query {name!r}; known: "
+                f"{sorted(self._by_name)}") from None
+
+
+class EngineQueryWorkload(Workload):
+    """Adapts one SQL query on one engine to the measurement harness.
+
+    ``setup`` accepts an optional ``'sql'`` key in the configuration so a
+    design can vary the query; other factor keys are ignored here (the
+    caller configures the engine per design point if needed).
+    """
+
+    def __init__(self, engine: Engine, sql: str):
+        if not sql.strip():
+            raise WorkloadError("empty SQL")
+        self.engine = engine
+        self.sql = sql
+        self.last_result = None
+
+    def setup(self, config: Mapping[str, Any]) -> None:
+        sql = config.get("sql")
+        if sql is not None:
+            self.sql = sql
+
+    def run(self) -> None:
+        self.last_result = self.engine.execute(self.sql)
+
+    def make_cold(self) -> None:
+        self.engine.make_cold()

@@ -1,0 +1,94 @@
+"""Scale-factor sweeps: measure a workload across sizes, fit the trend.
+
+Scalability claims need a sweep, not two points.  :func:`run_scale_sweep`
+measures a query mix hot across scale factors on freshly generated
+databases, collects a factor-keyed
+:class:`~repro.measurement.results.ResultSet`, and fits a power law so
+the *empirical* scaling exponent — not the hoped-for one — is what gets
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.regression import PowerLawFit, fit_power_law
+from repro.db.engine import Engine, EngineConfig
+from repro.db.storage import Database
+from repro.errors import WorkloadError
+from repro.measurement.results import ResultSet
+
+DatabaseFactory = Callable[[float], Database]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Everything one sweep produced."""
+
+    results: ResultSet
+    fit: PowerLawFit
+    queries: Tuple[str, ...]
+
+    def format(self) -> str:
+        lines = [f"{'sf':>10} {'mix_ms':>12}"]
+        for sf, ms in self.results.series("sf", "mix_ms"):
+            lines.append(f"{sf:>10} {ms:>12.2f}")
+        lines.append(f"fit: {self.fit.format()}")
+        return "\n".join(lines)
+
+
+def run_scale_sweep(database_factory: DatabaseFactory,
+                    queries: Sequence[str],
+                    scale_factors: Sequence[float],
+                    config: Optional[EngineConfig] = None,
+                    warmup_rounds: int = 1) -> SweepOutcome:
+    """Measure a query mix hot across scale factors.
+
+    Parameters
+    ----------
+    database_factory:
+        Builds a fresh database for one scale factor (e.g.
+        ``lambda sf: generate_tpch(sf=sf, seed=42)``).
+    queries:
+        The SQL mix; its total hot simulated time per scale factor is
+        the ``mix_ms`` metric.
+    scale_factors:
+        At least three strictly positive, strictly increasing values
+        (a power-law fit needs three points).
+    warmup_rounds:
+        Unmeasured executions of the whole mix before measuring.
+    """
+    queries = tuple(queries)
+    if not queries:
+        raise WorkloadError("the query mix cannot be empty")
+    scale_factors = tuple(scale_factors)
+    if len(scale_factors) < 3:
+        raise WorkloadError("a sweep needs at least 3 scale factors")
+    if any(sf <= 0 for sf in scale_factors):
+        raise WorkloadError("scale factors must be positive")
+    if list(scale_factors) != sorted(set(scale_factors)):
+        raise WorkloadError(
+            "scale factors must be strictly increasing")
+    if warmup_rounds < 1:
+        raise WorkloadError(
+            "at least one warm-up round is required for a hot sweep")
+
+    results = ResultSet("scale_sweep")
+    for sf in scale_factors:
+        engine = Engine(database_factory(sf), config)
+        for __ in range(warmup_rounds):
+            for sql in queries:
+                engine.execute(sql)
+        start = engine.clock.sample()
+        total_rows = 0
+        for sql in queries:
+            total_rows += engine.execute(sql).n_rows
+        elapsed = engine.clock.sample() - start
+        results.add({"sf": sf},
+                    {"mix_ms": elapsed.real * 1000.0,
+                     "user_ms": elapsed.user * 1000.0,
+                     "rows_out": float(total_rows)})
+    times = [ms / 1000.0 for ms in results.column("mix_ms")]
+    fit = fit_power_law(scale_factors, times)
+    return SweepOutcome(results=results, fit=fit, queries=queries)

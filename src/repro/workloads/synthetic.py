@@ -1,0 +1,122 @@
+"""Declarative synthetic table generation for micro-benchmarks.
+
+A :class:`TableSpec` describes a table as a list of :class:`ColumnSpec`
+generator declarations; :func:`generate_table` materialises it
+deterministically from a seed.  This is the "controllable workload and
+data characteristics" half of the tutorial's micro-benchmark pros list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.storage import Table
+from repro.db.types import DataType
+from repro.errors import WorkloadError
+from repro.workloads import distributions as dist
+
+#: Generator kinds understood by :func:`generate_table`.
+GENERATOR_KINDS = (
+    "sequential", "uniform_int", "uniform_float", "normal", "zipf",
+    "choice", "date", "padded_string",
+)
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column's generator declaration.
+
+    ``kind`` selects the generator; ``params`` are its keyword arguments
+    (see :mod:`repro.workloads.distributions`).
+    """
+
+    name: str
+    dtype: DataType
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in GENERATOR_KINDS:
+            raise WorkloadError(
+                f"unknown generator {self.kind!r}; "
+                f"known: {list(GENERATOR_KINDS)}")
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A whole table's declaration."""
+
+    name: str
+    n_rows: int
+    columns: Tuple[ColumnSpec, ...]
+
+    def __post_init__(self):
+        if self.n_rows < 0:
+            raise WorkloadError("row count must be >= 0")
+        if not self.columns:
+            raise WorkloadError(f"table {self.name!r} needs columns")
+
+
+def _generate_column(spec: ColumnSpec, n: int,
+                     rng: np.random.Generator) -> Any:
+    p = dict(spec.params)
+    if spec.kind == "sequential":
+        return dist.sequential_ints(n, start=p.get("start", 1))
+    if spec.kind == "uniform_int":
+        return dist.uniform_ints(rng, n, p["low"], p["high"])
+    if spec.kind == "uniform_float":
+        return dist.uniform_floats(rng, n, p["low"], p["high"])
+    if spec.kind == "normal":
+        return dist.normal_floats(rng, n, p["mean"], p["stddev"])
+    if spec.kind == "zipf":
+        return dist.zipf_ints(rng, n, p["n_values"], p.get("skew", 1.2))
+    if spec.kind == "choice":
+        return dist.choices(rng, n, p["vocabulary"], p.get("weights"))
+    if spec.kind == "date":
+        return dist.random_dates(rng, n, p["start"], p["end"])
+    if spec.kind == "padded_string":
+        keys = dist.uniform_ints(rng, n, 0, p.get("max_key", 10 ** 6)) \
+            if not p.get("sequential") else dist.sequential_ints(n)
+        return dist.padded_strings(p.get("prefix", "V#"), keys,
+                                   width=p.get("width", 9))
+    raise WorkloadError(f"unknown generator {spec.kind!r}")
+
+
+def generate_table(spec: TableSpec, seed: int) -> Table:
+    """Materialise a :class:`TableSpec` deterministically."""
+    rng = dist.make_rng(seed)
+    data: Dict[str, Any] = {}
+    for column in spec.columns:
+        data[column.name] = _generate_column(column, spec.n_rows, rng)
+    schema = [(c.name, c.dtype) for c in spec.columns]
+    return Table.from_columns(spec.name, schema, data)
+
+
+def uniform_int_table(name: str, n_rows: int, n_columns: int = 1,
+                      low: int = 0, high: int = 10 ** 6,
+                      seed: int = 7) -> Table:
+    """A quick n-column uniform-int table (``id`` key + ``c0..``)."""
+    if n_columns < 1:
+        raise WorkloadError("need at least one data column")
+    columns = [ColumnSpec("id", DataType.INT64, "sequential")]
+    for i in range(n_columns):
+        columns.append(ColumnSpec(f"c{i}", DataType.INT64, "uniform_int",
+                                  {"low": low, "high": high}))
+    return generate_table(
+        TableSpec(name=name, n_rows=n_rows, columns=tuple(columns)), seed)
+
+
+def selectivity_predicate_bound(low: int, high: int,
+                                selectivity: float) -> int:
+    """The threshold t such that ``col < t`` selects ~``selectivity``.
+
+    For a uniform column on [low, high]; clamped to the range.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise WorkloadError(
+            f"selectivity must be in [0, 1], got {selectivity}")
+    span = high - low + 1
+    return low + int(round(selectivity * span))

@@ -1,0 +1,457 @@
+"""A TPC-H-like benchmark: scale-factor schema generator + 22 queries.
+
+The tutorial's measured examples all run TPC-H on MonetDB.  This module
+provides the equivalent substrate for MiniDB: the eight-table TPC-H
+schema (column names and value domains modelled on the specification)
+generated deterministically at any scale factor, plus a 22-query analytic
+workload covering the same operator mixes as TPC-H Q1-Q22, restated in
+MiniDB's SQL dialect (no subqueries/outer joins — each query keeps its
+original's *flavour*: Q1 scan-heavy aggregation, Q6 pure selection, Q5 a
+six-table join, Q16 a large result, Q19 disjunctive predicates, ...).
+
+Scale factor 1.0 corresponds to ~6M lineitems like real TPC-H; the test
+suite uses sf=0.001 and the benchmarks sf~0.01 to stay laptop-friendly,
+exactly as the tutorial's two-stage methodology would recommend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.db.storage import Database, Table
+from repro.db.types import DataType, date_to_days
+from repro.errors import WorkloadError
+from repro.workloads import distributions as dist
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                "MACHINERY")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                    "5-LOW")
+SHIP_MODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+SHIP_INSTRUCTIONS = ("COLLECT COD", "DELIVER IN PERSON", "NONE",
+                     "TAKE BACK RETURN")
+CONTAINERS = ("SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE",
+              "LG BOX", "JUMBO PACK", "WRAP CASE")
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                   "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                   "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+
+@dataclass(frozen=True)
+class TpchSizes:
+    """Row counts at one scale factor (with small-sf minimums)."""
+
+    suppliers: int
+    customers: int
+    parts: int
+    orders: int
+
+    @classmethod
+    def for_scale(cls, sf: float) -> "TpchSizes":
+        if sf <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {sf}")
+        return cls(
+            suppliers=max(10, int(10_000 * sf)),
+            customers=max(30, int(150_000 * sf)),
+            parts=max(25, int(200_000 * sf)),
+            orders=max(50, int(1_500_000 * sf)),
+        )
+
+
+def _part_types(rng: np.random.Generator, n: int) -> List[str]:
+    s1 = dist.choices(rng, n, TYPE_SYLLABLE_1)
+    s2 = dist.choices(rng, n, TYPE_SYLLABLE_2)
+    s3 = dist.choices(rng, n, TYPE_SYLLABLE_3)
+    return [f"{a} {b} {c}" for a, b, c in zip(s1, s2, s3)]
+
+
+def generate_tpch(sf: float = 0.01, seed: int = 42) -> Database:
+    """Generate the full TPC-H-like database at scale factor ``sf``."""
+    sizes = TpchSizes.for_scale(sf)
+    rng = dist.make_rng(seed)
+    db = Database(name=f"tpch_sf{sf}")
+
+    # -- region / nation (fixed) -----------------------------------------
+    db.create_table(Table.from_columns(
+        "region",
+        [("r_regionkey", DataType.INT64), ("r_name", DataType.STRING)],
+        {"r_regionkey": list(range(len(REGIONS))),
+         "r_name": list(REGIONS)}))
+
+    db.create_table(Table.from_columns(
+        "nation",
+        [("n_nationkey", DataType.INT64), ("n_name", DataType.STRING),
+         ("n_regionkey", DataType.INT64)],
+        {"n_nationkey": list(range(len(NATIONS))),
+         "n_name": [n for n, __ in NATIONS],
+         "n_regionkey": [r for __, r in NATIONS]}))
+
+    # -- supplier ----------------------------------------------------------
+    n_supp = sizes.suppliers
+    supp_keys = dist.sequential_ints(n_supp)
+    db.create_table(Table.from_columns(
+        "supplier",
+        [("s_suppkey", DataType.INT64), ("s_name", DataType.STRING),
+         ("s_nationkey", DataType.INT64), ("s_acctbal", DataType.FLOAT64)],
+        {"s_suppkey": supp_keys,
+         "s_name": dist.padded_strings("Supplier#", supp_keys),
+         "s_nationkey": dist.uniform_ints(rng, n_supp, 0, len(NATIONS) - 1),
+         "s_acctbal": dist.uniform_floats(rng, n_supp, -999.99, 9999.99)}))
+
+    # -- customer ----------------------------------------------------------
+    n_cust = sizes.customers
+    cust_keys = dist.sequential_ints(n_cust)
+    db.create_table(Table.from_columns(
+        "customer",
+        [("c_custkey", DataType.INT64), ("c_name", DataType.STRING),
+         ("c_nationkey", DataType.INT64), ("c_acctbal", DataType.FLOAT64),
+         ("c_mktsegment", DataType.STRING)],
+        {"c_custkey": cust_keys,
+         "c_name": dist.padded_strings("Customer#", cust_keys),
+         "c_nationkey": dist.uniform_ints(rng, n_cust, 0, len(NATIONS) - 1),
+         "c_acctbal": dist.uniform_floats(rng, n_cust, -999.99, 9999.99),
+         "c_mktsegment": dist.choices(rng, n_cust, MKT_SEGMENTS)}))
+
+    # -- part ----------------------------------------------------------------
+    n_part = sizes.parts
+    part_keys = dist.sequential_ints(n_part)
+    brands = [f"Brand#{m}{n}" for m, n in zip(
+        dist.uniform_ints(rng, n_part, 1, 5),
+        dist.uniform_ints(rng, n_part, 1, 5))]
+    db.create_table(Table.from_columns(
+        "part",
+        [("p_partkey", DataType.INT64), ("p_name", DataType.STRING),
+         ("p_brand", DataType.STRING), ("p_type", DataType.STRING),
+         ("p_size", DataType.INT64), ("p_container", DataType.STRING),
+         ("p_retailprice", DataType.FLOAT64)],
+        {"p_partkey": part_keys,
+         "p_name": dist.padded_strings("Part#", part_keys),
+         "p_brand": brands,
+         "p_type": _part_types(rng, n_part),
+         "p_size": dist.uniform_ints(rng, n_part, 1, 50),
+         "p_container": dist.choices(rng, n_part, CONTAINERS),
+         "p_retailprice": dist.uniform_floats(rng, n_part, 900.0, 2100.0)}))
+
+    # -- partsupp (4 suppliers per part) --------------------------------------
+    ps_part = np.repeat(part_keys, 4)
+    n_ps = len(ps_part)
+    db.create_table(Table.from_columns(
+        "partsupp",
+        [("ps_partkey", DataType.INT64), ("ps_suppkey", DataType.INT64),
+         ("ps_availqty", DataType.INT64),
+         ("ps_supplycost", DataType.FLOAT64)],
+        {"ps_partkey": ps_part,
+         "ps_suppkey": dist.uniform_ints(rng, n_ps, 1, n_supp),
+         "ps_availqty": dist.uniform_ints(rng, n_ps, 1, 9999),
+         "ps_supplycost": dist.uniform_floats(rng, n_ps, 1.0, 1000.0)}))
+
+    # -- orders -----------------------------------------------------------------
+    n_orders = sizes.orders
+    order_keys = dist.sequential_ints(n_orders)
+    order_dates = dist.random_dates(rng, n_orders, "1992-01-01",
+                                    "1998-08-02")
+    order_years = np.asarray(
+        [1970 + d // 365 for d in (order_dates - date_to_days("1970-01-01"))],
+        dtype=np.int64)
+    # Proper calendar year via vectorised conversion:
+    order_years = ((order_dates - date_to_days("1992-01-01")) // 365) + 1992
+    db.create_table(Table.from_columns(
+        "orders",
+        [("o_orderkey", DataType.INT64), ("o_custkey", DataType.INT64),
+         ("o_orderstatus", DataType.STRING),
+         ("o_totalprice", DataType.FLOAT64),
+         ("o_orderdate", DataType.DATE), ("o_orderyear", DataType.INT64),
+         ("o_orderpriority", DataType.STRING),
+         ("o_shippriority", DataType.INT64)],
+        {"o_orderkey": order_keys,
+         "o_custkey": dist.uniform_ints(rng, n_orders, 1, n_cust),
+         "o_orderstatus": dist.choices(rng, n_orders, ("F", "O", "P"),
+                                       weights=(0.49, 0.49, 0.02)),
+         "o_totalprice": dist.uniform_floats(rng, n_orders, 850.0,
+                                             555_000.0),
+         "o_orderdate": order_dates,
+         "o_orderyear": order_years,
+         "o_orderpriority": dist.choices(rng, n_orders, ORDER_PRIORITIES),
+         "o_shippriority": np.zeros(n_orders, dtype=np.int64)}))
+
+    # -- lineitem (1..7 lines per order) ----------------------------------------
+    lines_per_order = dist.uniform_ints(rng, n_orders, 1, 7)
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    n_li = len(l_orderkey)
+    l_linenumber = np.concatenate(
+        [np.arange(1, k + 1) for k in lines_per_order]).astype(np.int64)
+    l_orderdate = np.repeat(order_dates, lines_per_order)
+    ship_delay = dist.uniform_ints(rng, n_li, 1, 121)
+    l_shipdate = l_orderdate + ship_delay
+    l_commitdate = l_orderdate + dist.uniform_ints(rng, n_li, 30, 90)
+    l_receiptdate = l_shipdate + dist.uniform_ints(rng, n_li, 1, 30)
+    l_shipyear = ((l_shipdate - date_to_days("1992-01-01")) // 365) + 1992
+    quantity = dist.uniform_ints(rng, n_li, 1, 50).astype(np.float64)
+    extended = quantity * dist.uniform_floats(rng, n_li, 900.0, 2100.0)
+    db.create_table(Table.from_columns(
+        "lineitem",
+        [("l_orderkey", DataType.INT64), ("l_partkey", DataType.INT64),
+         ("l_suppkey", DataType.INT64), ("l_linenumber", DataType.INT64),
+         ("l_quantity", DataType.FLOAT64),
+         ("l_extendedprice", DataType.FLOAT64),
+         ("l_discount", DataType.FLOAT64), ("l_tax", DataType.FLOAT64),
+         ("l_returnflag", DataType.STRING),
+         ("l_linestatus", DataType.STRING),
+         ("l_shipdate", DataType.DATE), ("l_commitdate", DataType.DATE),
+         ("l_receiptdate", DataType.DATE), ("l_shipyear", DataType.INT64),
+         ("l_shipmode", DataType.STRING),
+         ("l_shipinstruct", DataType.STRING)],
+        {"l_orderkey": l_orderkey,
+         "l_partkey": dist.uniform_ints(rng, n_li, 1, n_part),
+         "l_suppkey": dist.uniform_ints(rng, n_li, 1, n_supp),
+         "l_linenumber": l_linenumber,
+         "l_quantity": quantity,
+         "l_extendedprice": extended,
+         "l_discount": np.round(
+             dist.uniform_floats(rng, n_li, 0.0, 0.1001), 2),
+         "l_tax": np.round(dist.uniform_floats(rng, n_li, 0.0, 0.08), 2),
+         "l_returnflag": dist.choices(rng, n_li, ("A", "N", "R"),
+                                      weights=(0.25, 0.5, 0.25)),
+         "l_linestatus": dist.choices(rng, n_li, ("F", "O")),
+         "l_shipdate": l_shipdate,
+         "l_commitdate": l_commitdate,
+         "l_receiptdate": l_receiptdate,
+         "l_shipyear": l_shipyear,
+         "l_shipmode": dist.choices(rng, n_li, SHIP_MODES),
+         "l_shipinstruct": dist.choices(rng, n_li, SHIP_INSTRUCTIONS)}))
+
+    return db
+
+
+#: The 22-query workload, keyed 1..22.  Each entry keeps the operator
+#: flavour of its TPC-H namesake within MiniDB's dialect.
+TPCH_QUERIES: Dict[int, str] = {
+    1: """SELECT l_returnflag, l_linestatus,
+                 SUM(l_quantity) AS sum_qty,
+                 SUM(l_extendedprice) AS sum_base_price,
+                 SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+                 SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax))
+                     AS sum_charge,
+                 AVG(l_quantity) AS avg_qty,
+                 AVG(l_extendedprice) AS avg_price,
+                 AVG(l_discount) AS avg_disc,
+                 COUNT(*) AS count_order
+          FROM lineitem
+          WHERE l_shipdate <= DATE '1998-09-02'
+          GROUP BY l_returnflag, l_linestatus
+          ORDER BY l_returnflag, l_linestatus""",
+    2: """SELECT s_name, s_acctbal, p_partkey, ps_supplycost
+          FROM partsupp
+          JOIN part ON ps_partkey = p_partkey
+          JOIN supplier ON ps_suppkey = s_suppkey
+          WHERE p_size = 15 AND p_type LIKE '%BRASS'
+          ORDER BY s_acctbal DESC, s_name
+          LIMIT 100""",
+    3: """SELECT o_orderkey,
+                 SUM(l_extendedprice * (1 - l_discount)) AS revenue
+          FROM lineitem
+          JOIN orders ON l_orderkey = o_orderkey
+          JOIN customer ON o_custkey = c_custkey
+          WHERE c_mktsegment = 'BUILDING'
+            AND o_orderdate < DATE '1995-03-15'
+            AND l_shipdate > DATE '1995-03-15'
+          GROUP BY o_orderkey
+          ORDER BY revenue DESC
+          LIMIT 10""",
+    4: """SELECT o_orderpriority, COUNT(*) AS order_count
+          FROM orders
+          JOIN lineitem ON o_orderkey = l_orderkey
+          WHERE o_orderdate >= DATE '1993-07-01'
+            AND o_orderdate < DATE '1993-10-01'
+            AND l_commitdate < l_receiptdate
+          GROUP BY o_orderpriority
+          ORDER BY o_orderpriority""",
+    5: """SELECT n_name,
+                 SUM(l_extendedprice * (1 - l_discount)) AS revenue
+          FROM lineitem
+          JOIN orders ON l_orderkey = o_orderkey
+          JOIN customer ON o_custkey = c_custkey
+          JOIN supplier ON l_suppkey = s_suppkey
+          JOIN nation ON s_nationkey = n_nationkey
+          JOIN region ON n_regionkey = r_regionkey
+          WHERE r_name = 'ASIA'
+            AND o_orderdate >= DATE '1994-01-01'
+            AND o_orderdate < DATE '1995-01-01'
+          GROUP BY n_name
+          ORDER BY revenue DESC""",
+    6: """SELECT SUM(l_extendedprice * l_discount) AS revenue
+          FROM lineitem
+          WHERE l_shipdate >= DATE '1994-01-01'
+            AND l_shipdate < DATE '1995-01-01'
+            AND l_discount BETWEEN 0.05 AND 0.07
+            AND l_quantity < 24""",
+    7: """SELECT n_name, l_shipyear,
+                 SUM(l_extendedprice * (1 - l_discount)) AS revenue
+          FROM lineitem
+          JOIN supplier ON l_suppkey = s_suppkey
+          JOIN nation ON s_nationkey = n_nationkey
+          WHERE l_shipdate >= DATE '1995-01-01'
+            AND l_shipdate <= DATE '1996-12-31'
+            AND n_name IN ('FRANCE', 'GERMANY')
+          GROUP BY n_name, l_shipyear
+          ORDER BY n_name, l_shipyear""",
+    8: """SELECT o_orderyear,
+                 SUM(l_extendedprice * (1 - l_discount)) AS volume
+          FROM lineitem
+          JOIN orders ON l_orderkey = o_orderkey
+          JOIN part ON l_partkey = p_partkey
+          WHERE p_type = 'ECONOMY ANODIZED STEEL'
+            AND o_orderdate >= DATE '1995-01-01'
+            AND o_orderdate <= DATE '1996-12-31'
+          GROUP BY o_orderyear
+          ORDER BY o_orderyear""",
+    9: """SELECT n_name, o_orderyear,
+                 SUM(l_extendedprice * (1 - l_discount)
+                     - ps_supplycost * l_quantity) AS profit
+          FROM lineitem
+          JOIN orders ON l_orderkey = o_orderkey
+          JOIN supplier ON l_suppkey = s_suppkey
+          JOIN nation ON s_nationkey = n_nationkey
+          JOIN partsupp ON l_partkey = ps_partkey
+          GROUP BY n_name, o_orderyear
+          ORDER BY n_name, o_orderyear DESC
+          LIMIT 60""",
+    10: """SELECT c_name,
+                  SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+                  c_acctbal
+           FROM lineitem
+           JOIN orders ON l_orderkey = o_orderkey
+           JOIN customer ON o_custkey = c_custkey
+           WHERE o_orderdate >= DATE '1993-10-01'
+             AND o_orderdate < DATE '1994-01-01'
+             AND l_returnflag = 'R'
+           GROUP BY c_name, c_acctbal
+           ORDER BY revenue DESC
+           LIMIT 20""",
+    11: """SELECT ps_partkey,
+                  SUM(ps_supplycost * ps_availqty) AS value
+           FROM partsupp
+           JOIN supplier ON ps_suppkey = s_suppkey
+           JOIN nation ON s_nationkey = n_nationkey
+           WHERE n_name = 'GERMANY'
+           GROUP BY ps_partkey
+           ORDER BY value DESC
+           LIMIT 100""",
+    12: """SELECT l_shipmode, COUNT(*) AS line_count,
+                  SUM(o_totalprice) AS total
+           FROM lineitem
+           JOIN orders ON l_orderkey = o_orderkey
+           WHERE l_shipmode IN ('MAIL', 'SHIP')
+             AND l_commitdate < l_receiptdate
+             AND l_shipdate < l_commitdate
+             AND l_receiptdate >= DATE '1994-01-01'
+             AND l_receiptdate < DATE '1995-01-01'
+           GROUP BY l_shipmode
+           ORDER BY l_shipmode""",
+    13: """SELECT c_custkey, COUNT(*) AS c_count
+           FROM orders
+           JOIN customer ON o_custkey = c_custkey
+           GROUP BY c_custkey
+           ORDER BY c_count DESC, c_custkey
+           LIMIT 100""",
+    14: """SELECT SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+           FROM lineitem
+           JOIN part ON l_partkey = p_partkey
+           WHERE p_type LIKE 'PROMO%'
+             AND l_shipdate >= DATE '1995-09-01'
+             AND l_shipdate < DATE '1995-10-01'""",
+    15: """SELECT l_suppkey,
+                  SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+           FROM lineitem
+           WHERE l_shipdate >= DATE '1996-01-01'
+             AND l_shipdate < DATE '1996-04-01'
+           GROUP BY l_suppkey
+           ORDER BY total_revenue DESC
+           LIMIT 1""",
+    16: """SELECT p_brand, p_type, p_size, COUNT(*) AS supplier_cnt
+           FROM partsupp
+           JOIN part ON ps_partkey = p_partkey
+           WHERE p_brand <> 'Brand#45'
+             AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+           GROUP BY p_brand, p_type, p_size
+           ORDER BY supplier_cnt DESC, p_brand, p_type, p_size""",
+    17: """SELECT p_brand, AVG(l_quantity) AS avg_qty,
+                  SUM(l_extendedprice) AS total_price
+           FROM lineitem
+           JOIN part ON l_partkey = p_partkey
+           WHERE p_container = 'MED BOX'
+           GROUP BY p_brand
+           ORDER BY p_brand""",
+    18: """SELECT o_orderkey, SUM(l_quantity) AS total_qty
+           FROM lineitem
+           JOIN orders ON l_orderkey = o_orderkey
+           GROUP BY o_orderkey
+           ORDER BY total_qty DESC, o_orderkey
+           LIMIT 100""",
+    19: """SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+           FROM lineitem
+           JOIN part ON l_partkey = p_partkey
+           WHERE (p_container IN ('SM CASE', 'SM BOX')
+                  AND l_quantity BETWEEN 1 AND 11
+                  AND p_size BETWEEN 1 AND 5)
+              OR (p_container IN ('MED BAG', 'MED BOX')
+                  AND l_quantity BETWEEN 10 AND 20
+                  AND p_size BETWEEN 1 AND 10)
+              OR (p_container IN ('LG CASE', 'LG BOX')
+                  AND l_quantity BETWEEN 20 AND 30
+                  AND p_size BETWEEN 1 AND 15)""",
+    20: """SELECT s_name, SUM(ps_availqty) AS total_avail
+           FROM partsupp
+           JOIN supplier ON ps_suppkey = s_suppkey
+           JOIN nation ON s_nationkey = n_nationkey
+           WHERE n_name = 'CANADA'
+           GROUP BY s_name
+           ORDER BY s_name
+           LIMIT 100""",
+    21: """SELECT s_name, COUNT(*) AS numwait
+           FROM lineitem
+           JOIN orders ON l_orderkey = o_orderkey
+           JOIN supplier ON l_suppkey = s_suppkey
+           JOIN nation ON s_nationkey = n_nationkey
+           WHERE o_orderstatus = 'F'
+             AND l_receiptdate > l_commitdate
+             AND n_name = 'SAUDI ARABIA'
+           GROUP BY s_name
+           ORDER BY numwait DESC, s_name
+           LIMIT 100""",
+    22: """SELECT c_mktsegment, COUNT(*) AS numcust,
+                  SUM(c_acctbal) AS totacctbal
+           FROM customer
+           WHERE c_acctbal > 0.0
+           GROUP BY c_mktsegment
+           ORDER BY c_mktsegment""",
+}
+
+
+def tpch_query(number: int) -> str:
+    """One of the 22 workload queries by its TPC-H number."""
+    if number not in TPCH_QUERIES:
+        raise WorkloadError(
+            f"TPC-H query numbers run 1..22, got {number}")
+    return TPCH_QUERIES[number]
+
+
+def all_query_numbers() -> Tuple[int, ...]:
+    return tuple(sorted(TPCH_QUERIES))

@@ -1,0 +1,186 @@
+"""Tests for repro.core.anova and repro.core.regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LinearFit,
+    PowerLawFit,
+    fit_power_law,
+    linear_fit,
+    one_way_anova,
+    two_way_anova,
+)
+from repro.errors import DesignError, MeasurementError
+
+
+class TestOneWayAnova:
+    def test_clear_effect_significant(self):
+        groups = [[10.0, 10.2, 9.8, 10.1],
+                  [20.0, 20.1, 19.9, 20.2],
+                  [30.1, 29.9, 30.0, 30.2]]
+        table = one_way_anova(groups, factor_name="buffer_size")
+        assert table.row("buffer_size").significant()
+        assert table.explained_fraction("buffer_size") > 0.95
+
+    def test_pure_noise_not_significant(self):
+        rng = np.random.default_rng(9)
+        groups = [rng.normal(0, 1, 10).tolist() for __ in range(4)]
+        table = one_way_anova(groups)
+        assert not table.row("factor").significant(alpha=0.01)
+
+    def test_sum_of_squares_decomposes(self):
+        groups = [[1.0, 2.0], [3.0, 5.0], [8.0, 9.0]]
+        table = one_way_anova(groups)
+        assert table.row("factor").sum_squares + table.error_sum_squares \
+            == pytest.approx(table.total_sum_squares)
+
+    def test_degrees_of_freedom(self):
+        groups = [[1.0, 2.0, 3.0], [4.0, 5.0], [6.0, 7.0, 8.0, 9.0]]
+        table = one_way_anova(groups)
+        assert table.row("factor").dof == 2
+        assert table.error_dof == 9 - 3
+
+    def test_zero_variance_groups(self):
+        table = one_way_anova([[5.0, 5.0], [9.0, 9.0]])
+        assert table.row("factor").p_value == 0.0
+
+    def test_identical_everything(self):
+        table = one_way_anova([[5.0, 5.0], [5.0, 5.0]])
+        assert not table.row("factor").significant()
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            one_way_anova([[1.0, 2.0]])
+        with pytest.raises(DesignError):
+            one_way_anova([[1.0], []])
+        with pytest.raises(DesignError):
+            one_way_anova([[1.0], [2.0]])  # no error dof
+
+    def test_format(self):
+        text = one_way_anova([[1.0, 2.0], [8.0, 9.0]]).format()
+        assert "SS" in text and "error" in text and "total" in text
+
+    def test_unknown_row(self):
+        table = one_way_anova([[1.0, 2.0], [8.0, 9.0]])
+        with pytest.raises(DesignError):
+            table.row("ghost")
+
+
+class TestTwoWayAnova:
+    def cells(self, interaction=0.0):
+        # y = 10*A + 2*B + interaction*A*B + noise, 2x2 cells, r=3.
+        rng = np.random.default_rng(4)
+        out = []
+        for a in (0, 1):
+            row = []
+            for b in (0, 1):
+                base = 10 * a + 2 * b + interaction * a * b
+                row.append((base + rng.normal(0, 0.2, 3)).tolist())
+            out.append(row)
+        return out
+
+    def test_main_effects_detected(self):
+        table = two_way_anova(self.cells(), "A", "B")
+        assert table.row("A").significant()
+        assert table.row("B").significant()
+        assert not table.row("A:B").significant(alpha=0.01)
+
+    def test_interaction_detected(self):
+        table = two_way_anova(self.cells(interaction=5.0), "A", "B")
+        assert table.row("A:B").significant()
+
+    def test_decomposition(self):
+        table = two_way_anova(self.cells(), "A", "B")
+        parts = sum(r.sum_squares for r in table.rows) \
+            + table.error_sum_squares
+        assert parts == pytest.approx(table.total_sum_squares)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            two_way_anova([[[1.0, 2.0]]])  # one A level
+        with pytest.raises(DesignError):
+            two_way_anova([[[1.0]], [[2.0]]])  # one B level
+        with pytest.raises(DesignError):
+            two_way_anova([[[1.0], [2.0]], [[3.0], [4.0]]])  # r=1
+
+    def test_significant_sources(self):
+        table = two_way_anova(self.cells(interaction=5.0), "A", "B")
+        assert set(table.significant_sources()) >= {"A", "A:B"}
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+        assert fit.slope_significant
+
+    def test_noisy_flat_line_not_significant(self):
+        rng = np.random.default_rng(5)
+        xs = list(range(20))
+        ys = rng.normal(10, 1, 20).tolist()
+        fit = linear_fit(xs, ys, confidence=0.99)
+        assert not fit.slope_significant
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            linear_fit([1, 2], [1, 2])
+        with pytest.raises(MeasurementError):
+            linear_fit([1, 1, 1], [1, 2, 3])
+        with pytest.raises(MeasurementError):
+            linear_fit([1, 2, 3], [1, 2])
+        with pytest.raises(MeasurementError):
+            linear_fit([1, 2, 3], [1, 2, 3], confidence=2)
+
+    def test_format(self):
+        text = linear_fit([1, 2, 3], [2, 4, 6]).format()
+        assert "R^2" in text
+
+    @given(st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_recovers_exact_lines(self, slope, intercept):
+        xs = [0.0, 1.0, 2.0, 3.0, 5.0]
+        ys = [intercept + slope * x for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+
+class TestPowerLaw:
+    def test_linear_scan(self):
+        ns = [1000, 2000, 4000, 8000]
+        times = [n * 2.0 for n in ns]
+        fit = fit_power_law(ns, times)
+        assert fit.exponent == pytest.approx(1.0, abs=0.01)
+        assert fit.classify() == "linear"
+
+    def test_quadratic_join(self):
+        ns = [100, 200, 400, 800]
+        times = [0.5 * n ** 2 for n in ns]
+        fit = fit_power_law(ns, times)
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+        assert fit.classify() == "quadratic"
+        assert fit.predict(1000) == pytest.approx(0.5 * 10 ** 6, rel=0.01)
+
+    def test_nlogn_classified_near_linear(self):
+        ns = [2 ** k for k in range(10, 18)]
+        times = [n * np.log2(n) for n in ns]
+        fit = fit_power_law(ns, times)
+        assert 1.0 < fit.exponent < 1.35
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            fit_power_law([1, 2, 0], [1, 2, 3])
+        with pytest.raises(MeasurementError):
+            fit_power_law([1, 2, 3], [1, -2, 3])
+
+    def test_predict_rejects_nonpositive(self):
+        fit = fit_power_law([1, 2, 4], [1, 2, 4])
+        with pytest.raises(MeasurementError):
+            fit.predict(0)

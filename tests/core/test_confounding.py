@@ -1,0 +1,166 @@
+"""Tests for repro.core.confounding (alias algebra)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    alias_set,
+    alias_structure,
+    compare_designs,
+    defining_relation,
+    effect,
+    effect_name,
+    multiply,
+    parse_effect,
+    resolution,
+)
+from repro.errors import ConfoundingError
+
+
+class TestEffectAlgebra:
+    def test_multiply_self_is_identity(self):
+        a = effect("A", "B")
+        assert multiply(a, a) == effect()
+
+    def test_slide_105_products(self):
+        # A·D = A·ABC = BC when D = ABC.
+        d = effect("A", "B", "C")  # the column D takes over
+        assert multiply(effect("A"), multiply(effect("D"), effect())) \
+            is not None
+        ad = multiply(effect("A"), effect("D"))
+        # under I = ABCD: AD is aliased with BC.
+        word = effect("A", "B", "C", "D")
+        assert multiply(ad, word) == effect("B", "C")
+
+    def test_effect_name(self):
+        assert effect_name(effect()) == "I"
+        assert effect_name(effect("C", "A")) == "AC"
+
+    def test_parse_effect(self):
+        assert parse_effect("I") == effect()
+        assert parse_effect("ABC") == effect("A", "B", "C")
+        assert parse_effect(" AB ") == effect("A", "B")
+
+    @given(st.sets(st.sampled_from("ABCDEF")), st.sets(st.sampled_from("ABCDEF")))
+    @settings(max_examples=50, deadline=None)
+    def test_property_multiply_commutative_involutive(self, a, b):
+        fa, fb = frozenset(a), frozenset(b)
+        assert multiply(fa, fb) == multiply(fb, fa)
+        assert multiply(multiply(fa, fb), fb) == fa
+
+
+class TestDefiningRelation:
+    def test_single_generator(self):
+        relation = defining_relation({"D": ("A", "B", "C")})
+        assert relation == {effect(), effect("A", "B", "C", "D")}
+
+    def test_2_7_4_has_16_words(self):
+        relation = defining_relation(
+            {"D": ("A", "B"), "E": ("A", "C"), "F": ("B", "C"),
+             "G": ("A", "B", "C")})
+        assert len(relation) == 16
+
+    def test_rejects_self_reference(self):
+        with pytest.raises(ConfoundingError):
+            defining_relation({"D": ("A", "D")})
+
+    def test_rejects_short_generator(self):
+        with pytest.raises(ConfoundingError):
+            defining_relation({"D": ("A",)})
+
+    def test_subgroup_size_is_2_to_p(self):
+        # Each generator introduces a fresh factor, so p generators always
+        # produce an independent set of 2^p defining words.
+        relation = defining_relation({"E": ("A", "B"), "F": ("A", "B")})
+        assert len(relation) == 4
+        relation = defining_relation(
+            {"D": ("A", "B"), "E": ("A", "C"), "F": ("B", "C")})
+        assert len(relation) == 8
+
+
+class TestResolution:
+    def test_d_abc_is_resolution_4(self):
+        assert resolution(defining_relation({"D": ("A", "B", "C")})) == 4
+
+    def test_d_ab_is_resolution_3(self):
+        assert resolution(defining_relation({"D": ("A", "B")})) == 3
+
+    def test_identity_only_rejected(self):
+        with pytest.raises(ConfoundingError):
+            resolution({effect()})
+
+
+class TestAliasStructure:
+    def test_slide_105_aliases_of_d_abc(self):
+        st_ = alias_structure("ABCD", {"D": ("A", "B", "C")})
+        assert st_.design_resolution == 4
+        # AD = BC, BD = AC, AB = CD.
+        assert st_.are_confounded(("A", "D"), ("B", "C"))
+        assert st_.are_confounded(("B", "D"), ("A", "C"))
+        assert st_.are_confounded(("A", "B"), ("C", "D"))
+        # A = BCD, B = ACD, C = ABD.
+        assert st_.are_confounded(("A",), ("B", "C", "D"))
+        assert st_.are_confounded(("B",), ("A", "C", "D"))
+        assert st_.are_confounded(("C",), ("A", "B", "D"))
+
+    def test_slide_108_d_ab_confounds_mains_with_two_factor(self):
+        st_ = alias_structure("ABCD", {"D": ("A", "B")})
+        assert st_.design_resolution == 3
+        assert st_.are_confounded(("A",), ("B", "D"))
+        assert st_.confounds_main_with_order(2)
+
+    def test_d_abc_does_not_confound_mains_with_two_factor(self):
+        st_ = alias_structure("ABCD", {"D": ("A", "B", "C")})
+        assert not st_.confounds_main_with_order(2)
+        assert st_.confounds_main_with_order(3)
+
+    def test_groups_are_disjoint_and_cover(self):
+        st_ = alias_structure("ABCD", {"D": ("A", "B", "C")})
+        seen = set()
+        for group in st_.groups:
+            assert not (group & seen)
+            seen |= group
+        # 2^4 - 1 non-identity effects minus the word ABCD, grouped in 2s.
+        assert len(seen) == 14
+        assert all(len(g) == 2 for g in st_.groups)
+
+    def test_aliases_of_excludes_self(self):
+        st_ = alias_structure("ABCD", {"D": ("A", "B", "C")})
+        assert effect("A") not in st_.aliases_of("A")
+
+    def test_rejects_unknown_factor(self):
+        with pytest.raises(ConfoundingError):
+            alias_structure("ABC", {"D": ("A", "B", "C")})
+
+    def test_format_lists_relation(self):
+        text = alias_structure("ABCD", {"D": ("A", "B", "C")}).format()
+        assert text.splitlines()[0] == "I = ABCD"
+        assert any("AD = BC" in line or "BC = AD" in line
+                   for line in text.splitlines())
+
+
+class TestCompareDesigns:
+    def test_slide_109_prefers_d_abc(self):
+        a, b, winner = compare_designs(
+            "ABCD", {"D": ("A", "B", "C")}, {"D": ("A", "B")})
+        assert winner == "a"
+        assert a.design_resolution > b.design_resolution
+
+    def test_symmetric(self):
+        __, __, winner = compare_designs(
+            "ABCD", {"D": ("A", "B")}, {"D": ("A", "B", "C")})
+        assert winner == "b"
+
+    def test_tie_for_identical_generators(self):
+        __, __, winner = compare_designs(
+            "ABCD", {"D": ("A", "B", "C")}, {"D": ("A", "B", "C")})
+        assert winner == "tie"
+
+
+class TestAliasSet:
+    def test_alias_set_size_matches_relation(self):
+        relation = defining_relation(
+            {"D": ("A", "B"), "E": ("A", "C")})
+        s = alias_set(effect("A"), relation)
+        assert len(s) == len(relation)

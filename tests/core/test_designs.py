@@ -1,0 +1,229 @@
+"""Unit and property tests for repro.core.designs."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Factor,
+    FactorSpace,
+    FractionalFactorialDesign,
+    FullFactorialDesign,
+    OrthogonalArrayDesign,
+    SimpleDesign,
+    TwoLevelFactorialDesign,
+    fractional_size,
+    full_factorial_size,
+    simple_design_size,
+    two_level_size,
+    two_level,
+)
+from repro.errors import DesignError
+
+
+def space_2level(k):
+    return FactorSpace([two_level(chr(ord("A") + i), 0, 1) for i in range(k)])
+
+
+class TestSimpleDesign:
+    def test_size_formula(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), Factor("B", (1, 2)),
+                             Factor("C", (1, 2, 3, 4))])
+        design = SimpleDesign(space)
+        assert len(design) == 1 + 2 + 1 + 3
+        assert len(list(design.points())) == len(design)
+
+    def test_baseline_first(self):
+        space = FactorSpace([Factor("A", (1, 2)), Factor("B", (10, 20))])
+        design = SimpleDesign(space, baseline={"A": 2, "B": 10})
+        points = list(design.points())
+        assert points[0].config == {"A": 2, "B": 10}
+
+    def test_varies_one_factor_at_a_time(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), Factor("B", (10, 20))])
+        design = SimpleDesign(space)
+        baseline = design.baseline
+        for point in list(design.points())[1:]:
+            changed = [n for n in space.names
+                       if point.config[n] != baseline[n]]
+            assert len(changed) == 1
+
+    def test_rejects_bad_baseline(self):
+        space = FactorSpace([Factor("A", (1, 2))])
+        with pytest.raises(DesignError):
+            SimpleDesign(space, baseline={"A": 9})
+
+    def test_cannot_estimate_interactions(self):
+        assert not SimpleDesign.can_estimate_interactions()
+
+    def test_indices_sequential(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), Factor("B", (1, 2))])
+        indices = [p.index for p in SimpleDesign(space).points()]
+        assert indices == list(range(len(indices)))
+
+
+class TestFullFactorialDesign:
+    def test_size(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), Factor("B", (1, 2))])
+        design = FullFactorialDesign(space)
+        assert len(design) == 6
+        assert len(list(design.points())) == 6
+
+    def test_covers_all_combinations(self):
+        space = FactorSpace([Factor("A", (1, 2)), Factor("B", ("x", "y"))])
+        configs = {tuple(sorted(p.config.items()))
+                   for p in FullFactorialDesign(space).points()}
+        expected = {tuple(sorted({"A": a, "B": b}.items()))
+                    for a, b in itertools.product((1, 2), ("x", "y"))}
+        assert configs == expected
+
+    def test_coded_for_two_level_spaces(self):
+        design = FullFactorialDesign(space_2level(2))
+        for p in design.points():
+            assert set(p.coded.values()) <= {-1, 1}
+
+    def test_first_factor_fastest(self):
+        space = FactorSpace([Factor("A", (1, 2)), Factor("B", (10, 20))])
+        points = list(FullFactorialDesign(space).points())
+        assert [p["A"] for p in points] == [1, 2, 1, 2]
+        assert [p["B"] for p in points] == [10, 10, 20, 20]
+
+
+class TestTwoLevelFactorialDesign:
+    def test_size(self):
+        assert len(TwoLevelFactorialDesign(space_2level(4))) == 16
+
+    def test_rejects_multilevel_factors(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), two_level("B", 0, 1)])
+        with pytest.raises(DesignError):
+            TwoLevelFactorialDesign(space)
+
+    def test_points_match_sign_table(self):
+        design = TwoLevelFactorialDesign(space_2level(3))
+        for point in design.points():
+            assert point.coded == design.sign_table.row(point.index)
+
+    def test_config_decodes_coded(self):
+        space = FactorSpace([two_level("A", "low", "high")])
+        design = TwoLevelFactorialDesign(space)
+        points = list(design.points())
+        assert points[0]["A"] == "low"
+        assert points[1]["A"] == "high"
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_property_all_rows_distinct(self, k):
+        design = TwoLevelFactorialDesign(space_2level(k))
+        rows = {tuple(sorted(p.coded.items())) for p in design.points()}
+        assert len(rows) == 2 ** k
+
+
+class TestFractionalFactorialDesign:
+    def test_2_4_1(self):
+        space = space_2level(4)
+        design = FractionalFactorialDesign(
+            space, ["A", "B", "C"], {"D": ("A", "B", "C")})
+        assert len(design) == 8
+        points = list(design.points())
+        assert len(points) == 8
+        # D equals the product of A, B, C in every row.
+        for p in points:
+            assert p.coded["D"] == p.coded["A"] * p.coded["B"] * p.coded["C"]
+
+    def test_rows_are_subset_of_full_factorial(self):
+        space = space_2level(4)
+        design = FractionalFactorialDesign(
+            space, ["A", "B", "C"], {"D": ("A", "B", "C")})
+        full = {tuple(sorted(p.coded.items()))
+                for p in TwoLevelFactorialDesign(space).points()}
+        frac = {tuple(sorted(p.coded.items())) for p in design.points()}
+        assert frac < full
+        assert len(frac) == 8
+
+    def test_rejects_incomplete_coverage(self):
+        space = space_2level(4)
+        with pytest.raises(DesignError):
+            FractionalFactorialDesign(space, ["A", "B"],
+                                      {"D": ("A", "B")})  # C unaccounted
+
+    def test_rejects_multilevel(self):
+        space = FactorSpace([Factor("A", (1, 2, 3)), two_level("B", 0, 1),
+                             two_level("C", 0, 1)])
+        with pytest.raises(DesignError):
+            FractionalFactorialDesign(space, ["A", "B"], {"C": ("A", "B")})
+
+
+class TestOrthogonalArrayDesign:
+    def make_space(self):
+        return FactorSpace([
+            Factor("cpu", ("68000", "Z80", "8086")),
+            Factor("memory", ("512K", "2M", "8M")),
+            Factor("workload", ("managerial", "scientific", "secretarial")),
+            Factor("education", ("high-school", "postgraduate", "college")),
+        ])
+
+    def test_size_is_nine(self):
+        design = OrthogonalArrayDesign(self.make_space())
+        assert len(design) == 9
+        assert len(list(design.points())) == 9
+
+    def test_pairwise_balance(self):
+        assert OrthogonalArrayDesign(self.make_space()).verify_balance()
+
+    def test_each_level_appears_three_times(self):
+        design = OrthogonalArrayDesign(self.make_space())
+        points = list(design.points())
+        for factor in design.space:
+            for level in factor.levels:
+                count = sum(1 for p in points if p[factor.name] == level)
+                assert count == 3
+
+    def test_rejects_wrong_factor_count(self):
+        space = FactorSpace([Factor("A", (1, 2, 3))])
+        with pytest.raises(DesignError):
+            OrthogonalArrayDesign(space)
+
+    def test_rejects_wrong_level_count(self):
+        space = FactorSpace([Factor(n, (1, 2)) for n in "ABCD"])
+        with pytest.raises(DesignError):
+            OrthogonalArrayDesign(space)
+
+
+class TestSizeFormulas:
+    def test_slide_56_scenario(self):
+        # 5 parameters with 10..40 values: full factorial is huge, the
+        # tutorial quotes 10^5 as the lower bound.
+        assert full_factorial_size([10] * 5) == 10 ** 5
+        assert simple_design_size([10] * 5) == 1 + 5 * 9
+
+    def test_two_level(self):
+        assert two_level_size(7) == 128
+
+    def test_fractional(self):
+        assert fractional_size(7, 4) == 8
+        assert fractional_size(4, 1) == 8
+
+    def test_rejections(self):
+        with pytest.raises(DesignError):
+            simple_design_size([1, 2])
+        with pytest.raises(DesignError):
+            full_factorial_size([0])
+        with pytest.raises(DesignError):
+            two_level_size(0)
+        with pytest.raises(DesignError):
+            fractional_size(3, 3)
+
+    @given(st.lists(st.integers(min_value=2, max_value=9),
+                    min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_sizes_match_enumeration(self, level_counts):
+        factors = [Factor(f"F{i}", tuple(range(n)))
+                   for i, n in enumerate(level_counts)]
+        space = FactorSpace(factors)
+        assert len(list(SimpleDesign(space).points())) == \
+            simple_design_size(level_counts)
+        if full_factorial_size(level_counts) <= 2000:
+            assert len(list(FullFactorialDesign(space).points())) == \
+                full_factorial_size(level_counts)

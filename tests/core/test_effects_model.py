@@ -1,0 +1,137 @@
+"""Tests for repro.core.effects and repro.core.model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdditiveModel,
+    FactorSpace,
+    FractionalFactorialDesign,
+    TwoLevelFactorialDesign,
+    estimate_effects,
+    estimate_effects_replicated,
+    model_from_effects,
+    responses_from_model,
+    solve_two_by_two,
+    two_level,
+)
+from repro.errors import DesignError
+
+
+def space_2level(k):
+    return FactorSpace([two_level(chr(ord("A") + i), 0, 1) for i in range(k)])
+
+
+class TestSolveTwoByTwo:
+    def test_slide_72_memory_cache_example(self):
+        q = solve_two_by_two(15, 45, 25, 75)
+        assert q == {"q0": 40.0, "qA": 20.0, "qB": 10.0, "qAB": 5.0}
+
+    def test_zero_effects_for_constant_response(self):
+        q = solve_two_by_two(7, 7, 7, 7)
+        assert q == {"q0": 7.0, "qA": 0.0, "qB": 0.0, "qAB": 0.0}
+
+
+class TestEstimateEffects:
+    def test_matches_manual_resolution(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        model = estimate_effects(design, [15, 45, 25, 75])
+        assert model.mean == pytest.approx(40)
+        assert model.effect("A") == pytest.approx(20)
+        assert model.effect("B") == pytest.approx(10)
+        assert model.effect("A", "B") == pytest.approx(5)
+
+    def test_describe_includes_terms(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        model = estimate_effects(design, [15, 45, 25, 75])
+        text = model.describe()
+        assert text.startswith("y = 40")
+        assert "20*xA" in text
+        assert "5*xA*xB" in text
+
+    def test_describe_threshold_drops_small_terms(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        model = estimate_effects(design, [15, 45, 25, 75])
+        assert "5*" not in model.describe(threshold=6)
+
+    def test_fractional_design_effects(self):
+        space = space_2level(4)
+        design = FractionalFactorialDesign(
+            space, ["A", "B", "C"], {"D": ("A", "B", "C")})
+        # Response depends only on D: estimated qD = 3 (confounded w/ ABC).
+        responses = [3.0 * p.coded["D"] for p in design.points()]
+        model = estimate_effects(design, responses)
+        assert model.effect("D") == pytest.approx(3)
+        assert model.mean == pytest.approx(0)
+
+    def test_replicated_uses_means(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        reps = [[14, 16], [44, 46], [24, 26], [74, 76]]
+        model = estimate_effects_replicated(design, reps)
+        assert model.mean == pytest.approx(40)
+        assert model.effect("A") == pytest.approx(20)
+
+    def test_replicated_rejects_ragged(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        with pytest.raises(DesignError):
+            estimate_effects_replicated(design, [[1, 2], [3], [4, 5], [6, 7]])
+
+    def test_replicated_rejects_wrong_row_count(self):
+        design = TwoLevelFactorialDesign(space_2level(2))
+        with pytest.raises(DesignError):
+            estimate_effects_replicated(design, [[1, 2]] * 3)
+
+    @given(st.lists(st.floats(min_value=-1e5, max_value=1e5,
+                              allow_nan=False), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_model_round_trip(self, ys):
+        """estimate_effects inverts responses_from_model."""
+        design = TwoLevelFactorialDesign(space_2level(3))
+        model = estimate_effects(design, ys)
+        back = responses_from_model(design, model)
+        for y, b in zip(ys, back):
+            assert b == pytest.approx(y, abs=1e-6 * (1 + abs(y)))
+
+
+class TestAdditiveModel:
+    def test_predict(self):
+        model = model_from_effects(
+            {"I": 40.0, "A": 20.0, "B": 10.0, "A:B": 5.0}, ("A", "B"))
+        assert model.predict({"A": -1, "B": -1}) == pytest.approx(15)
+        assert model.predict({"A": 1, "B": 1}) == pytest.approx(75)
+
+    def test_predict_rejects_missing_factor(self):
+        model = model_from_effects({"I": 1.0, "A": 2.0}, ("A",))
+        with pytest.raises(DesignError):
+            model.predict({})
+
+    def test_predict_rejects_bad_code(self):
+        model = model_from_effects({"I": 1.0, "A": 2.0}, ("A",))
+        with pytest.raises(DesignError):
+            model.predict({"A": 0})
+
+    def test_missing_effect_reads_zero(self):
+        model = model_from_effects({"I": 1.0, "A": 2.0}, ("A", "B"))
+        assert model.effect("B") == 0.0
+        assert model.effect("A", "B") == 0.0
+
+    def test_main_effects_and_interactions(self):
+        model = model_from_effects(
+            {"I": 1.0, "A": 2.0, "B": 3.0, "A:B": 4.0}, ("A", "B"))
+        assert model.main_effects() == {"A": 2.0, "B": 3.0}
+        assert model.interactions() == {"A:B": 4.0}
+        assert model.interactions(order=3) == {}
+
+    def test_rejects_model_without_mean(self):
+        with pytest.raises(DesignError):
+            AdditiveModel(coefficients={"A": 1.0}, factor_names=("A",))
+
+    def test_rejects_unknown_factor_in_coefficient(self):
+        with pytest.raises(DesignError):
+            AdditiveModel(coefficients={"I": 1.0, "Z": 2.0},
+                          factor_names=("A",))
+
+    def test_predict_all(self):
+        model = model_from_effects({"I": 10.0, "A": 1.0}, ("A",))
+        assert model.predict_all([{"A": -1}, {"A": 1}]) == [9.0, 11.0]

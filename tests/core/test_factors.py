@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.factors."""
+
+import pytest
+
+from repro.core import (
+    DesignPoint,
+    Factor,
+    FactorSpace,
+    interaction_name,
+    parse_interaction,
+    two_level,
+)
+from repro.errors import DesignError
+
+
+class TestFactor:
+    def test_basic_construction(self):
+        f = Factor("buffer_size", (16, 64, 256), unit="MB")
+        assert f.name == "buffer_size"
+        assert f.n_levels == 3
+        assert not f.is_two_level
+        assert f.label() == "buffer_size (MB)"
+
+    def test_label_without_unit(self):
+        assert Factor("algo", ("hash", "sort")).label() == "algo"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DesignError):
+            Factor("", (1, 2))
+
+    def test_rejects_whitespace_name(self):
+        with pytest.raises(DesignError):
+            Factor("buffer size", (1, 2))
+
+    def test_rejects_single_level(self):
+        with pytest.raises(DesignError):
+            Factor("x", (1,))
+
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(DesignError):
+            Factor("x", (1, 1))
+
+    def test_two_level_helper(self):
+        f = two_level("opt", "off", "on")
+        assert f.is_two_level
+        assert f.low == "off"
+        assert f.high == "on"
+
+    def test_code_decode_round_trip(self):
+        f = two_level("opt", "off", "on")
+        assert f.code("off") == -1
+        assert f.code("on") == 1
+        assert f.decode(-1) == "off"
+        assert f.decode(1) == "on"
+
+    def test_code_rejects_unknown_level(self):
+        f = two_level("opt", "off", "on")
+        with pytest.raises(DesignError):
+            f.code("maybe")
+
+    def test_code_rejects_multilevel_factor(self):
+        f = Factor("x", (1, 2, 3))
+        with pytest.raises(DesignError):
+            f.code(1)
+
+    def test_decode_rejects_bad_code(self):
+        f = two_level("opt", "off", "on")
+        with pytest.raises(DesignError):
+            f.decode(0)
+
+    def test_index_of(self):
+        f = Factor("x", (10, 20, 30))
+        assert f.index_of(20) == 1
+        with pytest.raises(DesignError):
+            f.index_of(99)
+
+    def test_frozen(self):
+        f = two_level("opt", "off", "on")
+        with pytest.raises(Exception):
+            f.name = "other"
+
+
+class TestFactorSpace:
+    def test_basic(self):
+        space = FactorSpace([two_level("A", 0, 1), Factor("B", (1, 2, 3))])
+        assert len(space) == 2
+        assert space.names == ("A", "B")
+        assert "A" in space
+        assert "Z" not in space
+        assert space["B"].n_levels == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            FactorSpace([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(DesignError):
+            FactorSpace([two_level("A", 0, 1), two_level("A", 2, 3)])
+
+    def test_unknown_lookup(self):
+        space = FactorSpace([two_level("A", 0, 1)])
+        with pytest.raises(DesignError):
+            space["Z"]
+
+    def test_full_size(self):
+        space = FactorSpace([Factor("A", (1, 2)), Factor("B", (1, 2, 3)),
+                             Factor("C", tuple(range(4)))])
+        assert space.full_size() == 2 * 3 * 4
+
+    def test_all_two_level(self):
+        assert FactorSpace([two_level("A", 0, 1)]).all_two_level
+        assert not FactorSpace([Factor("A", (1, 2, 3))]).all_two_level
+
+    def test_validate_configuration_accepts_complete(self):
+        space = FactorSpace([two_level("A", 0, 1), two_level("B", "x", "y")])
+        space.validate_configuration({"A": 0, "B": "y"})
+
+    def test_validate_configuration_rejects_missing(self):
+        space = FactorSpace([two_level("A", 0, 1), two_level("B", "x", "y")])
+        with pytest.raises(DesignError, match="missing"):
+            space.validate_configuration({"A": 0})
+
+    def test_validate_configuration_rejects_unknown(self):
+        space = FactorSpace([two_level("A", 0, 1)])
+        with pytest.raises(DesignError, match="unknown"):
+            space.validate_configuration({"A": 0, "Z": 1})
+
+    def test_validate_configuration_rejects_bad_level(self):
+        space = FactorSpace([two_level("A", 0, 1)])
+        with pytest.raises(DesignError):
+            space.validate_configuration({"A": 7})
+
+
+class TestDesignPoint:
+    def test_access(self):
+        p = DesignPoint(index=3, config={"A": 1, "B": "x"},
+                        coded={"A": 1, "B": -1})
+        assert p["A"] == 1
+        assert p.as_tuple(["B", "A"]) == ("x", 1)
+
+
+class TestInteractionNames:
+    def test_main_effect_name(self):
+        assert interaction_name(["A"]) == "A"
+
+    def test_interaction_sorted(self):
+        assert interaction_name(["B", "A"]) == "A:B"
+        assert interaction_name(["C", "A", "B"]) == "A:B:C"
+
+    def test_identity(self):
+        assert interaction_name([]) == "I"
+
+    def test_parse_round_trip(self):
+        assert parse_interaction("A:B:C") == ["A", "B", "C"]
+        assert parse_interaction("I") == []
+        assert parse_interaction(interaction_name(["D", "B"])) == ["B", "D"]

@@ -1,0 +1,105 @@
+"""Tests for repro.core.replication and repro.core.interaction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FactorSpace,
+    TwoLevelFactorialDesign,
+    analyze_replicated,
+    from_slide_layout,
+    slide58_tables,
+    two_level,
+)
+from repro.errors import DesignError
+
+
+def design_2():
+    return TwoLevelFactorialDesign(
+        FactorSpace([two_level("A", 0, 1), two_level("B", 0, 1)]))
+
+
+class TestAnalyzeReplicated:
+    def test_strong_effect_is_significant(self):
+        reps = [[10.0, 10.2], [20.1, 19.9], [10.1, 9.9], [20.0, 20.2]]
+        analysis = analyze_replicated(design_2(), reps, confidence=0.95)
+        assert "A" in analysis.significant_effects()
+        assert analysis.intervals["A"].significant
+
+    def test_pure_noise_not_significant(self):
+        rng = np.random.default_rng(3)
+        reps = rng.normal(0, 1, size=(4, 5)).tolist()
+        analysis = analyze_replicated(design_2(), reps, confidence=0.99)
+        assert analysis.significant_effects() == ()
+
+    def test_error_dof(self):
+        reps = [[1, 2, 3]] * 4
+        analysis = analyze_replicated(design_2(), reps)
+        assert analysis.error_dof == 4 * 2
+
+    def test_zero_error_gives_zero_variance(self):
+        reps = [[15, 15], [45, 45], [25, 25], [75, 75]]
+        analysis = analyze_replicated(design_2(), reps)
+        assert analysis.error_variance == 0
+        assert analysis.model.effect("A") == pytest.approx(20)
+
+    def test_interval_widens_with_lower_confidence(self):
+        reps = [[10, 12], [20, 22], [11, 13], [21, 23]]
+        wide = analyze_replicated(design_2(), reps, confidence=0.99)
+        narrow = analyze_replicated(design_2(), reps, confidence=0.80)
+        assert (wide.intervals["A"].high - wide.intervals["A"].low) > \
+            (narrow.intervals["A"].high - narrow.intervals["A"].low)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(DesignError):
+            analyze_replicated(design_2(), [[1, 2]] * 4, confidence=1.5)
+
+    def test_rejects_single_replication(self):
+        with pytest.raises(DesignError):
+            analyze_replicated(design_2(), [[1]] * 4)
+
+    def test_format_flags_significance(self):
+        reps = [[10.0, 10.2], [20.1, 19.9], [10.1, 9.9], [20.0, 20.2]]
+        text = analyze_replicated(design_2(), reps).format()
+        assert "*" in text
+        assert "error variance" in text
+
+
+class TestInteractionTable:
+    def test_slide58_no_interaction(self):
+        table_a, table_b = slide58_tables()
+        assert not table_a.has_interaction()
+        assert table_b.has_interaction()
+
+    def test_slide58_effects(self):
+        table_a, table_b = slide58_tables()
+        # (a): A2-A1 = 2 at both B levels.
+        assert table_a.effect_of_a("B1") == 2
+        assert table_a.effect_of_a("B2") == 2
+        # (b): 2 at B1 but 3 at B2 -> interaction magnitude 1.
+        assert table_b.effect_of_a("B1") == 2
+        assert table_b.effect_of_a("B2") == 3
+        assert table_b.interaction_magnitude() == 1
+
+    def test_effect_of_b(self):
+        table_a, __ = slide58_tables()
+        assert table_a.effect_of_b("A1") == 3
+        assert table_a.effect_of_b("A2") == 3
+
+    def test_response_lookup(self):
+        __, table_b = slide58_tables()
+        assert table_b.response("A2", "B2") == 9
+
+    def test_tolerance(self):
+        __, table_b = slide58_tables()
+        assert not table_b.has_interaction(tolerance=2.0)
+
+    def test_from_slide_layout_validates_shape(self):
+        with pytest.raises(DesignError):
+            from_slide_layout("A", "B", ("A1", "A2"), ("B1",),
+                              [[1, 2], [3, 4]])
+
+    def test_format_shows_levels(self):
+        table_a, __ = slide58_tables()
+        text = table_a.format()
+        assert "A1" in text and "B2" in text

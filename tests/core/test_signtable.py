@@ -1,0 +1,160 @@
+"""Unit and property tests for repro.core.signtable."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dot_effects, fractional_sign_table, full_sign_table
+from repro.errors import DesignError
+
+LETTERS = "ABCDEFGHJK"
+
+
+class TestFullSignTable:
+    def test_2x2_matches_slide_74(self):
+        table = full_sign_table(["A", "B"])
+        assert list(table.column("A")) == [-1, 1, -1, 1]
+        assert list(table.column("B")) == [-1, -1, 1, 1]
+        assert list(table.column("A:B")) == [1, -1, -1, 1]
+        assert list(table.column("I")) == [1, 1, 1, 1]
+
+    def test_row_accessor(self):
+        table = full_sign_table(["A", "B"])
+        assert table.row(0) == {"A": -1, "B": -1}
+        assert table.row(3) == {"A": 1, "B": 1}
+
+    def test_first_factor_toggles_fastest(self):
+        table = full_sign_table(["A", "B", "C"])
+        assert list(table.column("A"))[:4] == [-1, 1, -1, 1]
+        assert list(table.column("C"))[:4] == [-1, -1, -1, -1]
+
+    def test_size(self):
+        for k in range(1, 6):
+            table = full_sign_table(LETTERS[:k])
+            assert table.n_rows == 2 ** k
+
+    def test_column_count_all_orders(self):
+        # I + sum_{o=1..k} C(k, o) = 2^k columns.
+        table = full_sign_table(["A", "B", "C"])
+        assert len(table.column_names) == 8
+
+    def test_max_order_limits_interactions(self):
+        table = full_sign_table(["A", "B", "C"], max_order=2)
+        assert "A:B" in table.column_names
+        assert "A:B:C" not in table.column_names
+
+    def test_validate_passes(self):
+        full_sign_table(["A", "B", "C", "D"]).validate()
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DesignError):
+            full_sign_table(["A", "A"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DesignError):
+            full_sign_table([])
+
+    def test_unknown_column(self):
+        table = full_sign_table(["A"])
+        with pytest.raises(DesignError):
+            table.column("Z")
+
+    def test_format_contains_all_rows(self):
+        text = full_sign_table(["A", "B"]).format(["A", "B"])
+        assert len(text.splitlines()) == 5  # header + 4 rows
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_zero_sum_and_orthogonal(self, k):
+        table = full_sign_table(LETTERS[:k], max_order=min(k, 3))
+        table.validate()  # raises on violation
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_property_interaction_is_product(self, k):
+        table = full_sign_table(LETTERS[:k])
+        if k < 2:
+            return
+        prod = table.column(LETTERS[0]) * table.column(LETTERS[1])
+        assert np.array_equal(prod, table.column(f"{LETTERS[0]}:{LETTERS[1]}"))
+
+
+class TestFractionalSignTable:
+    def test_2_4_1_d_equals_abc_matches_slide_104(self):
+        table = fractional_sign_table(["A", "B", "C"],
+                                      {"D": ("A", "B", "C")})
+        assert table.n_rows == 8
+        assert list(table.column("D")) == [-1, 1, 1, -1, 1, -1, -1, 1]
+        table.validate()
+
+    def test_2_7_4_matches_slide_103(self):
+        table = fractional_sign_table(
+            ["A", "B", "C"],
+            {"D": ("A", "B"), "E": ("A", "C"), "F": ("B", "C"),
+             "G": ("A", "B", "C")})
+        assert table.n_rows == 8
+        assert table.factor_names == ("A", "B", "C", "D", "E", "F", "G")
+        # Slide 103, first row: -1 -1 -1 1 1 1 -1
+        assert [int(table.column(n)[0]) for n in "ABCDEFG"] == \
+            [-1, -1, -1, 1, 1, 1, -1]
+        # Slide 103, last row: all +1.
+        assert [int(table.column(n)[7]) for n in "ABCDEFG"] == [1] * 7
+        table.validate()
+
+    def test_generator_column_consumed(self):
+        table = fractional_sign_table(["A", "B", "C"],
+                                      {"D": ("A", "B", "C")})
+        assert "A:B:C" not in table.column_names
+        assert "A:B" in table.column_names
+
+    def test_rejects_generator_on_base_factor(self):
+        with pytest.raises(DesignError):
+            fractional_sign_table(["A", "B"], {"A": ("A", "B")})
+
+    def test_rejects_single_factor_generator(self):
+        with pytest.raises(DesignError):
+            fractional_sign_table(["A", "B"], {"C": ("A",)})
+
+    def test_rejects_unknown_base(self):
+        with pytest.raises(DesignError):
+            fractional_sign_table(["A", "B"], {"C": ("A", "Z")})
+
+    def test_rejects_column_reuse(self):
+        with pytest.raises(DesignError):
+            fractional_sign_table(["A", "B", "C"],
+                                  {"D": ("A", "B"), "E": ("B", "A")})
+
+
+class TestDotEffects:
+    def test_slide_72_example(self):
+        table = full_sign_table(["A", "B"])
+        effects = dot_effects(table, [15, 45, 25, 75])
+        assert effects["I"] == pytest.approx(40)
+        assert effects["A"] == pytest.approx(20)
+        assert effects["B"] == pytest.approx(10)
+        assert effects["A:B"] == pytest.approx(5)
+
+    def test_selected_columns_only(self):
+        table = full_sign_table(["A", "B"])
+        effects = dot_effects(table, [15, 45, 25, 75], columns=["A"])
+        assert list(effects) == ["A"]
+
+    def test_wrong_length_rejected(self):
+        table = full_sign_table(["A", "B"])
+        with pytest.raises(DesignError):
+            dot_effects(table, [1, 2, 3])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_effects_reconstruct_responses(self, ys):
+        """Full model predicts the observed responses exactly."""
+        table = full_sign_table(["A", "B", "C"])
+        effects = dot_effects(table, ys)
+        for i, y in enumerate(ys):
+            predicted = sum(
+                q * np.prod([table.column(f)[i]
+                             for f in (name.split(":") if name != "I" else [])])
+                for name, q in effects.items())
+            assert predicted == pytest.approx(y, abs=1e-6 * (1 + abs(y)))

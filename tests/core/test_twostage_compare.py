@@ -1,0 +1,162 @@
+"""Tests for repro.core.twostage and repro.core.compare."""
+
+import pytest
+
+from repro.core import (
+    ComparisonContext,
+    FactorSpace,
+    check_fairness,
+    refine,
+    relative_change,
+    screen,
+    screen_and_refine,
+    speedup,
+    scaleup,
+    throughput,
+    two_level,
+)
+from repro.errors import DesignError, MeasurementError
+
+
+def make_space():
+    return FactorSpace([two_level(n, 0, 1) for n in "ABCDE"])
+
+
+def noisy_experiment(config):
+    """A depends strongly, B weakly, C/D/E not at all; deterministic."""
+    return 100.0 + 50.0 * config["A"] + 5.0 * config["B"] \
+        + 2.0 * config["A"] * config["B"]
+
+
+class TestScreen:
+    def test_full_screen_selects_dominant_factors(self):
+        result = screen(make_space(), noisy_experiment, keep=2)
+        assert result.selected[0] == "A"
+        assert "B" in result.selected
+        assert result.importance("A") > result.importance("B")
+
+    def test_fractional_screen(self):
+        result = screen(
+            make_space(), noisy_experiment,
+            generators={"D": ("A", "B"), "E": ("A", "C")}, keep=2)
+        assert len(list(result.design.points())) == 8
+        assert result.selected[0] == "A"
+
+    def test_min_percent_filters(self):
+        result = screen(make_space(), noisy_experiment, keep=3,
+                        min_percent=50.0)
+        assert result.selected == ("A",)
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(DesignError):
+            screen(make_space(), noisy_experiment, keep=0)
+
+    def test_always_selects_at_least_one(self):
+        result = screen(make_space(), lambda c: 1.0, keep=2,
+                        min_percent=99.0)
+        assert len(result.selected) == 1
+
+
+class TestRefine:
+    def test_pins_unselected_to_baseline(self):
+        result = refine(make_space(), noisy_experiment, ["A", "B"])
+        for config in result.configurations:
+            assert config["C"] == 0 and config["D"] == 0 and config["E"] == 0
+
+    def test_refined_levels_expand_grid(self):
+        result = refine(make_space(), noisy_experiment, ["A"],
+                        refined_levels={"A": (0, 0.5, 1)})
+        assert len(result.responses) == 3
+
+    def test_minimize_picks_smallest(self):
+        result = refine(make_space(), noisy_experiment, ["A", "B"],
+                        minimize=True)
+        assert result.best_response == min(result.responses)
+        assert result.best_configuration["A"] == 0
+
+    def test_maximize_picks_largest(self):
+        result = refine(make_space(), noisy_experiment, ["A", "B"],
+                        minimize=False)
+        assert result.best_configuration["A"] == 1
+
+    def test_rejects_empty_selection(self):
+        with pytest.raises(DesignError):
+            refine(make_space(), noisy_experiment, [])
+
+    def test_rejects_unknown_factor(self):
+        with pytest.raises(DesignError):
+            refine(make_space(), noisy_experiment, ["Z"])
+
+
+class TestScreenAndRefine:
+    def test_end_to_end(self):
+        result = screen_and_refine(make_space(), noisy_experiment, keep=2)
+        assert result.screening.selected[0] == "A"
+        assert result.refinement.best_configuration["A"] == 0
+        # Refinement ran 2^2 = 4 experiments on the two selected factors.
+        assert len(result.refinement.responses) == 4
+
+
+class TestMetrics:
+    def test_throughput(self):
+        assert throughput(100, 4.0) == 25.0
+
+    def test_throughput_rejects_zero_time(self):
+        with pytest.raises(MeasurementError):
+            throughput(10, 0.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(MeasurementError):
+            speedup(0, 1)
+
+    def test_scaleup_perfect(self):
+        assert scaleup(1, 10, 4, 40) == pytest.approx(1.0)
+
+    def test_scaleup_sublinear(self):
+        assert scaleup(1, 10, 4, 80) == pytest.approx(0.5)
+
+    def test_relative_change(self):
+        assert relative_change(10, 15) == pytest.approx(0.5)
+        with pytest.raises(MeasurementError):
+            relative_change(0, 1)
+
+
+class TestFairness:
+    def test_fair_contexts(self):
+        a = ComparisonContext("X", optimized_build=True, tuned=True)
+        b = ComparisonContext("Y", optimized_build=True, tuned=True)
+        report = check_fairness(a, b)
+        assert report.is_fair
+        assert "fair" in report.format()
+
+    def test_cwi_war_story_build_mismatch(self):
+        a = ComparisonContext("old-code", optimized_build=True)
+        b = ComparisonContext("new-code", optimized_build=False)
+        report = check_fairness(a, b)
+        assert not report.is_fair
+        assert any(i.kind == "build" for i in report.issues)
+        assert "new-code" in report.format()
+
+    def test_tuning_mismatch(self):
+        a = ComparisonContext("prototype-X", tuned=True)
+        b = ComparisonContext("off-the-shelf-Y", tuned=False)
+        report = check_fairness(a, b)
+        assert any(i.kind == "tuning" for i in report.issues)
+
+    def test_stage_mismatch_slide_42(self):
+        # Prototype X omits parsing/optimization/printing; Y includes them.
+        x = ComparisonContext("X", tuned=True, stages=("execute",))
+        y = ComparisonContext("Y", tuned=True)
+        report = check_fairness(x, y)
+        assert any(i.kind == "stages" for i in report.issues)
+
+    def test_hardware_and_dataset_mismatch(self):
+        a = ComparisonContext("X", hardware="laptop", dataset="tpch-1")
+        b = ComparisonContext("Y", hardware="server", dataset="tpch-10")
+        kinds = {i.kind for i in check_fairness(a, b).issues}
+        assert {"hardware", "dataset"} <= kinds
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(MeasurementError):
+            ComparisonContext("X", stages=("fly",))

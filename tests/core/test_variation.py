@@ -1,0 +1,119 @@
+"""Tests for repro.core.variation (allocation of variation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FactorSpace,
+    TwoLevelFactorialDesign,
+    allocate_variation,
+    allocate_variation_replicated,
+    two_level,
+)
+from repro.errors import DesignError
+
+
+def design_2(k=2):
+    return TwoLevelFactorialDesign(
+        FactorSpace([two_level(chr(ord("A") + i), 0, 1) for i in range(k)]))
+
+
+class TestAllocateVariation:
+    def test_network_example_slide_92_throughput(self):
+        # A = network type, B = address pattern; responses ordered so B
+        # (the address pattern) alternates slowest, matching the slide's
+        # stated result: qA 17.2%, qB 77.0%, qAB 5.8%.
+        design = design_2()
+        report = allocate_variation(
+            design, [0.6041, 0.7922, 0.4220, 0.4717])
+        assert report.percent("B") == pytest.approx(76.9, abs=0.15)
+        assert report.percent("A") == pytest.approx(17.2, abs=0.15)
+        assert report.percent("A:B") == pytest.approx(5.8, abs=0.15)
+        assert report.dominant() == "B"
+
+    def test_network_example_transit_time(self):
+        # Slide 92, response N: qA 20%, qB 80%, qAB 0%.
+        design = design_2()
+        report = allocate_variation(design, [3, 2, 5, 4])
+        assert report.percent("B") == pytest.approx(80.0)
+        assert report.percent("A") == pytest.approx(20.0)
+        assert report.percent("A:B") == pytest.approx(0.0)
+
+    def test_percentages_sum_to_100(self):
+        design = design_2()
+        report = allocate_variation(design, [1.0, 4.0, 2.0, 9.0])
+        assert sum(report.percentages().values()) == pytest.approx(100.0)
+
+    def test_constant_response_zero_sst(self):
+        design = design_2()
+        report = allocate_variation(design, [5, 5, 5, 5])
+        assert report.sst == 0
+        assert report.percent("A") == 0.0
+
+    def test_ranked_descending(self):
+        design = design_2()
+        report = allocate_variation(design, [0.6041, 0.7922, 0.4220, 0.4717])
+        percents = [p for _, p in report.ranked()]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_wrong_length(self):
+        with pytest.raises(DesignError):
+            allocate_variation(design_2(), [1, 2, 3])
+
+    def test_significant_without_error_term(self):
+        report = allocate_variation(design_2(), [1, 2, 3, 4])
+        assert "A" in report.significant()
+
+    def test_format_mentions_components(self):
+        text = allocate_variation(design_2(), [1, 2, 3, 4]).format()
+        assert "A:B" in text and "%" in text
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                              allow_nan=False), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_components_sum_to_sst(self, ys):
+        """SST = sum over effects of 2^k q^2 (exact for full designs)."""
+        design = design_2(3)
+        report = allocate_variation(design, ys)
+        assert sum(report.components.values()) == \
+            pytest.approx(report.sst, abs=1e-6 * (1 + report.sst))
+
+
+class TestAllocateVariationReplicated:
+    def test_error_component_present(self):
+        design = design_2()
+        reps = [[14, 16], [44, 46], [24, 26], [74, 76]]
+        report = allocate_variation_replicated(design, reps)
+        assert "error" in report.components
+        assert report.components["error"] == pytest.approx(8.0)  # 4 rows * 2
+
+    def test_components_plus_error_sum_to_sst(self):
+        design = design_2()
+        rng = np.random.default_rng(7)
+        reps = rng.normal(size=(4, 3)).tolist()
+        report = allocate_variation_replicated(design, reps)
+        assert sum(report.components.values()) == pytest.approx(report.sst)
+
+    def test_noise_only_attributes_to_error(self):
+        design = design_2()
+        rng = np.random.default_rng(42)
+        reps = rng.normal(0, 1, size=(4, 50)).tolist()
+        report = allocate_variation_replicated(design, reps)
+        assert report.percent("error") > 90.0
+
+    def test_significant_compares_against_error(self):
+        design = design_2()
+        # Strong A effect, pure-noise everything else.
+        reps = [[10.0, 10.1], [20.0, 20.1], [10.05, 9.95], [20.05, 19.95]]
+        report = allocate_variation_replicated(design, reps)
+        assert "A" in report.significant()
+
+    def test_rejects_single_replication(self):
+        with pytest.raises(DesignError):
+            allocate_variation_replicated(design_2(), [[1], [2], [3], [4]])
+
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(DesignError):
+            allocate_variation_replicated(design_2(), [[1, 2]] * 3)

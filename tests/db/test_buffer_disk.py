@@ -1,0 +1,138 @@
+"""Tests for the disk model and buffer pool."""
+
+import pytest
+
+from repro.db import BufferPool, DiskModel, PAGE_SIZE_BYTES, pages_for_bytes
+from repro.errors import DatabaseError, HardwareModelError
+from repro.measurement import VirtualClock
+
+
+class TestDiskModel:
+    def test_sequential_read_single_seek(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=64.0)
+        one = disk.read_seconds(1, sequential=True)
+        ten = disk.read_seconds(10, sequential=True)
+        # 10 pages = 1 seek + 10 transfers; 1 page = 1 seek + 1 transfer.
+        assert ten - one == pytest.approx(9 * disk.transfer_s_per_page)
+
+    def test_random_read_seeks_each_page(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=64.0)
+        sequential = disk.read_seconds(10, sequential=True)
+        random = disk.read_seconds(10, sequential=False)
+        assert random - sequential == pytest.approx(9 * 0.010)
+
+    def test_zero_pages_free(self):
+        assert DiskModel().read_seconds(0) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(HardwareModelError):
+            DiskModel(seek_ms=-1)
+        with pytest.raises(HardwareModelError):
+            DiskModel(transfer_mb_per_s=0)
+        with pytest.raises(HardwareModelError):
+            DiskModel().read_seconds(-1)
+
+    def test_pages_for_bytes(self):
+        assert pages_for_bytes(0) == 0
+        assert pages_for_bytes(1) == 1
+        assert pages_for_bytes(PAGE_SIZE_BYTES) == 1
+        assert pages_for_bytes(PAGE_SIZE_BYTES + 1) == 2
+        with pytest.raises(HardwareModelError):
+            pages_for_bytes(-1)
+
+
+def make_pool(capacity=8):
+    clock = VirtualClock()
+    pool = BufferPool(capacity, DiskModel(), clock)
+    return pool, clock
+
+
+class TestBufferPool:
+    def test_cold_read_charges_io(self):
+        pool, clock = make_pool()
+        missing = pool.read_table("t", 3 * PAGE_SIZE_BYTES)
+        assert missing == 3
+        assert clock.sample().system > 0
+
+    def test_hot_read_free(self):
+        pool, clock = make_pool()
+        pool.read_table("t", 3 * PAGE_SIZE_BYTES)
+        io_before = clock.sample().system
+        missing = pool.read_table("t", 3 * PAGE_SIZE_BYTES)
+        assert missing == 0
+        assert clock.sample().system == io_before
+        assert pool.hit_rate() == pytest.approx(0.5)
+
+    def test_flush_makes_cold(self):
+        pool, __ = make_pool()
+        pool.read_table("t", PAGE_SIZE_BYTES)
+        pool.flush()
+        assert pool.read_table("t", PAGE_SIZE_BYTES) == 1
+
+    def test_eviction_when_over_capacity(self):
+        pool, __ = make_pool(capacity=2)
+        pool.read_table("big", 5 * PAGE_SIZE_BYTES)
+        assert len(pool) == 2
+        # A table bigger than the pool can never run hot.
+        assert pool.read_table("big", 5 * PAGE_SIZE_BYTES) > 0
+
+    def test_fits(self):
+        pool, __ = make_pool(capacity=4)
+        assert pool.fits(4 * PAGE_SIZE_BYTES)
+        assert not pool.fits(5 * PAGE_SIZE_BYTES)
+
+    def test_lru_keeps_recent(self):
+        pool, __ = make_pool(capacity=2)
+        pool.read_table("a", PAGE_SIZE_BYTES)
+        pool.read_table("b", PAGE_SIZE_BYTES)
+        pool.read_table("a", PAGE_SIZE_BYTES)  # refresh a
+        pool.read_table("c", PAGE_SIZE_BYTES)  # evicts b
+        assert pool.is_resident(("a", 0))
+        assert not pool.is_resident(("b", 0))
+
+    def test_random_page_reads(self):
+        pool, clock = make_pool()
+        missing = pool.read_pages_random("t", 4 * PAGE_SIZE_BYTES, (0, 2))
+        assert missing == 2
+        with pytest.raises(DatabaseError):
+            pool.read_pages_random("t", PAGE_SIZE_BYTES, (5,))
+
+    def test_capacity_validation(self):
+        with pytest.raises(DatabaseError):
+            BufferPool(0, DiskModel(), VirtualClock())
+
+    def test_mru_policy_survives_sequential_flooding(self):
+        clock = VirtualClock()
+        lru = BufferPool(8, DiskModel(), clock, policy="lru")
+        mru = BufferPool(8, DiskModel(), clock, policy="mru")
+        for __ in range(5):
+            lru.read_table("t", 10 * PAGE_SIZE_BYTES)
+            mru.read_table("t", 10 * PAGE_SIZE_BYTES)
+        assert lru.hit_rate() == 0.0
+        assert mru.hit_rate() > 0.5
+
+    def test_mru_keeps_stable_prefix(self):
+        clock = VirtualClock()
+        pool = BufferPool(4, DiskModel(), clock, policy="mru")
+        pool.read_table("t", 6 * PAGE_SIZE_BYTES)
+        # The first capacity-1 pages stay resident under MRU.
+        assert pool.is_resident(("t", 0))
+        assert pool.is_resident(("t", 1))
+        assert pool.is_resident(("t", 2))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DatabaseError):
+            BufferPool(4, DiskModel(), VirtualClock(), policy="fifo")
+
+    def test_capacity_never_exceeded_either_policy(self):
+        for policy in ("lru", "mru"):
+            pool = BufferPool(3, DiskModel(), VirtualClock(),
+                              policy=policy)
+            pool.read_table("t", 9 * PAGE_SIZE_BYTES)
+            assert len(pool) <= 3
+
+    def test_reset_statistics(self):
+        pool, __ = make_pool()
+        pool.read_table("t", PAGE_SIZE_BYTES)
+        pool.reset_statistics()
+        assert pool.hits == 0 and pool.misses == 0

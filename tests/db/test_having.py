@@ -1,0 +1,83 @@
+"""Tests for the HAVING clause."""
+
+import pytest
+
+from repro.db import DataType, Database, Engine, Table, parse_select
+from repro.errors import PlanError
+
+
+def make_engine():
+    db = Database()
+    db.create_table(Table.from_columns(
+        "t", [("g", DataType.INT64), ("v", DataType.INT64)],
+        {"g": [1, 1, 2, 2, 2, 3], "v": [10, 20, 30, 40, 50, 60]}))
+    return Engine(db)
+
+
+class TestParsing:
+    def test_having_parsed(self):
+        stmt = parse_select(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n > 1")
+        assert stmt.having is not None
+        assert stmt.group_by == ("g",)
+
+    def test_having_before_order_by(self):
+        stmt = parse_select(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g "
+            "HAVING n > 1 ORDER BY g LIMIT 2")
+        assert stmt.having is not None
+        assert stmt.limit == 2
+
+    def test_no_having_is_none(self):
+        assert parse_select("SELECT g FROM t").having is None
+
+
+class TestExecution:
+    def test_filters_groups(self):
+        engine = make_engine()
+        result = engine.execute(
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g "
+            "HAVING n > 1 AND s > 40 ORDER BY g")
+        assert result.rows == ((2, 120, 3),)
+
+    def test_having_on_aggregate_alias(self):
+        engine = make_engine()
+        result = engine.execute(
+            "SELECT g, AVG(v) AS a FROM t GROUP BY g HAVING a >= 40 "
+            "ORDER BY g")
+        assert [row[0] for row in result.rows] == [2, 3]
+
+    def test_having_on_group_key(self):
+        engine = make_engine()
+        result = engine.execute(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING g <> 2 "
+            "ORDER BY g")
+        assert [row[0] for row in result.rows] == [1, 3]
+
+    def test_having_keeps_nothing(self):
+        engine = make_engine()
+        result = engine.execute(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n > 99")
+        assert result.n_rows == 0
+
+    def test_global_aggregate_having(self):
+        engine = make_engine()
+        kept = engine.execute(
+            "SELECT COUNT(*) AS n FROM t HAVING n > 1")
+        assert kept.rows == ((6,),)
+        dropped = engine.execute(
+            "SELECT COUNT(*) AS n FROM t HAVING n > 100")
+        assert dropped.n_rows == 0
+
+
+class TestValidation:
+    def test_having_without_aggregation_rejected(self):
+        engine = make_engine()
+        with pytest.raises(PlanError, match="HAVING requires"):
+            engine.execute("SELECT g FROM t HAVING g > 1")
+
+    def test_having_unknown_output_rejected(self):
+        engine = make_engine()
+        with pytest.raises(PlanError, match="not output"):
+            engine.execute(
+                "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING v > 1")

@@ -1,0 +1,267 @@
+"""Tests for hash indexes, index scans, DISTINCT, and merge joins."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    ColumnRef,
+    Comparison,
+    DataType,
+    Database,
+    Distinct,
+    Engine,
+    EngineConfig,
+    HashIndex,
+    IndexCatalog,
+    IndexScan,
+    Literal,
+    MergeJoin,
+    SeqScan,
+    Sort,
+    Table,
+    try_index_scan,
+)
+from repro.db.buffer import BufferPool
+from repro.db.context import ExecutionContext
+from repro.db.disk import DiskModel
+from repro.errors import CatalogError, PlanError
+from repro.measurement import VirtualClock
+
+
+def make_db(n=10000, dup_every=0):
+    keys = list(range(n))
+    if dup_every:
+        keys = [k // dup_every for k in keys]
+    db = Database()
+    db.create_table(Table.from_columns(
+        "t", [("k", DataType.INT64), ("v", DataType.FLOAT64)],
+        {"k": keys, "v": [float(i) for i in range(n)]}))
+    return db
+
+
+def make_context(db):
+    clock = VirtualClock()
+    return ExecutionContext(database=db,
+                            buffer_pool=BufferPool(1024, DiskModel(), clock),
+                            clock=clock)
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        db = make_db(100)
+        index = HashIndex.build(db.table("t"), "k")
+        assert list(index.lookup(42)) == [42]
+        assert list(index.lookup(9999)) == []
+        assert index.n_keys == 100
+
+    def test_duplicates(self):
+        db = make_db(100, dup_every=10)
+        index = HashIndex.build(db.table("t"), "k")
+        assert len(index.lookup(0)) == 10
+
+    def test_selectivity(self):
+        db = make_db(100, dup_every=50)
+        index = HashIndex.build(db.table("t"), "k")
+        assert index.estimated_selectivity(0) == pytest.approx(0.5)
+        assert index.estimated_selectivity(777) == 0.0
+
+    def test_pages_for_rows(self):
+        db = make_db(100000)
+        index = HashIndex.build(db.table("t"), "k")
+        pages = index.pages_for_rows(np.array([0, 1, 99999]))
+        assert len(pages) == 2  # first rows share a page; last is far away
+
+
+class TestIndexCatalog:
+    def test_create_find_drop(self):
+        db = make_db(10)
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        assert catalog.find("t", "k") is not None
+        assert len(catalog.indexes_on("t")) == 1
+        catalog.drop("t", "k")
+        assert catalog.find("t", "k") is None
+
+    def test_duplicate_rejected(self):
+        db = make_db(10)
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        with pytest.raises(CatalogError):
+            catalog.create(db.table("t"), "k")
+
+    def test_unknown_column_rejected(self):
+        db = make_db(10)
+        with pytest.raises(CatalogError):
+            IndexCatalog().create(db.table("t"), "ghost")
+
+    def test_drop_unknown_rejected(self):
+        with pytest.raises(CatalogError):
+            IndexCatalog().drop("t", "k")
+
+
+class TestIndexScan:
+    def test_returns_matching_rows(self):
+        db = make_db(1000, dup_every=100)
+        ctx = make_context(db)
+        index = HashIndex.build(db.table("t"), "k")
+        batch = IndexScan(index, 3, columns=["v"]).execute(ctx)
+        assert len(batch["v"]) == 100
+
+    def test_cheaper_than_seq_scan_for_point_lookup(self):
+        db = make_db(200_000)
+        index = HashIndex.build(db.table("t"), "k")
+
+        ctx_index = make_context(db)
+        IndexScan(index, 42).execute(ctx_index)
+        index_cost = ctx_index.clock.now
+
+        ctx_seq = make_context(db)
+        SeqScan("t").execute(ctx_seq)
+        seq_cost = ctx_seq.clock.now
+        assert index_cost < seq_cost / 5
+
+    def test_try_index_scan_selective(self):
+        db = make_db(1000)
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        predicate = Comparison("=", ColumnRef("k"), Literal(5))
+        scan = try_index_scan(db, catalog, "t", predicate, None)
+        assert isinstance(scan, IndexScan)
+
+    def test_try_index_scan_rejects_unselective(self):
+        db = make_db(1000, dup_every=500)  # two distinct keys
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        predicate = Comparison("=", ColumnRef("k"), Literal(0))
+        assert try_index_scan(db, catalog, "t", predicate, None) is None
+
+    def test_try_index_scan_rejects_non_equality(self):
+        db = make_db(100)
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        predicate = Comparison("<", ColumnRef("k"), Literal(5))
+        assert try_index_scan(db, catalog, "t", predicate, None) is None
+
+    def test_literal_on_left_works(self):
+        db = make_db(1000)
+        catalog = IndexCatalog()
+        catalog.create(db.table("t"), "k")
+        predicate = Comparison("=", Literal(5), ColumnRef("k"))
+        assert try_index_scan(db, catalog, "t", predicate, None) is not None
+
+
+class TestEngineIndexIntegration:
+    def test_planner_picks_index(self):
+        engine = Engine(make_db(10000))
+        engine.create_index("t", "k")
+        text = engine.explain("SELECT v FROM t WHERE k = 42")
+        assert "IndexScan" in text
+
+    def test_untuned_engine_ignores_indexes(self):
+        engine = Engine(make_db(10000), EngineConfig.untuned())
+        engine.create_index("t", "k")
+        assert "IndexScan" not in engine.explain(
+            "SELECT v FROM t WHERE k = 42")
+
+    def test_residual_conjuncts_still_applied(self):
+        engine = Engine(make_db(10000))
+        engine.create_index("t", "k")
+        result = engine.execute(
+            "SELECT v FROM t WHERE k = 42 AND v > 1000000")
+        assert result.n_rows == 0
+        result = engine.execute(
+            "SELECT v FROM t WHERE k = 42 AND v < 1000000")
+        assert result.n_rows == 1
+
+    def test_same_answers_with_and_without_index(self):
+        sql = "SELECT v FROM t WHERE k = 77"
+        plain = Engine(make_db(5000)).execute(sql)
+        indexed_engine = Engine(make_db(5000))
+        indexed_engine.create_index("t", "k")
+        indexed = indexed_engine.execute(sql)
+        assert plain.rows == indexed.rows
+
+    def test_engine_drop_index(self):
+        engine = Engine(make_db(100))
+        engine.create_index("t", "k")
+        engine.drop_index("t", "k")
+        assert "IndexScan" not in engine.explain(
+            "SELECT v FROM t WHERE k = 5")
+
+
+class TestDistinct:
+    def test_operator_dedups_preserving_order(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "t", [("a", DataType.INT64)], {"a": [3, 1, 3, 2, 1]}))
+        ctx = make_context(db)
+        batch = Distinct(SeqScan("t")).execute(ctx)
+        assert list(batch["a"]) == [3, 1, 2]
+
+    def test_sql_distinct(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "t", [("a", DataType.INT64), ("b", DataType.STRING)],
+            {"a": [1, 1, 2, 2], "b": ["x", "x", "y", "z"]}))
+        engine = Engine(db)
+        result = engine.execute("SELECT DISTINCT a, b FROM t ORDER BY a, b")
+        assert result.rows == ((1, "x"), (2, "y"), (2, "z"))
+
+    def test_distinct_single_column(self):
+        db = make_db(100, dup_every=25)
+        engine = Engine(db)
+        result = engine.execute("SELECT DISTINCT k FROM t ORDER BY k")
+        assert result.column("k") == [0, 1, 2, 3]
+
+
+class TestMergeJoin:
+    def _sorted_inputs(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "l", [("k", DataType.INT64), ("lv", DataType.INT64)],
+            {"k": [1, 2, 2, 4], "lv": [10, 20, 21, 40]}))
+        db.create_table(Table.from_columns(
+            "r", [("rk", DataType.INT64), ("rv", DataType.INT64)],
+            {"rk": [2, 2, 3, 4], "rv": [200, 201, 300, 400]}))
+        return db
+
+    def test_matches_hash_join_semantics(self):
+        db = self._sorted_inputs()
+        ctx = make_context(db)
+        batch = MergeJoin(SeqScan("l"), SeqScan("r"), "k", "rk").execute(ctx)
+        pairs = sorted(zip(batch["lv"].tolist(), batch["rv"].tolist()))
+        # k=2 x rk=2 gives 2x2=4 rows, k=4 matches once; 1 and 3 drop.
+        assert pairs == [(20, 200), (20, 201), (21, 200), (21, 201),
+                         (40, 400)]
+
+    def test_rejects_unsorted_input(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "l", [("k", DataType.INT64)], {"k": [3, 1, 2]}))
+        db.create_table(Table.from_columns(
+            "r", [("rk", DataType.INT64)], {"rk": [1, 2, 3]}))
+        ctx = make_context(db)
+        with pytest.raises(PlanError, match="not sorted"):
+            MergeJoin(SeqScan("l"), SeqScan("r"), "k", "rk").execute(ctx)
+
+    def test_sorted_via_sort_operator(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "l", [("k", DataType.INT64)], {"k": [3, 1, 2]}))
+        db.create_table(Table.from_columns(
+            "r", [("rk", DataType.INT64)], {"rk": [2, 3, 1]}))
+        ctx = make_context(db)
+        plan = MergeJoin(Sort(SeqScan("l"), [("k", True)]),
+                         Sort(SeqScan("r"), [("rk", True)]), "k", "rk")
+        batch = plan.execute(ctx)
+        assert sorted(batch["k"].tolist()) == [1, 2, 3]
+
+    def test_empty_sides(self):
+        db = Database()
+        db.create_table(Table.from_columns(
+            "l", [("k", DataType.INT64)], {"k": []}))
+        db.create_table(Table.from_columns(
+            "r", [("rk", DataType.INT64)], {"rk": [1]}))
+        ctx = make_context(db)
+        batch = MergeJoin(SeqScan("l"), SeqScan("r"), "k", "rk").execute(ctx)
+        assert len(batch["k"]) == 0

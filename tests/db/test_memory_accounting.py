@@ -1,0 +1,96 @@
+"""Tests for the peak-working-set metric (slide 22: memory usage)."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    DataType,
+    Database,
+    Engine,
+    SeqScan,
+    Sort,
+    Table,
+    batch_bytes,
+)
+from repro.db.buffer import BufferPool
+from repro.db.context import ExecutionContext
+from repro.db.disk import DiskModel
+from repro.errors import DatabaseError
+from repro.measurement import VirtualClock
+
+
+def make_db(n=10000):
+    db = Database()
+    db.create_table(Table.from_columns(
+        "t", [("k", DataType.INT64), ("s", DataType.STRING)],
+        {"k": np.arange(n, dtype=np.int64),
+         "s": [f"v{i}" for i in range(n)]}))
+    return db
+
+
+class TestBatchBytes:
+    def test_numeric(self):
+        batch = {"a": np.zeros(100, dtype=np.int64)}
+        assert batch_bytes(batch) == 800
+
+    def test_strings_estimated(self):
+        arr = np.empty(10, dtype=object)
+        arr[:] = "x"
+        assert batch_bytes({"s": arr}) == 160
+
+    def test_empty(self):
+        assert batch_bytes({}) == 0
+
+
+class TestPeakTracking:
+    def make_context(self, db):
+        clock = VirtualClock()
+        return ExecutionContext(database=db,
+                                buffer_pool=BufferPool(1024, DiskModel(),
+                                                       clock),
+                                clock=clock)
+
+    def test_scan_peak_is_table_size(self):
+        db = make_db(1000)
+        ctx = self.make_context(db)
+        SeqScan("t").execute(ctx)
+        assert ctx.peak_memory_bytes == 1000 * (8 + 16)
+
+    def test_sort_adds_aux(self):
+        db = make_db(1000)
+        ctx = self.make_context(db)
+        plan = Sort(SeqScan("t"), [("k", True)])
+        plan.execute(ctx)
+        # input + output + permutation vector.
+        assert ctx.peak_memory_bytes >= 2 * 1000 * (8 + 16) + 8 * 1000
+        assert plan.aux_bytes == 8 * 1000
+
+    def test_negative_rejected(self):
+        ctx = self.make_context(make_db(1))
+        with pytest.raises(DatabaseError):
+            ctx.track_memory(-1)
+
+
+class TestQueryResultMemory:
+    def test_result_carries_peak(self):
+        engine = Engine(make_db(5000))
+        result = engine.execute("SELECT k FROM t WHERE k < 100")
+        assert result.peak_memory_bytes > 0
+
+    def test_wide_query_uses_more_memory(self):
+        engine = Engine(make_db(5000))
+        narrow = engine.execute("SELECT k FROM t")
+        wide = engine.execute("SELECT k, s FROM t")
+        assert wide.peak_memory_bytes > narrow.peak_memory_bytes
+
+    def test_join_aux_counted(self):
+        db = make_db(2000)
+        db.create_table(Table.from_columns(
+            "r", [("rk", DataType.INT64)],
+            {"rk": np.arange(2000, dtype=np.int64)}))
+        engine = Engine(db)
+        result = engine.execute(
+            "SELECT k FROM t JOIN r ON k = rk")
+        join_nodes = [n for n in result.plan.walk()
+                      if type(n).__name__ == "HashJoin"]
+        assert join_nodes and join_nodes[0].aux_bytes == 48 * 2000

@@ -1,0 +1,188 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.db import (
+    Between,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    parse_select,
+    tokenize,
+)
+from repro.db.operators import AggFunc
+from repro.errors import SqlSyntaxError
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t WHERE s = 'x''y'")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "op", "number", "keyword",
+                         "ident", "keyword", "ident", "op", "string", "eof"]
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_not_equal_normalised(self):
+        assert tokenize("a != 1")[1].text == "<>"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestBasicSelect:
+    def test_simple(self):
+        stmt = parse_select("SELECT a, b FROM t")
+        assert stmt.table == "t"
+        assert [i.alias for i in stmt.items] == ["a", "b"]
+        assert stmt.where is None
+
+    def test_alias(self):
+        stmt = parse_select("SELECT a + 1 AS next FROM t")
+        assert stmt.items[0].alias == "next"
+
+    def test_expression_default_alias(self):
+        stmt = parse_select("SELECT a + 1 FROM t")
+        assert stmt.items[0].alias == "(a + 1)"
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a, a FROM t")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("   ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t GARBAGE MORE")
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse_select("select a from t where a > 1")
+        assert stmt.where is not None
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse_select("SELECT a FROM t WHERE a >= 10")
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.op == ">="
+
+    def test_and_or_precedence(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3")
+        assert isinstance(stmt.where, BoolOp)
+        assert stmt.where.op == "or"
+        assert isinstance(stmt.where.parts[1], BoolOp)
+        assert stmt.where.parts[1].op == "and"
+
+    def test_parentheses(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE (a = 1 OR a = 2) AND b = 3")
+        assert stmt.where.op == "and"
+
+    def test_between(self):
+        stmt = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, Between)
+
+    def test_in_list(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE s IN ('x', 'y', 'z')")
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == ("x", "y", "z")
+
+    def test_in_list_negative_numbers(self):
+        stmt = parse_select("SELECT a FROM t WHERE a IN (-1, 2, -3.5)")
+        assert stmt.where.values == (-1, 2, -3.5)
+
+    def test_in_list_minus_before_string_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE s IN (-'x')")
+
+    def test_like(self):
+        stmt = parse_select("SELECT a FROM t WHERE s LIKE 'PROMO%'")
+        assert isinstance(stmt.where, Like)
+        assert stmt.where.pattern == "PROMO%"
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE s LIKE 5")
+
+    def test_date_literal(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE d < DATE '1998-09-02'")
+        assert isinstance(stmt.where.right, Literal)
+        assert stmt.where.right.value == 10471  # days since epoch
+
+    def test_bad_date(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE d < DATE 'not-a-date'")
+
+    def test_arithmetic_in_predicate(self):
+        stmt = parse_select("SELECT a FROM t WHERE a * 2 + 1 > b / 4")
+        assert isinstance(stmt.where, Comparison)
+
+    def test_unary_minus(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > -5")
+        assert stmt.where is not None
+
+
+class TestAggregates:
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT(*) AS n FROM t")
+        item = stmt.items[0]
+        assert item.agg is AggFunc.COUNT
+        assert item.expr is None
+        assert stmt.has_aggregates
+
+    def test_sum_expression(self):
+        stmt = parse_select(
+            "SELECT SUM(price * (1 - disc)) AS rev FROM t")
+        assert stmt.items[0].agg is AggFunc.SUM
+
+    def test_default_agg_alias(self):
+        stmt = parse_select("SELECT AVG(qty) FROM t")
+        assert stmt.items[0].alias == "avg_qty"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT SUM(*) FROM t")
+
+    def test_group_by(self):
+        stmt = parse_select(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g, h")
+        assert stmt.group_by == ("g", "h")
+
+
+class TestJoinOrderLimit:
+    def test_join_clauses(self):
+        stmt = parse_select(
+            "SELECT a FROM t JOIN u ON tk = uk JOIN v ON uk2 = vk")
+        assert [j.table for j in stmt.joins] == ["u", "v"]
+        assert stmt.joins[0].left_column == "tk"
+        assert stmt.tables == ("t", "u", "v")
+
+    def test_order_by(self):
+        stmt = parse_select(
+            "SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        # note: duplicate order keys allowed by the grammar
+        assert stmt.order_by[0] == ("a", False)
+        assert stmt.order_by[1] == ("b", True)
+
+    def test_limit(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 10")
+        assert stmt.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t LIMIT 1.5")
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t JOIN u WHERE a = 1")

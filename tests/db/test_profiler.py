@@ -1,0 +1,82 @@
+"""Unit tests for the profiler module's edges."""
+
+import pytest
+
+from repro.db import (
+    Database,
+    DataType,
+    Engine,
+    OperatorTiming,
+    ProfileReport,
+    SeqScan,
+    Table,
+    operator_timings,
+)
+from repro.errors import DatabaseError
+
+
+def make_engine():
+    db = Database()
+    db.create_table(Table.from_columns(
+        "t", [("a", DataType.INT64)], {"a": [1, 2, 3]}))
+    return Engine(db)
+
+
+class TestProfileReport:
+    def make_report(self):
+        return ProfileReport(
+            sql="SELECT a FROM t",
+            phase_ms={"parse": 1.0, "optimize": 2.0, "execute": 7.0},
+            operators=(OperatorTiming("SeqScan(t)", 5.0, 3),
+                       OperatorTiming("Project(a)", 2.0, 3)))
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_ms == pytest.approx(10.0)
+        assert report.execute_ms == pytest.approx(7.0)
+
+    def test_phase_share(self):
+        report = self.make_report()
+        assert report.phase_share("execute") == pytest.approx(0.7)
+        assert report.phase_share("print") == 0.0
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(DatabaseError):
+            ProfileReport(sql="q", phase_ms={"compile": 1.0},
+                          operators=())
+        with pytest.raises(DatabaseError):
+            self.make_report().phase_share("compile")
+
+    def test_dominant_operator(self):
+        report = self.make_report()
+        assert report.dominant_operator().operator == "SeqScan(t)"
+
+    def test_dominant_operator_empty_rejected(self):
+        report = ProfileReport(sql="q", phase_ms={"parse": 1.0},
+                               operators=())
+        with pytest.raises(DatabaseError):
+            report.dominant_operator()
+
+    def test_zero_total_share(self):
+        report = ProfileReport(sql="q", phase_ms={"parse": 0.0},
+                               operators=())
+        assert report.phase_share("parse") == 0.0
+
+    def test_operator_format_shows_share(self):
+        timing = OperatorTiming("SeqScan(t)", 5.0, 3)
+        text = timing.format(total_ms=10.0)
+        assert "50.0%" in text and "rows=3" in text
+        assert "0.0%" in timing.format(total_ms=0.0)
+
+
+class TestOperatorTimings:
+    def test_unexecuted_plan_rejected(self):
+        with pytest.raises(DatabaseError, match="never executed"):
+            operator_timings(SeqScan("t"))
+
+    def test_executed_plan_collected(self):
+        engine = make_engine()
+        result = engine.execute("SELECT a FROM t")
+        timings = operator_timings(result.plan)
+        assert any("SeqScan" in t.operator for t in timings)
+        assert all(t.rows >= 0 for t in timings)

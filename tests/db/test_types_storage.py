@@ -1,0 +1,170 @@
+"""Tests for MiniDB types and storage."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnSchema,
+    DataType,
+    Database,
+    Table,
+    coerce_array,
+    date_to_days,
+    days_to_date,
+)
+from repro.errors import CatalogError, TypeMismatchError
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_round_trip(self):
+        days = date_to_days("1998-09-02")
+        assert days_to_date(days) == datetime.date(1998, 9, 2)
+
+    def test_accepts_date_objects(self):
+        assert date_to_days(datetime.date(1970, 1, 2)) == 1
+
+    def test_rejects_non_dates(self):
+        with pytest.raises(TypeMismatchError):
+            date_to_days(42)
+
+
+class TestCoerceArray:
+    def test_int(self):
+        arr = coerce_array([1, 2, 3], DataType.INT64)
+        assert arr.dtype == np.int64
+
+    def test_float(self):
+        arr = coerce_array([1.5, 2.5], DataType.FLOAT64)
+        assert arr.dtype == np.float64
+
+    def test_string(self):
+        arr = coerce_array(["a", "b"], DataType.STRING)
+        assert arr.dtype == object
+
+    def test_string_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(["a", 5], DataType.STRING)
+
+    def test_date_from_iso(self):
+        arr = coerce_array(["1970-01-02", "1970-01-03"], DataType.DATE)
+        assert list(arr) == [1, 2]
+
+    def test_date_from_ints(self):
+        arr = coerce_array([10, 20], DataType.DATE)
+        assert list(arr) == [10, 20]
+
+    def test_int_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_array(["x"], DataType.INT64)
+
+
+def make_table():
+    return Table.from_columns(
+        "t",
+        [("id", DataType.INT64), ("name", DataType.STRING)],
+        {"id": [1, 2, 3], "name": ["a", "b", "c"]})
+
+
+class TestTable:
+    def test_basic(self):
+        table = make_table()
+        assert table.n_rows == 3
+        assert table.column_names == ("id", "name")
+        assert table.row(1) == (2, "b")
+
+    def test_row_out_of_range(self):
+        with pytest.raises(CatalogError):
+            make_table().row(5)
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_table().column("zzz")
+
+    def test_missing_data_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_columns("t", [("a", DataType.INT64)], {})
+
+    def test_extra_data_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_columns("t", [("a", DataType.INT64)],
+                               {"a": [1], "b": [2]})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_columns(
+                "t", [("a", DataType.INT64), ("b", DataType.INT64)],
+                {"a": [1, 2], "b": [1]})
+
+    def test_duplicate_column_names_rejected(self):
+        schema = ColumnSchema("a", DataType.INT64)
+        col1 = Column(schema, np.array([1], dtype=np.int64))
+        col2 = Column(schema, np.array([2], dtype=np.int64))
+        with pytest.raises(CatalogError):
+            Table("t", [col1, col2])
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Table.from_columns("bad name", [("a", DataType.INT64)],
+                               {"a": [1]})
+        with pytest.raises(CatalogError):
+            ColumnSchema("bad col", DataType.INT64)
+
+    def test_bytes_used(self):
+        table = make_table()
+        assert table.bytes_used == 3 * 8 + 3 * 16
+
+    def test_dtype_mismatch_rejected(self):
+        schema = ColumnSchema("a", DataType.INT64)
+        with pytest.raises(CatalogError):
+            Column(schema, np.array([1.0]))
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table(make_table())
+        assert db.has_table("t")
+        assert db.table("t").n_rows == 3
+        assert db.table_names == ("t",)
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table(make_table())
+        with pytest.raises(CatalogError):
+            db.create_table(make_table())
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database().table("ghost")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table(make_table())
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+
+    def test_resolve_column(self):
+        db = Database()
+        db.create_table(make_table())
+        db.create_table(Table.from_columns(
+            "u", [("uid", DataType.INT64)], {"uid": [1]}))
+        owner, dtype = db.resolve_column("name", ["t", "u"])
+        assert owner == "t" and dtype is DataType.STRING
+        with pytest.raises(CatalogError):
+            db.resolve_column("ghost", ["t", "u"])
+
+    def test_resolve_ambiguous(self):
+        db = Database()
+        db.create_table(make_table())
+        db.create_table(Table.from_columns(
+            "u", [("id", DataType.INT64)], {"id": [1]}))
+        with pytest.raises(CatalogError):
+            db.resolve_column("id", ["t", "u"])

@@ -1,0 +1,187 @@
+"""Tests for the cache simulator and hardware counters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware import CacheHierarchy, CacheLevel, HardwareCounters
+
+
+def small_hierarchy(mem_ns=100.0):
+    l1 = CacheLevel("L1", size_bytes=4 * 32, line_bytes=32, latency_ns=1.0)
+    l2 = CacheLevel("L2", size_bytes=16 * 64, line_bytes=64, latency_ns=10.0)
+    return CacheHierarchy([l1, l2], memory_latency_ns=mem_ns)
+
+
+class TestCacheLevel:
+    def test_n_lines(self):
+        assert CacheLevel("L1", 1024, 32, 1.0).n_lines == 32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(HardwareModelError):
+            CacheLevel("L1", 100, 32, 1.0)  # not a multiple
+        with pytest.raises(HardwareModelError):
+            CacheLevel("L1", 0, 32, 1.0)
+        with pytest.raises(HardwareModelError):
+            CacheLevel("L1", 64, 32, -1.0)
+
+
+class TestHierarchyConstruction:
+    def test_rejects_shrinking_lines(self):
+        l1 = CacheLevel("L1", 256, 64, 1.0)
+        l2 = CacheLevel("L2", 1024, 32, 10.0)
+        with pytest.raises(HardwareModelError):
+            CacheHierarchy([l1, l2], 100.0)
+
+    def test_rejects_shrinking_capacity(self):
+        l1 = CacheLevel("L1", 2048, 32, 1.0)
+        l2 = CacheLevel("L2", 1024, 32, 10.0)
+        with pytest.raises(HardwareModelError):
+            CacheHierarchy([l1, l2], 100.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(HardwareModelError):
+            CacheHierarchy([], 100.0)
+
+
+class TestExactAccess:
+    def test_first_access_misses_everywhere(self):
+        h = small_hierarchy()
+        cost = h.access(0)
+        assert cost == 100.0
+        assert h.counters.read("l1_misses") == 1
+        assert h.counters.read("l2_misses") == 1
+
+    def test_repeat_access_hits_l1(self):
+        h = small_hierarchy()
+        h.access(0)
+        cost = h.access(0)
+        assert cost == 1.0
+        assert h.counters.read("l1_hits") == 1
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        h = small_hierarchy()
+        h.access(0)
+        # Touch 4 more distinct L1 lines to evict line 0 from L1 (cap 4).
+        for i in range(1, 5):
+            h.access(i * 32)
+        before = h.counters.read("l2_hits")
+        cost = h.access(0)
+        assert cost == 10.0  # L2 hit
+        assert h.counters.read("l2_hits") == before + 1
+
+    def test_multi_line_access(self):
+        h = small_hierarchy()
+        # Spans two L1 lines, but both fall in one 64-byte L2 line: the
+        # first fetch misses to memory, the second hits the inclusive L2.
+        cost = h.access(0, size=64)
+        assert cost == 110.0
+
+    def test_flush_restores_cold(self):
+        h = small_hierarchy()
+        h.access(0)
+        h.flush()
+        assert h.resident_lines(1) == 0
+        assert h.access(0) == 100.0
+
+    def test_rejects_bad_access(self):
+        h = small_hierarchy()
+        with pytest.raises(HardwareModelError):
+            h.access(-1)
+        with pytest.raises(HardwareModelError):
+            h.access(0, size=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2000),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_l1_capacity_never_exceeded(self, addresses):
+        h = small_hierarchy()
+        for address in addresses:
+            h.access(address)
+        assert h.resident_lines(1) <= 4
+        assert h.resident_lines(2) <= 16
+
+
+class TestAnalyticScan:
+    def test_cold_scan_cost_counts_lines(self):
+        h = small_hierarchy()
+        # 8 items x 8 bytes = 64 bytes = 2 L1 lines -> 2 memory fetches.
+        cost = h.sequential_scan(8, 8, already_cached=False)
+        assert cost == pytest.approx(2 * 100.0 + 6 * 1.0)
+        assert h.counters.read("l1_misses") == 2
+        assert h.counters.read("l1_hits") == 6
+
+    def test_cached_scan_hits_fitting_level(self):
+        h = small_hierarchy()
+        # 64 bytes fit L1 (128 bytes): every access at L1 latency.
+        cost = h.sequential_scan(8, 8, already_cached=True)
+        assert cost == pytest.approx(8 * 1.0)
+
+    def test_cached_scan_larger_than_l1_hits_l2(self):
+        h = small_hierarchy()
+        # 32 items x 8 = 256 bytes: > L1 (128), <= L2 (1024).
+        cost = h.sequential_scan(32, 8, already_cached=True)
+        assert cost == pytest.approx(32 * 10.0)
+
+    def test_empty_scan_is_free(self):
+        assert small_hierarchy().sequential_scan(0, 8) == 0.0
+
+    def test_stride_equal_to_line_pays_memory_per_item(self):
+        h = small_hierarchy()
+        cost = h.sequential_scan(10, 32, already_cached=False)
+        assert cost == pytest.approx(10 * 100.0)
+
+
+class TestRandomAccesses:
+    def test_working_set_in_l1(self):
+        h = small_hierarchy()
+        cost = h.random_accesses(100, working_set_bytes=100)
+        assert cost == pytest.approx(100 * 1.0)
+
+    def test_working_set_in_l2(self):
+        h = small_hierarchy()
+        cost = h.random_accesses(100, working_set_bytes=512)
+        assert cost == pytest.approx(100 * 10.0)
+
+    def test_working_set_exceeds_caches(self):
+        h = small_hierarchy()
+        cost = h.random_accesses(100, working_set_bytes=10 * 1024 * 1024)
+        assert cost > 90 * 100.0  # mostly memory latency
+
+
+class TestCounters:
+    def test_unknown_counter(self):
+        counters = HardwareCounters()
+        with pytest.raises(HardwareModelError):
+            counters.increment("bogus")
+        with pytest.raises(HardwareModelError):
+            counters.read("bogus")
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareModelError):
+            HardwareCounters().increment("cycles", -1)
+
+    def test_snapshot_since(self):
+        counters = HardwareCounters()
+        counters.increment("cycles", 10)
+        snap = counters.snapshot()
+        counters.increment("cycles", 5)
+        assert counters.since(snap)["cycles"] == 5
+
+    def test_miss_rate(self):
+        counters = HardwareCounters()
+        assert counters.miss_rate(1) == 0.0
+        counters.increment("l1_hits", 3)
+        counters.increment("l1_misses", 1)
+        assert counters.miss_rate(1) == pytest.approx(0.25)
+
+    def test_reset(self):
+        counters = HardwareCounters()
+        counters.increment("cycles", 10)
+        counters.reset()
+        assert counters.read("cycles") == 0
+
+    def test_format(self):
+        text = HardwareCounters().format()
+        assert "l1_misses" in text

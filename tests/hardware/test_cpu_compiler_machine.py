@@ -1,0 +1,172 @@
+"""Tests for CPU models, the DBG/OPT build model, and machine specs."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import (
+    BuildMode,
+    BuildModel,
+    CPU_GENERATIONS,
+    CpuModel,
+    TUTORIAL_LAPTOP,
+    check_spec_text,
+    cpu_by_name,
+    dbg_opt_ratio,
+    max_scan_cost,
+)
+
+
+class TestCpuModel:
+    def test_cycle_ns(self):
+        cpu = CpuModel(name="test", year=2000, clock_mhz=500, cpi=1.0,
+                       memory_latency_ns=100.0)
+        assert cpu.cycle_ns == pytest.approx(2.0)
+
+    def test_instruction_ns(self):
+        cpu = CpuModel(name="test", year=2000, clock_mhz=1000, cpi=2.0,
+                       memory_latency_ns=100.0)
+        assert cpu.instruction_ns(10) == pytest.approx(20.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(HardwareModelError):
+            CpuModel(name="x", year=1, clock_mhz=0, cpi=1,
+                     memory_latency_ns=100)
+        with pytest.raises(HardwareModelError):
+            CpuModel(name="x", year=1, clock_mhz=100, cpi=1,
+                     memory_latency_ns=0)
+
+    def test_catalogue_lookup(self):
+        assert cpu_by_name("Alpha").year == 1998
+        with pytest.raises(HardwareModelError):
+            cpu_by_name("M1")
+
+    def test_catalogue_clock_speeds_match_slide_46(self):
+        clocks = {c.name: c.clock_mhz for c in CPU_GENERATIONS}
+        assert clocks == {"Sparc": 50, "UltraSparc": 200,
+                          "UltraSparcII": 296, "Alpha": 500, "R12000": 300}
+
+    def test_build_hierarchy(self):
+        hierarchy = cpu_by_name("Alpha").build_hierarchy()
+        assert len(hierarchy.levels) == 2  # Alpha has an L2
+
+
+class TestMemoryWallShape:
+    """The slide-46/51 figure's shape, from the cost model."""
+
+    def costs(self):
+        return [max_scan_cost(cpu, n_items=10_000, item_bytes=32)
+                for cpu in CPU_GENERATIONS]
+
+    def test_cpu_component_shrinks_by_an_order_of_magnitude(self):
+        costs = self.costs()
+        assert costs[0].cpu_ns_per_iter / costs[-1].cpu_ns_per_iter > 8.0
+
+    def test_memory_component_stays_roughly_flat(self):
+        costs = self.costs()
+        ratio = costs[0].memory_ns_per_iter / costs[-1].memory_ns_per_iter
+        assert 1.0 <= ratio < 1.6
+
+    def test_total_improves_far_less_than_clock(self):
+        costs = self.costs()
+        clock_gain = CPU_GENERATIONS[-1].clock_mhz / \
+            CPU_GENERATIONS[0].clock_mhz
+        total_gain = costs[0].total_ns_per_iter / costs[-1].total_ns_per_iter
+        assert total_gain < 3.0  # vs 6x clock gain: "hardly any improvement"
+        assert total_gain < clock_gain
+
+    def test_memory_dominates_modern_machines(self):
+        costs = self.costs()
+        last = costs[-1]
+        assert last.memory_ns_per_iter > 3 * last.cpu_ns_per_iter
+
+
+class TestBuildModel:
+    def test_opt_is_identity(self):
+        model = BuildModel(BuildMode.OPT)
+        assert model.factor("scan") == 1.0
+        assert model.scale_cpu_ns("scan", 100.0) == 100.0
+
+    def test_dbg_scales_by_category(self):
+        model = BuildModel(BuildMode.DBG)
+        assert model.factor("scan") > 1.5
+        assert model.factor("io") == 1.0
+
+    def test_unknown_category(self):
+        with pytest.raises(HardwareModelError):
+            BuildModel(BuildMode.DBG).factor("quantum")
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(HardwareModelError):
+            BuildModel(BuildMode.DBG, dbg_factors={"scan": 0.5})
+
+    def test_rejects_unknown_category_in_factors(self):
+        with pytest.raises(HardwareModelError):
+            BuildModel(BuildMode.DBG, dbg_factors={"quantum": 2.0})
+
+    def test_configure_flags(self):
+        assert "--enable-debug" in BuildModel(BuildMode.DBG).configure_flags()
+        assert "--enable-optimize" in \
+            BuildModel(BuildMode.OPT).configure_flags()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(HardwareModelError):
+            BuildModel(BuildMode.DBG).scale_cpu_ns("scan", -1.0)
+
+
+class TestDbgOptRatio:
+    def test_io_bound_query_barely_changes(self):
+        ratio = dbg_opt_ratio({"io": 0.9, "scan": 0.1})
+        assert 1.0 <= ratio < 1.25
+
+    def test_cpu_bound_query_doubles(self):
+        ratio = dbg_opt_ratio({"arithmetic": 0.7, "scan": 0.3})
+        assert ratio > 2.0
+
+    def test_mixes_land_in_tutorial_band(self):
+        """Slide 41: DBG/OPT between ~1 and ~2.2 across TPC-H queries."""
+        mixes = [
+            {"scan": 0.5, "arithmetic": 0.3, "hash": 0.2},
+            {"io": 0.4, "scan": 0.3, "sort": 0.3},
+            {"hash": 0.6, "string": 0.2, "output": 0.2},
+        ]
+        for mix in mixes:
+            ratio = dbg_opt_ratio(mix)
+            assert 1.0 <= ratio <= 2.3
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(HardwareModelError):
+            dbg_opt_ratio({})
+        with pytest.raises(HardwareModelError):
+            dbg_opt_ratio({"scan": -1.0})
+        with pytest.raises(HardwareModelError):
+            dbg_opt_ratio({"scan": 1.0},
+                          dbg=BuildModel(BuildMode.OPT))
+
+
+class TestMachineSpec:
+    def test_tutorial_laptop_description(self):
+        text = TUTORIAL_LAPTOP.describe()
+        assert "1.5 GHz" in text
+        assert "Pentium M" in text
+        assert "2MB L2 cache" in text
+        assert "2GB RAM" in text
+        assert "5400RPM" in text
+
+    def test_under_specified_clock_only(self):
+        issues = check_spec_text("We use a machine with 3.4 GHz.")
+        kinds = [i.kind for i in issues]
+        assert "under" in kinds
+        assert any("CPU vendor/model" in i.detail for i in issues)
+
+    def test_well_specified_passes(self):
+        text = ("1.5 GHz Pentium M (Dothan), 32KB L1 cache, 2MB L2 cache; "
+                "2GB RAM; 120GB laptop disk @ 5400RPM")
+        assert check_spec_text(text) == ()
+
+    def test_over_specified_lspci_dump(self):
+        dump = "\n".join(
+            ["Intel Pentium M, 2GB RAM, disk @ 5400RPM, 2MB L2 cache"]
+            + [f"00:{i:02x}.0 Host bridge: Flags: bus master, IRQ {i}"
+               for i in range(50)])
+        issues = check_spec_text(dump)
+        assert any(i.kind == "over" for i in issues)

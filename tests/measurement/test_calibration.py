@@ -1,0 +1,129 @@
+"""Tests for timer calibration and adaptive repetition."""
+
+import itertools
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import (
+    VirtualClock,
+    calibrate_clock,
+    measure_until_stable,
+    repetitions_for_ci,
+)
+from repro.measurement.clocks import Clock, ClockSample
+
+
+class QuantizedClock(Clock):
+    """A clock advancing in fixed 10ms ticks (the slide-27 Windows timer)."""
+
+    def __init__(self, tick_s=0.010):
+        self.tick_s = tick_s
+        self._calls = 0
+
+    def sample(self) -> ClockSample:
+        self._calls += 1
+        # Advance one tick every third call: coarse resolution.
+        now = (self._calls // 3) * self.tick_s
+        return ClockSample(real=now, user=0.0, system=0.0)
+
+
+class TestCalibrateClock:
+    def test_real_clock(self):
+        calibration = calibrate_clock(samples=500)
+        assert calibration.resolution_s > 0
+        assert calibration.overhead_s >= 0
+        assert "resolution" in calibration.format()
+
+    def test_quantized_clock_resolution_detected(self):
+        calibration = calibrate_clock(QuantizedClock(), samples=100)
+        assert calibration.resolution_s == pytest.approx(0.010)
+
+    def test_minimum_measurable(self):
+        calibration = calibrate_clock(QuantizedClock(), samples=100)
+        # 10ms resolution at 1% error -> need at least 1 second runs.
+        assert calibration.minimum_measurable_s(0.01) == pytest.approx(1.0)
+        with pytest.raises(MeasurementError):
+            calibration.minimum_measurable_s(0)
+
+    def test_frozen_clock_rejected(self):
+        class FrozenClock(Clock):
+            def sample(self):
+                return ClockSample(real=1.0, user=0.0, system=0.0)
+
+        with pytest.raises(MeasurementError):
+            calibrate_clock(FrozenClock(), samples=50)
+
+    def test_sample_minimum(self):
+        with pytest.raises(MeasurementError):
+            calibrate_clock(samples=5)
+
+
+class TestRepetitionsForCI:
+    def test_tight_pilot_needs_few(self):
+        pilot = [100.0, 100.1, 99.9, 100.05, 99.95]
+        assert repetitions_for_ci(pilot, 0.05) == len(pilot)
+
+    def test_noisy_pilot_needs_many(self):
+        pilot = [50.0, 150.0, 100.0, 80.0, 120.0]
+        needed = repetitions_for_ci(pilot, 0.01)
+        assert needed > 100
+
+    def test_tighter_target_needs_more(self):
+        pilot = [90.0, 110.0, 95.0, 105.0]
+        assert repetitions_for_ci(pilot, 0.01) > \
+            repetitions_for_ci(pilot, 0.10)
+
+    def test_zero_variance(self):
+        assert repetitions_for_ci([5.0, 5.0, 5.0], 0.01) == 3
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            repetitions_for_ci([1.0], 0.05)
+        with pytest.raises(MeasurementError):
+            repetitions_for_ci([1.0, 2.0], 1.5)
+        with pytest.raises(MeasurementError):
+            repetitions_for_ci([-1.0, 1.0], 0.05)  # mean 0
+
+
+class TestMeasureUntilStable:
+    def test_constant_measurement_stops_at_min(self):
+        values = measure_until_stable(lambda: 10.0, min_runs=5)
+        assert len(values) == 5
+
+    def test_decaying_noise_converges(self):
+        counter = itertools.count()
+
+        def measure():
+            i = next(counter)
+            return 100.0 + (50.0 if i < 3 else 0.1) * ((-1) ** i)
+
+        values = measure_until_stable(measure, min_runs=5, max_runs=500)
+        assert len(values) >= 5
+
+    def test_hopeless_noise_raises(self):
+        counter = itertools.count()
+
+        def measure():
+            return 1.0 if next(counter) % 2 else 1000.0
+
+        with pytest.raises(MeasurementError, match="did not stabilise"):
+            measure_until_stable(measure, target_relative_halfwidth=0.01,
+                                 max_runs=30)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            measure_until_stable(lambda: 1.0, min_runs=1)
+        with pytest.raises(MeasurementError):
+            measure_until_stable(lambda: 1.0, min_runs=5, max_runs=3)
+
+    def test_virtual_clock_workload(self):
+        clock = VirtualClock()
+
+        def measure():
+            start = clock.now
+            clock.advance(cpu_seconds=0.01)
+            return clock.now - start
+
+        values = measure_until_stable(measure, min_runs=4)
+        assert all(v == pytest.approx(0.01) for v in values)

@@ -1,0 +1,102 @@
+"""Tests for repro.measurement.clocks and .timer."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import (
+    ProcessClock,
+    TimeBreakdown,
+    Timer,
+    VirtualClock,
+    WallClock,
+    time_callable,
+)
+
+
+class TestClockSample:
+    def test_subtraction(self):
+        clock = VirtualClock()
+        start = clock.sample()
+        clock.advance(cpu_seconds=1.0, io_seconds=2.0)
+        delta = clock.sample() - start
+        assert delta.real == pytest.approx(3.0)
+        assert delta.user == pytest.approx(1.0)
+        assert delta.system == pytest.approx(2.0)
+
+    def test_cpu_and_io_wait(self):
+        clock = VirtualClock()
+        clock.advance(cpu_seconds=1.0, io_seconds=2.0)
+        sample = clock.sample()
+        assert sample.cpu == pytest.approx(3.0)
+        assert sample.io_wait == pytest.approx(0.0)  # real == cpu here
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(cpu_seconds=0.5)
+        clock.advance(io_seconds=0.25)
+        assert clock.now == pytest.approx(0.75)
+
+    def test_rejects_negative(self):
+        with pytest.raises(MeasurementError):
+            VirtualClock().advance(cpu_seconds=-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(cpu_seconds=1)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestWallAndProcessClocks:
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        a = clock.sample()
+        b = clock.sample()
+        assert b.real >= a.real
+
+    def test_process_clock_has_user_time(self):
+        clock = ProcessClock()
+        sample = clock.sample()
+        assert sample.user >= 0.0
+        assert sample.system >= 0.0
+
+
+class TestTimer:
+    def test_virtual_timing(self):
+        clock = VirtualClock()
+        timer = Timer("query", clock=clock)
+        with timer:
+            clock.advance(cpu_seconds=0.010, io_seconds=0.005)
+        result = timer.result
+        assert result.label == "query"
+        assert result.real == pytest.approx(0.015)
+        assert result.user == pytest.approx(0.010)
+        assert result.system == pytest.approx(0.005)
+        assert result.real_ms() == pytest.approx(15.0)
+
+    def test_measure_callable(self):
+        clock = VirtualClock()
+        breakdown = time_callable(lambda: clock.advance(cpu_seconds=0.002),
+                                  label="fn", clock=clock)
+        assert breakdown.real_ms() == pytest.approx(2.0)
+
+    def test_real_clock_measures_something(self):
+        breakdown = time_callable(lambda: sum(range(10000)))
+        assert breakdown.real >= 0.0
+
+    def test_format_contains_label_and_units(self):
+        clock = VirtualClock()
+        breakdown = time_callable(lambda: clock.advance(cpu_seconds=0.001),
+                                  label="q1", clock=clock)
+        text = breakdown.format()
+        assert "q1" in text and "ms" in text
+
+    def test_breakdown_io_wait(self):
+        breakdown = TimeBreakdown(label="x", real=1.0, user=0.2, system=0.3)
+        assert breakdown.cpu == pytest.approx(0.5)
+        assert breakdown.io_wait == pytest.approx(0.5)

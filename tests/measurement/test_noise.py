@@ -1,0 +1,131 @@
+"""Tests for the deterministic noise model and noisy workloads."""
+
+import pytest
+
+from repro.core import (
+    FactorSpace,
+    TwoLevelFactorialDesign,
+    analyze_replicated,
+    two_level,
+)
+from repro.errors import MeasurementError
+from repro.measurement import (
+    LAST_OF_THREE_HOT,
+    NoiseModel,
+    NoisyWorkload,
+    VirtualClock,
+    Workload,
+    run_harness,
+)
+
+
+class TestNoiseModel:
+    def test_deterministic_replay(self):
+        a = NoiseModel(seed=3, relative_std=0.1)
+        b = NoiseModel(seed=3, relative_std=0.1)
+        assert [a.perturb(1.0) for __ in range(10)] == \
+            [b.perturb(1.0) for __ in range(10)]
+
+    def test_reset_replays(self):
+        model = NoiseModel(seed=3, relative_std=0.1)
+        first = [model.perturb(1.0) for __ in range(5)]
+        model.reset()
+        assert [model.perturb(1.0) for __ in range(5)] == first
+
+    def test_zero_std_is_identity(self):
+        model = NoiseModel(relative_std=0.0)
+        assert model.perturb(2.5) == 2.5
+
+    def test_mean_preserved_roughly(self):
+        model = NoiseModel(seed=1, relative_std=0.05)
+        values = [model.perturb(10.0) for __ in range(2000)]
+        assert sum(values) / len(values) == pytest.approx(10.0, rel=0.01)
+
+    def test_outliers_injected(self):
+        model = NoiseModel(seed=1, relative_std=0.01,
+                           outlier_probability=0.2, outlier_scale=10.0)
+        values = [model.perturb(1.0) for __ in range(500)]
+        outliers = [v for v in values if v > 5.0]
+        assert 50 < len(outliers) < 160
+
+    def test_never_negative(self):
+        model = NoiseModel(seed=1, relative_std=1.0)
+        assert all(model.perturb(1.0) >= 0.1 for __ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            NoiseModel(relative_std=-1)
+        with pytest.raises(MeasurementError):
+            NoiseModel(outlier_probability=1.0)
+        with pytest.raises(MeasurementError):
+            NoiseModel(outlier_scale=0.5)
+        with pytest.raises(MeasurementError):
+            NoiseModel().perturb(-1.0)
+
+
+class _SimWorkload(Workload):
+    def __init__(self, clock, base=0.010):
+        self.clock = clock
+        self.base = base
+        self.warm = False
+
+    def setup(self, config):
+        self.base = 0.010 * config.get("size", 1)
+
+    def run(self):
+        self.clock.advance(cpu_seconds=self.base)
+
+    def make_cold(self):
+        self.warm = False
+
+
+class TestNoisyWorkload:
+    def test_noise_only_adds_time(self):
+        clock = VirtualClock()
+        noisy = NoisyWorkload(_SimWorkload(clock), clock,
+                              NoiseModel(seed=5, relative_std=0.2))
+        durations = []
+        for __ in range(50):
+            start = clock.now
+            noisy.run()
+            durations.append(clock.now - start)
+        assert all(d >= 0.010 - 1e-12 for d in durations)
+        assert len(set(round(d, 9) for d in durations)) > 10  # it varies
+
+    def test_harness_integration(self):
+        clock = VirtualClock()
+        noisy = NoisyWorkload(_SimWorkload(clock), clock,
+                              NoiseModel(seed=5, relative_std=0.1))
+        space = FactorSpace([two_level("size", 1, 4)])
+        from repro.core import FullFactorialDesign
+        report = run_harness(FullFactorialDesign(space), noisy,
+                             LAST_OF_THREE_HOT, clock=clock)
+        ms = dict(report.results.series("size", "real_ms"))
+        assert ms[4] > ms[1]  # signal survives the noise
+
+    def test_replicated_analysis_detects_signal_in_noise(self):
+        """End-to-end: 2^1 design, noisy runs, CI analysis finds A."""
+        clock = VirtualClock()
+        workload = _SimWorkload(clock)
+        noisy = NoisyWorkload(workload, clock,
+                              NoiseModel(seed=9, relative_std=0.05))
+        space = FactorSpace([two_level("size", 1, 2)])
+        design = TwoLevelFactorialDesign(space)
+        replicated = []
+        for point in design.points():
+            noisy.setup(point.config)
+            runs = []
+            for __ in range(6):
+                start = clock.now
+                noisy.run()
+                runs.append((clock.now - start) * 1000.0)
+            replicated.append(runs)
+        analysis = analyze_replicated(design, replicated, confidence=0.95)
+        assert "size" in analysis.significant_effects()
+        assert analysis.error_variance > 0
+
+    def test_cold_passthrough(self):
+        clock = VirtualClock()
+        noisy = NoisyWorkload(_SimWorkload(clock), clock)
+        assert noisy.supports_cold
+        noisy.make_cold()

@@ -1,0 +1,148 @@
+"""Tests for run protocols (hot/cold, repetitions, picking)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.measurement import (
+    COLD_MEDIAN_OF_THREE,
+    LAST_OF_THREE_HOT,
+    PickRule,
+    RunProtocol,
+    State,
+    VirtualClock,
+)
+
+
+class FakeSystem:
+    """A system whose first (cold) run is slow, later (hot) runs fast."""
+
+    def __init__(self, clock, cold_cost=1.0, hot_cost=0.1):
+        self.clock = clock
+        self.cold_cost = cold_cost
+        self.hot_cost = hot_cost
+        self.warm = False
+        self.runs = 0
+
+    def run(self):
+        self.runs += 1
+        if self.warm:
+            self.clock.advance(cpu_seconds=self.hot_cost)
+        else:
+            self.clock.advance(cpu_seconds=self.hot_cost,
+                               io_seconds=self.cold_cost)
+            self.warm = True
+
+    def make_cold(self):
+        self.warm = False
+
+
+class TestProtocolValidation:
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ProtocolError):
+            RunProtocol(repetitions=0)
+
+    def test_hot_requires_warmup(self):
+        with pytest.raises(ProtocolError):
+            RunProtocol(state=State.HOT, warmups=0)
+
+    def test_cold_rejects_warmups(self):
+        with pytest.raises(ProtocolError):
+            RunProtocol(state=State.COLD, warmups=1)
+
+    def test_cold_requires_make_cold_hook(self):
+        protocol = RunProtocol(state=State.COLD, warmups=0)
+        with pytest.raises(ProtocolError):
+            protocol.execute(lambda: None)
+
+
+class TestHotProtocol:
+    def test_hot_runs_are_fast(self):
+        clock = VirtualClock()
+        system = FakeSystem(clock)
+        outcome = LAST_OF_THREE_HOT.execute(system.run,
+                                            make_cold=system.make_cold,
+                                            clock=clock)
+        # 1 warmup + 3 measured runs.
+        assert system.runs == 4
+        assert outcome.picked.real == pytest.approx(0.1)
+        assert outcome.picked.system == pytest.approx(0.0)
+
+    def test_pick_last(self):
+        clock = VirtualClock()
+        system = FakeSystem(clock)
+        outcome = LAST_OF_THREE_HOT.execute(system.run,
+                                            make_cold=system.make_cold,
+                                            clock=clock)
+        assert outcome.picked.real == outcome.runs[-1].real
+
+
+class TestColdProtocol:
+    def test_every_run_pays_io(self):
+        clock = VirtualClock()
+        system = FakeSystem(clock)
+        outcome = COLD_MEDIAN_OF_THREE.execute(system.run,
+                                               make_cold=system.make_cold,
+                                               clock=clock)
+        for run in outcome.runs:
+            assert run.system == pytest.approx(1.0)
+            assert run.real == pytest.approx(1.1)
+
+    def test_cold_real_exceeds_hot_real(self):
+        """The slide 33 shape: cold real >> hot real, user ~ equal."""
+        clock = VirtualClock()
+        system = FakeSystem(clock)
+        cold = COLD_MEDIAN_OF_THREE.execute(system.run,
+                                            make_cold=system.make_cold,
+                                            clock=clock)
+        hot = LAST_OF_THREE_HOT.execute(system.run,
+                                        make_cold=system.make_cold,
+                                        clock=clock)
+        assert cold.picked.real > 3 * hot.picked.real
+        assert cold.picked.user == pytest.approx(hot.picked.user)
+
+
+class TestPickRules:
+    def _outcome(self, pick):
+        clock = VirtualClock()
+        costs = iter([0.3, 0.1, 0.2])
+
+        def run():
+            clock.advance(cpu_seconds=next(costs))
+
+        protocol = RunProtocol(state=State.HOT, repetitions=3, pick=pick,
+                               warmups=1)
+        # Warmup consumes nothing (costs only consumed in measured runs):
+        # feed the warmup a cost too.
+        costs_list = [0.05, 0.3, 0.1, 0.2]
+        it = iter(costs_list)
+
+        def run2():
+            clock.advance(cpu_seconds=next(it))
+
+        return protocol.execute(run2, clock=clock)
+
+    def test_mean(self):
+        outcome = self._outcome(PickRule.MEAN)
+        assert outcome.picked.real == pytest.approx(0.2)
+
+    def test_median(self):
+        outcome = self._outcome(PickRule.MEDIAN)
+        assert outcome.picked.real == pytest.approx(0.2)
+
+    def test_min(self):
+        outcome = self._outcome(PickRule.MIN)
+        assert outcome.picked.real == pytest.approx(0.1)
+
+    def test_last(self):
+        outcome = self._outcome(PickRule.LAST)
+        assert outcome.picked.real == pytest.approx(0.2)
+
+
+class TestDescribe:
+    def test_hot_description(self):
+        text = LAST_OF_THREE_HOT.describe()
+        assert "hot" in text and "3" in text and "last" in text
+
+    def test_cold_description(self):
+        text = COLD_MEDIAN_OF_THREE.describe()
+        assert "cold" in text and "median" in text

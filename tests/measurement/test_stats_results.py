@@ -1,0 +1,179 @@
+"""Tests for measurement statistics and result sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.measurement import (
+    ResultSet,
+    coefficient_of_variation,
+    confidence_interval,
+    detect_outliers,
+    geometric_mean,
+    statistically_different,
+    summarize,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.stddev == 0.0
+        assert s.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            summarize([])
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounds(self, values):
+        s = summarize(values)
+        eps = 1e-9 * (1 + abs(s.mean))  # mean can differ by one ULP
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.minimum <= s.median <= s.maximum
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        ci = confidence_interval([10, 12, 11, 13, 9])
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.contains(ci.mean)
+
+    def test_single_observation_degenerate(self):
+        ci = confidence_interval([10.0])
+        assert ci.low == ci.high == ci.mean
+
+    def test_higher_confidence_wider(self):
+        data = [10, 12, 11, 13, 9, 14]
+        narrow = confidence_interval(data, 0.80)
+        wide = confidence_interval(data, 0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_bad_confidence(self):
+        with pytest.raises(MeasurementError):
+            confidence_interval([1, 2], confidence=0)
+
+    def test_overlap(self):
+        a = confidence_interval([10, 11, 12])
+        b = confidence_interval([11, 12, 13])
+        assert a.overlaps(b)
+        c = confidence_interval([100, 101, 102])
+        assert not a.overlaps(c)
+
+
+class TestStatisticallyDifferent:
+    def test_clearly_different(self):
+        a = [10.0, 10.1, 9.9, 10.05]
+        b = [20.0, 20.1, 19.9, 20.05]
+        assert statistically_different(a, b)
+
+    def test_indistinguishable(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(10, 5, 8).tolist()
+        b = rng.normal(10, 5, 8).tolist()
+        assert not statistically_different(a, b)
+
+
+class TestOutliersAndAverages:
+    def test_detect_outliers(self):
+        values = [10.0] * 20 + [1000.0]
+        assert detect_outliers(values) == (20,)
+
+    def test_no_outliers_in_tiny_sample(self):
+        assert detect_outliers([1.0, 100.0]) == ()
+
+    def test_constant_sample(self):
+        assert detect_outliers([5.0] * 10) == ()
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10, 10, 10]) == 0.0
+        with pytest.raises(MeasurementError):
+            coefficient_of_variation([1, -1])
+
+    def test_geometric_mean_of_ratios(self):
+        # gmean(2, 0.5) == 1: a speedup and an equal slowdown cancel.
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(MeasurementError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestResultSet:
+    def test_add_and_columns(self):
+        rs = ResultSet("demo")
+        rs.add({"sf": 1, "q": "Q1"}, {"ms": 100.0})
+        rs.add({"sf": 2, "q": "Q1"}, {"ms": 210.0})
+        assert len(rs) == 2
+        assert rs.column("sf") == [1, 2]
+        assert rs.column("ms") == [100.0, 210.0]
+        assert rs.series("sf", "ms") == [(1, 100.0), (2, 210.0)]
+
+    def test_schema_enforced(self):
+        rs = ResultSet()
+        rs.add({"a": 1}, {"m": 1.0})
+        with pytest.raises(MeasurementError):
+            rs.add({"b": 1}, {"m": 1.0})
+        with pytest.raises(MeasurementError):
+            rs.add({"a": 1}, {"other": 1.0})
+
+    def test_overlapping_names_rejected(self):
+        rs = ResultSet()
+        with pytest.raises(MeasurementError):
+            rs.add({"x": 1}, {"x": 2.0})
+
+    def test_filter_and_lookup(self):
+        rs = ResultSet()
+        for sf in (1, 2):
+            for mode in ("hot", "cold"):
+                rs.add({"sf": sf, "mode": mode}, {"ms": sf * 10.0 +
+                                                  (5 if mode == "cold" else 0)})
+        assert len(rs.filter(mode="hot")) == 2
+        assert rs.lookup("ms", sf=2, mode="cold") == 25.0
+        with pytest.raises(MeasurementError):
+            rs.lookup("ms", mode="hot")  # two matches
+
+    def test_unknown_column(self):
+        rs = ResultSet()
+        rs.add({"a": 1}, {"m": 1.0})
+        with pytest.raises(MeasurementError):
+            rs.column("zzz")
+
+    def test_csv_round_trip(self, tmp_path):
+        rs = ResultSet("rt")
+        rs.add({"sf": 1, "q": "Q1"}, {"ms": 13.666, "rows": 4.0})
+        rs.add({"sf": 2, "q": "Q16"}, {"ms": 15.0, "rows": 8.0})
+        path = tmp_path / "out.csv"
+        rs.to_csv(path)
+        back = ResultSet.from_csv(path, metric_names=["ms", "rows"])
+        assert len(back) == 2
+        assert back.column("ms") == [13.666, 15.0]
+        assert back.column("q") == ["Q1", "Q16"]
+        assert back.column("sf") == [1, 2]
+
+    def test_csv_uses_decimal_point(self):
+        """Guards against the slide-212 locale corruption at the source."""
+        rs = ResultSet()
+        rs.add({"a": 1}, {"m": 13.666})
+        text = rs.to_csv()
+        assert "13.666" in text
+        assert "13,666" not in text
+
+    def test_from_csv_rejects_missing_metric(self):
+        rs = ResultSet()
+        rs.add({"a": 1}, {"m": 1.0})
+        with pytest.raises(MeasurementError):
+            ResultSet.from_csv(rs.to_csv(), metric_names=["nope"])

@@ -1,0 +1,111 @@
+"""Tests for archiving and the SIGMOD 2008 assessment data."""
+
+import pytest
+
+from repro.errors import ReproError, SuiteError
+from repro.repeat import (
+    ACCEPTED,
+    ALL_VERIFIED,
+    AssessmentOutcome,
+    REJECTED_VERIFIED,
+    archive_results,
+    capture_environment,
+    combine,
+    format_environment,
+    format_outcome,
+    load_archive,
+)
+
+
+class TestEnvironmentCapture:
+    def test_contains_versions(self):
+        env = capture_environment()
+        assert "python" in env and "numpy" in env and "platform" in env
+
+    def test_extra_keys(self):
+        env = capture_environment(extra={"dbms": "MiniDB 1.0"})
+        assert env["dbms"] == "MiniDB 1.0"
+
+    def test_extra_cannot_shadow(self):
+        with pytest.raises(SuiteError):
+            capture_environment(extra={"python": "2.4"})
+
+    def test_format(self):
+        text = format_environment(capture_environment())
+        assert "numpy" in text
+
+
+class TestArchive:
+    def test_round_trip_and_match(self, tmp_path):
+        res = tmp_path / "res"
+        res.mkdir()
+        (res / "a.csv").write_text("x,y\n1,2\n")
+        record = archive_results(tmp_path)
+        loaded = load_archive(tmp_path)
+        identical, diffs = record.matches(loaded)
+        assert identical and diffs == []
+
+    def test_detects_changed_results(self, tmp_path):
+        res = tmp_path / "res"
+        res.mkdir()
+        (res / "a.csv").write_text("x,y\n1,2\n")
+        first = archive_results(tmp_path)
+        (res / "a.csv").write_text("x,y\n1,999\n")
+        second = archive_results(tmp_path)
+        identical, diffs = first.matches(second)
+        assert not identical
+        assert any("a.csv" in d for d in diffs)
+
+    def test_missing_results_dir(self, tmp_path):
+        with pytest.raises(SuiteError):
+            archive_results(tmp_path)
+
+    def test_empty_results_dir(self, tmp_path):
+        (tmp_path / "res").mkdir()
+        with pytest.raises(SuiteError):
+            archive_results(tmp_path)
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(SuiteError):
+            load_archive(tmp_path)
+
+
+class TestAssessmentData:
+    def test_totals_match_slides(self):
+        assert ACCEPTED.total == 78
+        assert REJECTED_VERIFIED.total == 11
+        assert ALL_VERIFIED.total == 64
+
+    def test_shares_sum_to_one(self):
+        for outcome in (ACCEPTED, REJECTED_VERIFIED, ALL_VERIFIED):
+            assert sum(outcome.shares().values()) == pytest.approx(1.0)
+
+    def test_most_verified_papers_partially_repeatable(self):
+        assert ALL_VERIFIED.repeated_at_least_some() > 0.7
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ReproError):
+            AssessmentOutcome(pool="x", counts={"mystery": 1})
+        with pytest.raises(ReproError):
+            AssessmentOutcome(pool="x", counts={"all_repeated": -1})
+
+    def test_share_of_unknown_category(self):
+        with pytest.raises(ReproError):
+            ACCEPTED.share("mystery")
+
+    def test_combine(self):
+        merged = combine(ACCEPTED, REJECTED_VERIFIED, "both pools")
+        assert merged.total == 89
+        assert merged.counts["all_repeated"] == \
+            ACCEPTED.counts["all_repeated"] + \
+            REJECTED_VERIFIED.counts["all_repeated"]
+
+    def test_format(self):
+        text = format_outcome(ACCEPTED)
+        assert "78 papers" in text
+        assert "all repeated" in text
+        assert "%" in text
+
+    def test_empty_pool_share(self):
+        empty = AssessmentOutcome(pool="none", counts={})
+        assert empty.share("all_repeated") == 0.0

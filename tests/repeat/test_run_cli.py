@@ -1,0 +1,102 @@
+"""Tests for the python -m repro.repeat.run CLI."""
+
+import sys
+import types
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.measurement import ResultSet
+from repro.repeat import ExperimentSuite, Properties
+from repro.repeat.run import load_suite, main
+
+
+def build_suite_in(tmp_path):
+    suite = ExperimentSuite(tmp_path, name="cli-demo",
+                            properties=Properties({"scale": "1"}))
+
+    def experiment(properties):
+        rs = ResultSet()
+        scale = properties.get_int("scale")
+        rs.add({"x": 1}, {"y": float(scale)})
+        return rs
+
+    suite.add("one", experiment, plot_x="x", plot_y="y")
+    suite.add("two", experiment)
+    return suite
+
+
+@pytest.fixture
+def suite_module(tmp_path, monkeypatch):
+    """Install a synthetic suite module importable by dotted path."""
+    module = types.ModuleType("fake_suite_module")
+    module.SUITE = build_suite_in(tmp_path)
+    monkeypatch.setitem(sys.modules, "fake_suite_module", module)
+    return module
+
+
+class TestLoadSuite:
+    def test_loads_suite_attribute(self, suite_module):
+        suite = load_suite("fake_suite_module")
+        assert suite.name == "cli-demo"
+
+    def test_loads_factory(self, tmp_path, monkeypatch):
+        module = types.ModuleType("factory_module")
+        module.build_suite = lambda: build_suite_in(tmp_path)
+        monkeypatch.setitem(sys.modules, "factory_module", module)
+        assert load_suite("factory_module").name == "cli-demo"
+
+    def test_missing_module(self):
+        with pytest.raises(SuiteError, match="cannot import"):
+            load_suite("no.such.module")
+
+    def test_module_without_suite(self, monkeypatch):
+        module = types.ModuleType("empty_module")
+        monkeypatch.setitem(sys.modules, "empty_module", module)
+        with pytest.raises(SuiteError, match="neither SUITE"):
+            load_suite("empty_module")
+
+    def test_wrong_type(self, monkeypatch):
+        module = types.ModuleType("bad_module")
+        module.SUITE = 42
+        monkeypatch.setitem(sys.modules, "bad_module", module)
+        with pytest.raises(SuiteError, match="expected"):
+            load_suite("bad_module")
+
+
+class TestMain:
+    def test_runs_all_by_default(self, suite_module, capsys):
+        assert main(["fake_suite_module"]) == 0
+        out = capsys.readouterr().out
+        assert "one:" in out and "two:" in out
+        assert suite_module.SUITE.res_path("one").exists()
+        assert suite_module.SUITE.res_path("two").exists()
+
+    def test_runs_single_experiment(self, suite_module, capsys):
+        assert main(["fake_suite_module", "one"]) == 0
+        out = capsys.readouterr().out
+        assert "one:" in out and "two:" not in out
+
+    def test_property_override_reaches_experiment(self, suite_module):
+        assert main(["fake_suite_module", "one", "-Dscale=7"]) == 0
+        text = suite_module.SUITE.res_path("one").read_text()
+        assert "7.0" in text
+
+    def test_unknown_experiment_fails(self, suite_module, capsys):
+        assert main(["fake_suite_module", "ghost"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_args_shows_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_too_many_positionals(self, suite_module, capsys):
+        assert main(["fake_suite_module", "one", "two"]) == 2
+
+    def test_import_error_reported(self, capsys):
+        assert main(["definitely.not.a.module"]) == 1
+        assert "cannot import" in capsys.readouterr().err

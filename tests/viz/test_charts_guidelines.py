@@ -1,0 +1,203 @@
+"""Tests for chart specs and the presentation-guidelines linter."""
+
+import pytest
+
+from repro.errors import ChartError, GuidelineViolation
+from repro.viz import (
+    ChartKind,
+    ChartSpec,
+    Series,
+    StyleRegistry,
+    bar_chart,
+    errors_only,
+    line_chart,
+    lint_chart,
+    pie_chart,
+)
+
+
+def ok_series(label="throughput", n=5, **kwargs):
+    return Series(label=label, xs=tuple(range(n)),
+                  ys=tuple(float(i) for i in range(n)), **kwargs)
+
+
+def ok_chart(n_series=2, **kwargs):
+    series = [ok_series(f"system {i}", style=f"style{i}")
+              for i in range(n_series)]
+    defaults = dict(x_label="Number of users",
+                    y_label="Response time (ms)")
+    defaults.update(kwargs)
+    return line_chart("Latency", series, **defaults)
+
+
+class TestSeriesValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ChartError):
+            Series("s", (1, 2), (1.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChartError):
+            Series("s", (), ())
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ChartError):
+            Series("", (1,), (1.0,))
+
+    def test_error_bars_validated(self):
+        with pytest.raises(ChartError):
+            Series("s", (1, 2), (1.0, 2.0), y_err=(0.1,))
+        with pytest.raises(ChartError):
+            Series("s", (1,), (1.0,), y_err=(-0.1,))
+
+
+class TestChartValidation:
+    def test_needs_series(self):
+        with pytest.raises(ChartError):
+            ChartSpec(ChartKind.LINE, "t", [])
+
+    def test_duplicate_labels(self):
+        with pytest.raises(ChartError):
+            ChartSpec(ChartKind.LINE, "t",
+                      [ok_series("a"), ok_series("a")])
+
+    def test_pie_builder(self):
+        chart = pie_chart("Outcomes", ["all", "some"], [10, 20])
+        assert chart.kind is ChartKind.PIE
+        with pytest.raises(ChartError):
+            pie_chart("t", ["a"], [1, 2])
+        with pytest.raises(ChartError):
+            pie_chart("t", ["a"], [-1])
+
+
+class TestLinter:
+    def test_clean_chart_passes(self):
+        assert lint_chart(ok_chart()) == ()
+
+    def test_too_many_curves(self):
+        chart = ok_chart(n_series=7)
+        findings = lint_chart(chart)
+        assert any(f.rule == "max-curves" for f in findings)
+
+    def test_too_many_bars(self):
+        series = Series("bars", tuple(range(12)),
+                        tuple(float(i) for i in range(12)))
+        chart = bar_chart("B", [series], "Query", "Time (ms)")
+        assert any(f.rule == "max-bars" for f in lint_chart(chart))
+
+    def test_too_many_pie_slices(self):
+        chart = pie_chart("P", [f"s{i}" for i in range(9)],
+                          [1.0] * 9)
+        assert any(f.rule == "max-slices" for f in lint_chart(chart))
+
+    def test_missing_axis_labels(self):
+        chart = ok_chart(x_label="", y_label="")
+        rules = [f.rule for f in lint_chart(chart)]
+        assert rules.count("axis-labels") == 2
+
+    def test_missing_units(self):
+        chart = ok_chart(y_label="CPU time")
+        findings = lint_chart(chart)
+        assert any(f.rule == "units" for f in findings)
+
+    def test_units_satisfied_by_parentheses(self):
+        chart = ok_chart(y_label="CPU time (ms)")
+        assert not any(f.rule == "units" for f in lint_chart(chart))
+
+    def test_units_satisfied_by_per(self):
+        chart = ok_chart(y_label="Average I/Os per query")
+        assert not any(f.rule == "units" for f in lint_chart(chart))
+
+    def test_symbols_flagged(self):
+        series = [Series("μ=1", (1, 2), (1.0, 2.0))]
+        chart = line_chart("λ sweep", series, "Arrival rate λ",
+                           "Response time (ms)")
+        findings = lint_chart(chart)
+        assert sum(1 for f in findings if f.rule == "symbols") >= 2
+
+    def test_truncated_axis_flagged(self):
+        chart = ok_chart(y_starts_at_zero=False)
+        assert any(f.rule == "zero-origin" for f in lint_chart(chart))
+
+    def test_justified_break_allowed(self):
+        chart = ok_chart(y_starts_at_zero=False, axis_break_justified=True)
+        assert not any(f.rule == "zero-origin" for f in lint_chart(chart))
+
+    def test_stochastic_without_error_bars(self):
+        series = [ok_series("noisy", stochastic=True)]
+        chart = line_chart("L", series, "Number of users",
+                           "Response time (ms)")
+        assert any(f.rule == "confidence-intervals"
+                   for f in lint_chart(chart))
+
+    def test_stochastic_with_error_bars_ok(self):
+        series = [Series("noisy", (1, 2), (1.0, 2.0), y_err=(0.1, 0.2),
+                         stochastic=True)]
+        chart = line_chart("L", series, "Number of users",
+                           "Response time (ms)")
+        assert not any(f.rule == "confidence-intervals"
+                       for f in lint_chart(chart))
+
+    def test_histogram_thin_cells(self):
+        series = Series("frequency", ("[0,2)", "[2,4)"), (3.0, 12.0))
+        chart = ChartSpec(ChartKind.HISTOGRAM, "H", (series,),
+                          x_label="Response time (s)",
+                          y_label="Frequency (count)")
+        assert any(f.rule == "histogram-cells" for f in lint_chart(chart))
+
+    def test_mixed_units_flagged(self):
+        series = [Series("Response time", (1, 2), (1.0, 2.0), unit="ms"),
+                  Series("Throughput", (1, 2), (5.0, 6.0), unit="jobs/s")]
+        chart = line_chart("Mixed", series, "Number of users",
+                           "value (various)")
+        assert any(f.rule == "mixed-units" for f in lint_chart(chart))
+
+    def test_same_units_pass(self):
+        series = [Series("A", (1, 2), (1.0, 2.0), unit="ms"),
+                  Series("B", (1, 2), (5.0, 6.0), unit="ms")]
+        chart = line_chart("Same", series, "Number of users",
+                           "Response time (ms)")
+        assert not any(f.rule == "mixed-units" for f in lint_chart(chart))
+
+    def test_aspect_ratio(self):
+        chart = ok_chart(aspect_ratio=0.3)
+        assert any(f.rule == "aspect-ratio" for f in lint_chart(chart))
+
+    def test_strict_raises(self):
+        with pytest.raises(GuidelineViolation):
+            lint_chart(ok_chart(n_series=7), strict=True)
+
+    def test_strict_ignores_warnings(self):
+        chart = ok_chart(aspect_ratio=0.3)  # warning only
+        assert lint_chart(chart, strict=True)
+
+    def test_errors_only_filter(self):
+        chart = ok_chart(n_series=7, aspect_ratio=0.3)
+        findings = lint_chart(chart)
+        errors = errors_only(findings)
+        assert all(f.severity == "error" for f in errors)
+        assert len(errors) < len(findings)
+
+
+class TestStyleRegistry:
+    def test_consistent_styles_pass(self):
+        registry = StyleRegistry()
+        registry.register(ok_chart())
+        assert registry.register(ok_chart()) == ()
+
+    def test_changed_style_flagged(self):
+        registry = StyleRegistry()
+        chart1 = line_chart("fig 1",
+                            [ok_series("mine", style="solid-red")],
+                            "Users", "Time (ms)")
+        chart2 = line_chart("fig 2",
+                            [ok_series("mine", style="dashed-blue")],
+                            "Users", "Time (ms)")
+        registry.register(chart1)
+        findings = registry.register(chart2)
+        assert findings and findings[0].rule == "style-consistency"
+        assert "fig 1" in findings[0].message
+
+    def test_unstyled_series_ignored(self):
+        registry = StyleRegistry()
+        chart = line_chart("f", [ok_series("x")], "Users", "Time (ms)")
+        assert registry.register(chart) == ()

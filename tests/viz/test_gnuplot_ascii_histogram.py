@@ -1,0 +1,229 @@
+"""Tests for gnuplot emission, ASCII rendering, histograms, locale checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChartError
+from repro.viz import (
+    GnuplotScript,
+    Series,
+    bin_values,
+    check_round_trip,
+    detect_corruption,
+    finest_valid_binning,
+    from_chart,
+    line_chart,
+    parse_correctly,
+    pie_chart,
+    render_bars,
+    render_chart,
+    render_pie,
+    render_series_table,
+    render_stacked_bars,
+    simulate_locale_paste,
+    size_ratio_settings,
+)
+
+
+class TestGnuplot:
+    def make_script(self):
+        script = GnuplotScript(name="results-m1-n5",
+                               title="Execution time for various "
+                                     "scale factors",
+                               x_label="Scale factor",
+                               y_label="Execution time (ms)")
+        script.add_series("minidb", [(1, 1234.0), (2, 2467.0), (3, 4623.0)])
+        return script
+
+    def test_script_matches_slide_202_structure(self):
+        text = self.make_script().script_text()
+        assert "set terminal postscript" in text
+        assert 'set output "results-m1-n5.eps"' in text
+        assert 'set title "Execution time for various scale factors"' in text
+        assert 'set xlabel "Scale factor"' in text
+        assert 'set ylabel "Execution time (ms)"' in text
+        assert "plot" in text
+
+    def test_csv_contents(self):
+        text = self.make_script().csv_text()
+        assert text.splitlines()[0] == "1\t1234.0"
+
+    def test_size_ratio_rule_slide_146(self):
+        assert size_ratio_settings(0.5, 0.5) == "set size ratio 0 0.75,0.5"
+        with pytest.raises(ChartError):
+            size_ratio_settings(0.0)
+        with pytest.raises(ChartError):
+            size_ratio_settings(0.5, -1)
+
+    def test_write_creates_files(self, tmp_path):
+        path = self.make_script().write(tmp_path)
+        assert path.name == "results-m1-n5.gnu"
+        assert (tmp_path / "results-m1-n5.csv").exists()
+
+    def test_multi_series_filenames(self, tmp_path):
+        script = self.make_script()
+        script.add_series("other", [(1, 2.0)])
+        script.write(tmp_path)
+        assert (tmp_path / "results-m1-n5-0.csv").exists()
+        assert (tmp_path / "results-m1-n5-1.csv").exists()
+
+    def test_empty_script_rejected(self):
+        script = GnuplotScript("x", "t", "x", "y")
+        with pytest.raises(ChartError):
+            script.script_text()
+
+    def test_from_chart(self):
+        chart = line_chart("L", [Series("a", (1, 2), (3.0, 4.0))],
+                           "X", "Y (ms)")
+        script = from_chart(chart, "fig1")
+        assert "fig1.eps" in script.script_text()
+
+    def test_from_chart_rejects_pie(self):
+        with pytest.raises(ChartError):
+            from_chart(pie_chart("P", ["a"], [1.0]), "p")
+
+    def test_bad_name(self):
+        with pytest.raises(ChartError):
+            GnuplotScript("a/b", "t", "x", "y")
+
+
+class TestAsciiRendering:
+    def test_bars(self):
+        text = render_bars(["Q1", "Q16"], [3575.0, 1468.0], unit="ms")
+        assert "Q1" in text and "#" in text and "ms" in text
+
+    def test_bars_validation(self):
+        with pytest.raises(ChartError):
+            render_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ChartError):
+            render_bars([], [])
+        with pytest.raises(ChartError):
+            render_bars(["a"], [-1.0])
+
+    def test_stacked_bars(self):
+        text = render_stacked_bars(
+            ["1992", "2000"],
+            [("CPU", [128.0, 13.0]), ("Memory", [135.0, 100.0])],
+            unit="ns")
+        assert "#=CPU" in text and "==" in text
+
+    def test_stacked_validation(self):
+        with pytest.raises(ChartError):
+            render_stacked_bars(["a"], [])
+        with pytest.raises(ChartError):
+            render_stacked_bars(["a"], [("c", [1.0, 2.0])])
+
+    def test_pie(self):
+        text = render_pie(["all", "some", "none"], [26, 28, 10])
+        assert "%" in text and "all" in text
+
+    def test_pie_validation(self):
+        with pytest.raises(ChartError):
+            render_pie(["a"], [0.0])
+
+    def test_series_table(self):
+        series = [Series("a", (1, 2), (1.0, 2.0)),
+                  Series("b", (1, 2), (3.0, 4.0))]
+        text = render_series_table(series, x_header="sf")
+        assert "sf" in text and "a" in text and "b" in text
+
+    def test_series_table_requires_aligned_x(self):
+        series = [Series("a", (1, 2), (1.0, 2.0)),
+                  Series("b", (1, 3), (3.0, 4.0))]
+        with pytest.raises(ChartError):
+            render_series_table(series)
+
+    def test_render_chart_dispatch(self):
+        pie = pie_chart("Outcome", ["x", "y"], [1.0, 2.0])
+        assert "Outcome" in render_chart(pie)
+        line = line_chart("L", [Series("a", (1,), (1.0,))], "X", "Y (s)")
+        assert "L" in render_chart(line)
+
+
+class TestHistogram:
+    #: Slide 144's data shape: 36 points over [0, 12).
+    SAMPLE = ([1.0] * 4 + [3.0] * 6 + [5.0] * 8 + [7.0] * 9 + [9.0] * 6
+              + [11.0] * 3)
+
+    def test_fine_binning_violates_rule(self):
+        histogram = bin_values(self.SAMPLE, 6, low=0, high=12)
+        assert histogram.n_cells == 6
+        assert not histogram.satisfies_cell_rule()
+        assert histogram.min_cell_count() == 3
+
+    def test_coarse_binning_satisfies_rule(self):
+        histogram = bin_values(self.SAMPLE, 2, low=0, high=12)
+        assert histogram.satisfies_cell_rule()
+        assert histogram.counts == (18, 18)
+
+    def test_total_preserved(self):
+        histogram = bin_values(self.SAMPLE, 5)
+        assert histogram.total == len(self.SAMPLE)
+
+    def test_cell_labels(self):
+        histogram = bin_values(self.SAMPLE, 2, low=0, high=12)
+        assert histogram.cell_labels() == ["[0,6)", "[6,12)"]
+
+    def test_finest_valid_binning(self):
+        histogram = finest_valid_binning(self.SAMPLE, max_cells=10)
+        assert histogram.satisfies_cell_rule()
+        finer = bin_values(self.SAMPLE, histogram.n_cells + 1)
+        # The next finer uniform binning (if any) breaks the rule or has
+        # empty-cell gaps; at minimum the chosen one is valid.
+        assert histogram.n_cells >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ChartError):
+            bin_values([], 3)
+        with pytest.raises(ChartError):
+            bin_values([1.0], 0)
+
+    def test_to_chart(self):
+        chart = bin_values(self.SAMPLE, 2).to_chart(
+            "Response times", "Response time (s)")
+        assert chart.kind.value == "histogram"
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_counts_sum_to_n(self, values, cells):
+        histogram = bin_values(values, cells)
+        assert histogram.total == len(values)
+
+
+class TestLocaleCheck:
+    def test_slide_212_corruption(self):
+        texts = ["13.666", "15", "12.3333", "13"]
+        good = parse_correctly(texts)
+        bad = simulate_locale_paste(texts)
+        assert good == [13.666, 15.0, 12.3333, 13.0]
+        assert bad == [13666.0, 15.0, 123333.0, 13.0]
+
+    def test_detection_flags_corrupted(self):
+        bad = simulate_locale_paste(["13.666", "15", "12.3333", "13"])
+        report = detect_corruption(bad)
+        assert not report.is_clean
+        assert set(report.suspicious_indices) == {0, 2}
+        assert "corruption" in report.format()
+
+    def test_clean_column_passes(self):
+        report = detect_corruption([13.666, 15.0, 12.3333, 13.0])
+        assert report.is_clean
+        assert "no locale corruption" in report.format()
+
+    def test_round_trip_check(self):
+        assert check_round_trip(["13.666", "15"])
+        assert not check_round_trip(["15", "13"])
+
+    def test_validation(self):
+        with pytest.raises(ChartError):
+            detect_corruption([])
+        with pytest.raises(ChartError):
+            detect_corruption([1.0], ratio_threshold=1.0)
+        with pytest.raises(ChartError):
+            simulate_locale_paste([" "])
+
+    def test_all_zero_column(self):
+        assert detect_corruption([0.0, 0.0]).is_clean

@@ -1,0 +1,108 @@
+"""Tests for the XMark-inspired auction workload."""
+
+import numpy as np
+import pytest
+
+from repro.db import Engine
+from repro.errors import WorkloadError
+from repro.workloads import (
+    AuctionSizes,
+    all_auction_queries,
+    auction_query,
+    generate_auction,
+)
+
+SF = 0.01
+
+
+@pytest.fixture(scope="module")
+def auction_db():
+    return generate_auction(sf=SF, seed=7)
+
+
+class TestGenerator:
+    def test_sizes_scale(self):
+        small = AuctionSizes.for_scale(0.01)
+        big = AuctionSizes.for_scale(1.0)
+        assert big.bids == 217_500
+        assert big.people > small.people
+
+    def test_rejects_bad_sf(self):
+        with pytest.raises(WorkloadError):
+            AuctionSizes.for_scale(0)
+
+    def test_all_tables_exist(self, auction_db):
+        assert set(auction_db.table_names) == {
+            "categories", "people", "items", "bids", "closed_auctions"}
+
+    def test_deterministic(self):
+        a = generate_auction(sf=SF, seed=7)
+        b = generate_auction(sf=SF, seed=7)
+        assert np.array_equal(a.table("bids").column("amount").data,
+                              b.table("bids").column("amount").data)
+
+    def test_foreign_keys_resolve(self, auction_db):
+        people = set(auction_db.table("people")
+                     .column("person_id").data.tolist())
+        sellers = auction_db.table("items").column("seller_id").data
+        buyers = auction_db.table("closed_auctions") \
+            .column("buyer_id").data
+        assert set(sellers.tolist()) <= people
+        assert set(buyers.tolist()) <= people
+
+    def test_sold_items_unique(self, auction_db):
+        sold = auction_db.table("closed_auctions") \
+            .column("sold_item_id").data
+        assert len(set(sold.tolist())) == len(sold)
+
+    def test_category_skew(self, auction_db):
+        cats = auction_db.table("items").column("category_id").data
+        counts = np.bincount(cats, minlength=10)
+        assert counts[0] > 3 * max(1, counts[9])  # zipf head-heavy
+
+    def test_income_floor(self, auction_db):
+        income = auction_db.table("people").column("income").data
+        assert income.min() >= 9_000.0
+
+
+class TestQueries:
+    def test_lookup(self):
+        assert "people" in auction_query("Q1_point_lookup")
+        with pytest.raises(WorkloadError):
+            auction_query("nope")
+
+    def test_ten_queries(self):
+        assert len(all_auction_queries()) == 10
+
+    def test_every_query_executes(self, auction_db):
+        engine = Engine(auction_db)
+        for name in all_auction_queries():
+            result = engine.execute(auction_query(name))
+            assert result.n_rows >= 0
+
+    def test_q5_matches_oracle(self, auction_db):
+        engine = Engine(auction_db)
+        count = engine.execute(auction_query("Q5_expensive_sales")).scalar()
+        prices = auction_db.table("closed_auctions") \
+            .column("final_price").data
+        assert count == int((prices > 40.0).sum())
+
+    def test_q20_matches_oracle(self, auction_db):
+        engine = Engine(auction_db)
+        count = engine.execute(auction_query("Q20_bracket_high")).scalar()
+        income = auction_db.table("people").column("income").data
+        assert count == int((income >= 100_000.0).sum())
+
+    def test_hot_items_sorted_by_bid_count(self, auction_db):
+        engine = Engine(auction_db)
+        result = engine.execute(auction_query("BID_hot_items"))
+        counts = result.column("n_bids")
+        assert counts == sorted(counts, reverse=True)
+        assert result.n_rows == 10
+
+    def test_country_spend_totals(self, auction_db):
+        engine = Engine(auction_db)
+        result = engine.execute(auction_query("BID_country_spend"))
+        amounts = auction_db.table("bids").column("amount").data
+        total = sum(result.column("total_bid"))
+        assert total == pytest.approx(float(amounts.sum()), rel=1e-9)

@@ -1,0 +1,159 @@
+"""Tests for data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.types import DataType
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ColumnSpec,
+    TableSpec,
+    choices,
+    correlated_pair,
+    generate_table,
+    make_rng,
+    padded_strings,
+    random_dates,
+    selectivity_predicate_bound,
+    sequential_ints,
+    uniform_floats,
+    uniform_int_table,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = uniform_ints(make_rng(7), 100, 0, 1000)
+        b = uniform_ints(make_rng(7), 100, 0, 1000)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = uniform_ints(make_rng(7), 100, 0, 1000)
+        b = uniform_ints(make_rng(8), 100, 0, 1000)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(WorkloadError):
+            make_rng("seed")
+
+
+class TestGenerators:
+    def test_uniform_ints_in_range(self):
+        values = uniform_ints(make_rng(1), 1000, 5, 9)
+        assert values.min() >= 5 and values.max() <= 9
+
+    def test_uniform_ints_rejects_empty_range(self):
+        with pytest.raises(WorkloadError):
+            uniform_ints(make_rng(1), 10, 5, 4)
+
+    def test_uniform_floats_in_range(self):
+        values = uniform_floats(make_rng(1), 1000, -1.0, 1.0)
+        assert values.min() >= -1.0 and values.max() < 1.0
+
+    def test_zipf_bounded_and_skewed(self):
+        values = zipf_ints(make_rng(1), 5000, 100, skew=1.5)
+        assert values.min() >= 0 and values.max() < 100
+        counts = np.bincount(values, minlength=100)
+        assert counts[0] > counts[50]  # head much heavier than tail
+
+    def test_zipf_rejects_bad_skew(self):
+        with pytest.raises(WorkloadError):
+            zipf_ints(make_rng(1), 10, 10, skew=1.0)
+
+    def test_sequential(self):
+        assert list(sequential_ints(3, start=5)) == [5, 6, 7]
+
+    def test_choices_weighted(self):
+        values = choices(make_rng(1), 5000, ["a", "b"], weights=[9, 1])
+        share_a = values.count("a") / len(values)
+        assert share_a > 0.8
+
+    def test_choices_validation(self):
+        with pytest.raises(WorkloadError):
+            choices(make_rng(1), 10, [])
+        with pytest.raises(WorkloadError):
+            choices(make_rng(1), 10, ["a"], weights=[1, 2])
+        with pytest.raises(WorkloadError):
+            choices(make_rng(1), 10, ["a"], weights=[0])
+
+    def test_correlated_pair_positive(self):
+        x, y = correlated_pair(make_rng(1), 3000, 0.9)
+        assert np.corrcoef(x, y)[0, 1] > 0.7
+
+    def test_correlated_pair_negative(self):
+        x, y = correlated_pair(make_rng(1), 3000, -0.9)
+        assert np.corrcoef(x, y)[0, 1] < -0.7
+
+    def test_correlated_pair_validation(self):
+        with pytest.raises(WorkloadError):
+            correlated_pair(make_rng(1), 10, 2.0)
+
+    def test_random_dates_in_range(self):
+        from repro.db.types import date_to_days
+        values = random_dates(make_rng(1), 500, "1994-01-01", "1994-12-31")
+        assert values.min() >= date_to_days("1994-01-01")
+        assert values.max() <= date_to_days("1994-12-31")
+
+    def test_padded_strings(self):
+        assert padded_strings("Customer#", np.array([7]), 9) == \
+            ["Customer#000000007"]
+
+
+class TestTableSpec:
+    def test_generate_table(self):
+        spec = TableSpec("t", 100, (
+            ColumnSpec("id", DataType.INT64, "sequential"),
+            ColumnSpec("v", DataType.FLOAT64, "uniform_float",
+                       {"low": 0.0, "high": 1.0}),
+            ColumnSpec("tag", DataType.STRING, "choice",
+                       {"vocabulary": ["x", "y"]}),
+        ))
+        table = generate_table(spec, seed=3)
+        assert table.n_rows == 100
+        assert table.column("id").data[0] == 1
+        assert set(table.column("tag").data) <= {"x", "y"}
+
+    def test_deterministic(self):
+        spec = TableSpec("t", 50, (
+            ColumnSpec("v", DataType.INT64, "uniform_int",
+                       {"low": 0, "high": 100}),))
+        a = generate_table(spec, seed=9)
+        b = generate_table(spec, seed=9)
+        assert np.array_equal(a.column("v").data, b.column("v").data)
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(WorkloadError):
+            ColumnSpec("v", DataType.INT64, "quantum")
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            TableSpec("t", -1, (ColumnSpec("v", DataType.INT64,
+                                           "sequential"),))
+        with pytest.raises(WorkloadError):
+            TableSpec("t", 1, ())
+
+    def test_uniform_int_table(self):
+        table = uniform_int_table("m", 10, n_columns=2)
+        assert table.column_names == ("id", "c0", "c1")
+
+
+class TestSelectivityBound:
+    def test_extremes(self):
+        assert selectivity_predicate_bound(0, 99, 0.0) == 0
+        assert selectivity_predicate_bound(0, 99, 1.0) == 100
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            selectivity_predicate_bound(0, 10, 1.5)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=25, deadline=None)
+    def test_property_achieved_selectivity(self, target):
+        values = uniform_ints(make_rng(11), 20000, 0, 999_999)
+        bound = selectivity_predicate_bound(0, 999_999, target)
+        achieved = float(np.mean(values < bound))
+        assert achieved == pytest.approx(target, abs=0.02)

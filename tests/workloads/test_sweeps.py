@@ -1,0 +1,54 @@
+"""Tests for the scale-sweep helper."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    generate_auction,
+    generate_tpch,
+    run_scale_sweep,
+    tpch_query,
+)
+
+
+class TestRunScaleSweep:
+    def test_tpch_mix_near_linear(self):
+        outcome = run_scale_sweep(
+            lambda sf: generate_tpch(sf=sf, seed=42),
+            [tpch_query(1), tpch_query(6)],
+            (0.002, 0.004, 0.008))
+        assert len(outcome.results) == 3
+        times = outcome.results.column("mix_ms")
+        assert times == sorted(times)
+        assert 0.8 <= outcome.fit.exponent <= 1.2
+        assert outcome.fit.r_squared > 0.99
+
+    def test_format_mentions_fit(self):
+        outcome = run_scale_sweep(
+            lambda sf: generate_tpch(sf=sf, seed=42),
+            [tpch_query(6)], (0.002, 0.004, 0.008))
+        text = outcome.format()
+        assert "fit:" in text and "mix_ms" in text
+
+    def test_results_carry_user_time_and_rows(self):
+        outcome = run_scale_sweep(
+            lambda sf: generate_auction(sf=sf, seed=7),
+            ["SELECT COUNT(*) AS n FROM bids"],
+            (0.01, 0.02, 0.04))
+        assert all(u > 0 for u in outcome.results.column("user_ms"))
+        assert all(r == 1.0 for r in outcome.results.column("rows_out"))
+
+    def test_validation(self):
+        factory = lambda sf: generate_tpch(sf=sf, seed=42)
+        with pytest.raises(WorkloadError):
+            run_scale_sweep(factory, [], (0.01, 0.02, 0.04))
+        with pytest.raises(WorkloadError):
+            run_scale_sweep(factory, ["SELECT 1 FROM t"], (0.01, 0.02))
+        with pytest.raises(WorkloadError):
+            run_scale_sweep(factory, ["SELECT 1 FROM t"], (0.0, 0.02, 0.04))
+        with pytest.raises(WorkloadError):
+            run_scale_sweep(factory, ["SELECT 1 FROM t"],
+                            (0.04, 0.02, 0.01))
+        with pytest.raises(WorkloadError):
+            run_scale_sweep(factory, ["SELECT 1 FROM t"],
+                            (0.01, 0.02, 0.04), warmup_rounds=0)
