@@ -1,0 +1,24 @@
+"""E21 bench — survival rate vs retry budget under injected faults."""
+
+from repro.experiments import run_e21
+
+
+def test_e21_fault_tolerance(benchmark, report):
+    result = benchmark.pedantic(run_e21, kwargs={"sf": 0.002},
+                                rounds=1, iterations=1)
+    report(result.format())
+    # Never a silent drop: every campaign accounts for every point.
+    for outcome in result.outcomes:
+        assert outcome.measured + outcome.failed == result.n_points
+    # No retries possible with a single attempt.
+    assert result.outcome(1).retries == 0
+    # A 20% per-run fault rate hurts a retry-less campaign...
+    assert result.outcome(1).failed > 0
+    # ...while a modest retry budget recovers most or all of it.
+    assert result.outcomes[-1].survival_rate > \
+        result.outcome(1).survival_rate
+    assert result.outcomes[-1].survival_rate >= 0.875
+    # The methodology paragraph reports the retry discipline.
+    assert "attempts per point" in result.outcomes[-1].documentation
+    # Failed points are refused by the analysis, with a diagnostic.
+    assert "NaN" in result.analysis_diagnostic

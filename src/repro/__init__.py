@@ -13,6 +13,8 @@ Subpackages
   variation, confounding (the paper's methodological core);
 - :mod:`repro.measurement` — clocks, timers, protocols, statistics;
 - :mod:`repro.db` — MiniDB: storage, operators, SQL, EXPLAIN/PROFILE;
+- :mod:`repro.faults` — seeded fault injection (failure noise) for the
+  simulated stack;
 - :mod:`repro.hardware` — caches, CPU generations, DBG/OPT builds;
 - :mod:`repro.workloads` — generators, micro-benchmarks, TPC-H-like;
 - :mod:`repro.repeat` — properties, suites, manifests, archives;
@@ -30,21 +32,30 @@ Quickstart::
     print(model.describe())   # y = 40 + 20*xmemory + 10*xcache + ...
 """
 
-from repro import core, db, hardware, measurement, repeat, viz, workloads
+from repro import core, db, faults, hardware, measurement, repeat, viz, \
+    workloads
 from repro.errors import (
     ChartError,
+    ClientDisconnectError,
     ConfigError,
     ConfoundingError,
     DatabaseError,
     DesignError,
+    FaultError,
     GuidelineViolation,
     HardwareModelError,
     MeasurementError,
+    PageCorruptionError,
     PlanError,
     ProtocolError,
+    QueryTimeoutError,
     ReproError,
+    RetryExhaustedError,
     SqlSyntaxError,
     SuiteError,
+    TimeoutExceededError,
+    TransientDiskError,
+    TransientError,
     TypeMismatchError,
     WorkloadError,
 )
@@ -53,23 +64,32 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ChartError",
+    "ClientDisconnectError",
     "ConfigError",
     "ConfoundingError",
     "DatabaseError",
     "DesignError",
+    "FaultError",
     "GuidelineViolation",
     "HardwareModelError",
     "MeasurementError",
+    "PageCorruptionError",
     "PlanError",
     "ProtocolError",
+    "QueryTimeoutError",
     "ReproError",
+    "RetryExhaustedError",
     "SqlSyntaxError",
     "SuiteError",
+    "TimeoutExceededError",
+    "TransientDiskError",
+    "TransientError",
     "TypeMismatchError",
     "WorkloadError",
     "__version__",
     "core",
     "db",
+    "faults",
     "hardware",
     "measurement",
     "repeat",

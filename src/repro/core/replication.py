@@ -23,6 +23,27 @@ from repro.core.model import AdditiveModel
 from repro.errors import DesignError
 
 
+def _refuse_failed_points(matrix: np.ndarray, where: str) -> None:
+    """Refuse NaN cells — failed runs must be handled, not averaged.
+
+    A resilient harness records failed design points explicitly
+    (:class:`repro.measurement.harness.FailedPoint`); feeding their
+    placeholder NaNs into an error-variance estimate would silently
+    poison every interval.  The fix is the caller's call: re-run the
+    failed points, raise the retry budget, or analyse an explicitly
+    masked sub-design.
+    """
+    bad = np.argwhere(~np.isfinite(matrix))
+    if bad.size:
+        cells = ", ".join(f"row {r} rep {c}" for r, c in bad[:6].tolist())
+        more = "" if len(bad) <= 6 else f" (+{len(bad) - 6} more)"
+        raise DesignError(
+            f"{where}: {len(bad)} response cell(s) are NaN/inf — failed "
+            f"or missing runs at {cells}{more}.  Re-measure those design "
+            "points (see HarnessReport.failures) or analyse a masked "
+            "subset; a full-design analysis cannot absorb missing cells.")
+
+
 @dataclass(frozen=True)
 class EffectInterval:
     """A confidence interval around one effect coefficient."""
@@ -109,6 +130,7 @@ def analyze_replicated(design: TwoLevelFactorialDesign,
             "replicated analysis needs the same replication count >= 2 "
             "per row")
     matrix = np.asarray(replicated, dtype=float)
+    _refuse_failed_points(matrix, "analyze_replicated")
     model = estimate_effects_replicated(design, replicated)
     means = matrix.mean(axis=1)
     sse = float(np.sum((matrix - means[:, None]) ** 2))

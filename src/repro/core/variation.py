@@ -26,6 +26,26 @@ from repro.core.signtable import dot_effects
 from repro.errors import DesignError
 
 
+def _refuse_failed_points(values: np.ndarray, where: str) -> None:
+    """Refuse NaN/inf responses with a pointer at the failed runs.
+
+    Allocation of variation distributes SST over *every* cell; a NaN
+    from a failed design point would turn the whole decomposition into
+    NaNs, which reads like "nothing matters" — the silent drop the
+    tutorial warns against.  Refuse loudly instead.
+    """
+    bad = np.argwhere(~np.isfinite(values))
+    if bad.size:
+        where_cells = ", ".join(str(tuple(cell))
+                                for cell in bad[:6].tolist())
+        more = "" if len(bad) <= 6 else f" (+{len(bad) - 6} more)"
+        raise DesignError(
+            f"{where}: {len(bad)} response(s) are NaN/inf — failed or "
+            f"missing runs at {where_cells}{more}.  Re-measure those "
+            "design points (see HarnessReport.failures) or analyse a "
+            "masked subset; SST cannot be allocated over missing cells.")
+
+
 @dataclass(frozen=True)
 class VariationReport:
     """Result of an allocation-of-variation analysis.
@@ -91,6 +111,7 @@ def allocate_variation(design: TwoLevelFactorialDesign,
     n = design.sign_table.n_rows
     if y.shape != (n,):
         raise DesignError(f"expected {n} responses, got {y.shape}")
+    _refuse_failed_points(y, "allocate_variation")
     effects = dot_effects(design.sign_table, responses)
     sst = float(np.sum((y - y.mean()) ** 2))
     components = {name: n * q * q
@@ -115,6 +136,7 @@ def allocate_variation_replicated(design: TwoLevelFactorialDesign,
         raise DesignError(
             "error estimation needs the same replication count >= 2 per row")
     matrix = np.asarray(replicated, dtype=float)
+    _refuse_failed_points(matrix, "allocate_variation_replicated")
     means = matrix.mean(axis=1)
     effects = dot_effects(design.sign_table, means.tolist())
     sse = float(np.sum((matrix - means[:, None]) ** 2))

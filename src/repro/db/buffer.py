@@ -12,12 +12,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.db.disk import DiskModel, pages_for_bytes
 from repro.errors import DatabaseError
 from repro.hardware.counters import HardwareCounters
 from repro.measurement.clocks import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 PageId = Tuple[str, int]
 
@@ -43,6 +46,9 @@ class BufferPool:
         larger than the pool evicts every page just before its reuse —
         while MRU keeps a stable prefix resident, the classic textbook
         fix (see ``benchmarks/bench_ablation_buffer.py``).
+    faults:
+        Optional fault injector; each scan ticks site ``"buffer.read"``,
+        which may raise ``PageCorruptionError``.
     """
 
     POLICIES = ("lru", "mru")
@@ -50,7 +56,8 @@ class BufferPool:
     def __init__(self, capacity_pages: int, disk: DiskModel,
                  clock: VirtualClock,
                  counters: Optional[HardwareCounters] = None,
-                 policy: str = "lru"):
+                 policy: str = "lru",
+                 faults: "Optional[FaultInjector]" = None):
         if capacity_pages < 1:
             raise DatabaseError("buffer pool needs at least one page")
         if policy not in self.POLICIES:
@@ -62,6 +69,7 @@ class BufferPool:
         self.disk = disk
         self.clock = clock
         self.counters = counters if counters is not None else HardwareCounters()
+        self.faults = faults
         self._resident: "OrderedDict[PageId, bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -82,6 +90,8 @@ class BufferPool:
         Misses are charged to the clock as one sequential disk read (the
         scan fetches missing pages in one pass).
         """
+        if self.faults is not None:
+            self.faults.tick("buffer.read")
         pages = self.table_pages(table_name, n_bytes)
         missing = 0
         for page in pages:
@@ -101,6 +111,8 @@ class BufferPool:
     def read_pages_random(self, table_name: str, n_bytes: int,
                           page_numbers: Tuple[int, ...]) -> int:
         """Random page reads (index-style access); seeks per miss."""
+        if self.faults is not None:
+            self.faults.tick("buffer.read")
         total = pages_for_bytes(n_bytes)
         bad = [p for p in page_numbers if not 0 <= p < total]
         if bad:

@@ -15,12 +15,15 @@ client real time includes the server work, like a real ``mclient`` run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.db.engine import Engine, QueryResult
 from repro.db.profiler import ProfileReport
 from repro.errors import DatabaseError
 from repro.measurement.timer import TimeBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 class ResultSink:
@@ -76,11 +79,19 @@ class ClientMeasurement:
 
 
 class Client:
-    """A measuring client connected to one engine."""
+    """A measuring client connected to one engine.
 
-    def __init__(self, engine: Engine, sink: Optional[ResultSink] = None):
+    When the engine carries a fault injector (or one is passed
+    explicitly), each query ticks the ``"client.run"`` site first, which
+    may raise :class:`~repro.errors.ClientDisconnectError` — the
+    tutorial's "server dropped the client" war story.
+    """
+
+    def __init__(self, engine: Engine, sink: Optional[ResultSink] = None,
+                 faults: "Optional[FaultInjector]" = None):
         self.engine = engine
         self.sink = sink if sink is not None else FileSink()
+        self.faults = faults if faults is not None else engine.faults
 
     def run(self, sql: str) -> ClientMeasurement:
         """Execute a query and measure server- and client-side times.
@@ -88,6 +99,8 @@ class Client:
         Client real time = server real time + output shipping/rendering,
         charged on the same simulated clock.
         """
+        if self.faults is not None:
+            self.faults.tick("client.run")
         start = self.engine.clock.sample()
         result = self.engine.execute(sql)
         server = result.server_time
@@ -109,6 +122,8 @@ class Client:
         engine contributes parse/optimize/execute, the sink's shipping
         and rendering cost appears as the ``print`` phase.
         """
+        if self.faults is not None:
+            self.faults.tick("client.run")
         result, report = self.engine.profile(sql)
         n_bytes = result.formatted_size_bytes()
         print_seconds = self.sink.cost_seconds(n_bytes)

@@ -10,9 +10,13 @@ Calibrated by default to the tutorial's 5400RPM laptop disk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import HardwareModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 #: Fixed page size used throughout MiniDB.
 PAGE_SIZE_BYTES = 64 * 1024
@@ -28,6 +32,10 @@ class DiskModel:
 
     seek_ms: float = 11.0              # ~5400RPM laptop drive
     transfer_mb_per_s: float = 35.0    # sustained sequential read, 2008-ish
+    #: Optional fault hook; ticked at site ``"disk.read"`` on every
+    #: physical read/write, may raise ``TransientDiskError``.
+    faults: "Optional[FaultInjector]" = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if self.seek_ms < 0:
@@ -45,6 +53,8 @@ class DiskModel:
             raise HardwareModelError("page count must be >= 0")
         if n_pages == 0:
             return 0.0
+        if self.faults is not None:
+            self.faults.tick("disk.read")
         transfer = n_pages * self.transfer_s_per_page
         seeks = 1 if sequential else n_pages
         return seeks * self.seek_ms / 1000.0 + transfer
@@ -52,6 +62,11 @@ class DiskModel:
     def write_seconds(self, n_pages: int, sequential: bool = True) -> float:
         """Writes cost the same as reads in this model."""
         return self.read_seconds(n_pages, sequential=sequential)
+
+    def with_faults(self, faults: "Optional[FaultInjector]") -> "DiskModel":
+        """A copy of this model wired to a fault injector (or to none)."""
+        from dataclasses import replace
+        return replace(self, faults=faults)
 
 
 def pages_for_bytes(n_bytes: int) -> int:

@@ -17,7 +17,7 @@ protocols need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,9 @@ from repro.hardware.compiler import BuildMode, BuildModel
 from repro.hardware.counters import HardwareCounters
 from repro.measurement.clocks import VirtualClock
 from repro.measurement.timer import TimeBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -130,17 +133,38 @@ def _format_value(value: Any) -> str:
 
 
 class Engine:
-    """A configured MiniDB instance over one database."""
+    """A configured MiniDB instance over one database.
+
+    Parameters
+    ----------
+    database:
+        The catalogue of tables to run over.
+    config:
+        Engine configuration; defaults to the tuned defaults.
+    clock:
+        Simulated time sink.  Pass a shared
+        :class:`~repro.measurement.clocks.VirtualClock` to keep several
+        engines (e.g. one per design point) on one timeline.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`; wires the fault
+        sites ``engine.execute`` (here), ``buffer.read`` (buffer pool)
+        and ``disk.read`` (disk model) into this instance.
+    """
 
     def __init__(self, database: Database,
-                 config: Optional[EngineConfig] = None):
+                 config: Optional[EngineConfig] = None,
+                 clock: Optional[VirtualClock] = None,
+                 faults: Optional["FaultInjector"] = None):
         self.database = database
         self.config = config if config is not None else EngineConfig()
-        self.clock = VirtualClock()
+        self.clock = clock if clock is not None else VirtualClock()
         self.counters = HardwareCounters()
+        self.faults = faults
+        disk = self.config.disk if faults is None \
+            else self.config.disk.with_faults(faults)
         self.buffer_pool = BufferPool(self.config.buffer_pages,
-                                      self.config.disk, self.clock,
-                                      self.counters)
+                                      disk, self.clock,
+                                      self.counters, faults=faults)
         self.indexes = IndexCatalog()
 
     # -- lifecycle -------------------------------------------------------
@@ -185,6 +209,8 @@ class Engine:
 
     def profile(self, sql: str) -> Tuple[QueryResult, ProfileReport]:
         """Execute and return both the result and the timing breakdown."""
+        if self.faults is not None:
+            self.faults.tick("engine.execute")
         ctx = self._context()
         costs = self.config.costs
 

@@ -74,3 +74,70 @@ class GuidelineViolation(ChartError):
 
 class HardwareModelError(ReproError):
     """A simulated hardware component was configured inconsistently."""
+
+
+class FaultError(ReproError):
+    """Base class for injected faults and fault-handling failures.
+
+    The fault-injection layer (:mod:`repro.faults`) raises subclasses of
+    this from hooks inside the simulated stack; the resilient harness
+    (:func:`repro.measurement.run_harness`) catches them, retries
+    transient ones, and records the rest as failed design points.
+    """
+
+
+class TransientError(FaultError):
+    """A recoverable fault: retrying the operation may succeed.
+
+    The default :class:`~repro.measurement.retry.RetryPolicy` retries
+    only :class:`TransientError` subclasses; anything else fails the
+    design point immediately.
+    """
+
+
+class TransientDiskError(TransientError):
+    """A disk read/write hiccup (the classic 'disk briefly went away')."""
+
+
+class ClientDisconnectError(TransientError):
+    """The server dropped the client connection mid-query."""
+
+
+class QueryTimeoutError(TransientError):
+    """The engine aborted a query that exceeded its time budget."""
+
+
+class PageCorruptionError(FaultError):
+    """A buffered page failed its checksum: *not* transient.
+
+    Retrying re-reads the same corrupt page, so the retry machinery
+    treats this as a permanent failure of the design point.
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """Every attempt allowed by a retry policy failed.
+
+    Attributes
+    ----------
+    attempts:
+        How many attempts were made before giving up.
+    last_error:
+        The exception raised by the final attempt.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: "BaseException | None" = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class TimeoutExceededError(FaultError):
+    """A measured run overran the harness's per-run timeout.
+
+    Detected against the active clock (simulated or real) by the run
+    protocol, unlike :class:`QueryTimeoutError` which the engine itself
+    injects.  Retryable by default: a slow run may have been hit by an
+    injected or real interference event.
+    """

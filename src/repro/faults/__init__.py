@@ -1,0 +1,46 @@
+"""Fault injection: deterministic failure noise for the simulated stack.
+
+The tutorial's war stories are about experiments that die mid-campaign —
+a cron job fires, a disk hiccups, the server drops the client — and its
+prescription is protocols that *survive and report* such failures
+instead of silently absorbing them.  :class:`~repro.faults.plan.FaultPlan`
+complements the timing-only :class:`~repro.measurement.noise.NoiseModel`
+with *failure* noise: a seeded, reproducible schedule of injected
+exceptions raised from hooks inside MiniDB's disk model, buffer pool,
+client, and engine.
+
+Injection sites (see :data:`~repro.faults.plan.KNOWN_SITES`):
+
+- ``disk.read`` — :meth:`repro.db.disk.DiskModel.read_seconds` raises
+  :class:`~repro.errors.TransientDiskError`;
+- ``buffer.read`` — :class:`repro.db.buffer.BufferPool` scans raise
+  :class:`~repro.errors.PageCorruptionError` (non-transient);
+- ``client.run`` — :class:`repro.db.client.Client` raises
+  :class:`~repro.errors.ClientDisconnectError`;
+- ``engine.execute`` — :class:`repro.db.engine.Engine` raises
+  :class:`~repro.errors.QueryTimeoutError`.
+
+The resilient measurement harness (:func:`repro.measurement.run_harness`
+with a :class:`~repro.measurement.retry.RetryPolicy`) turns these faults
+into retries, recorded failures, and checkpoint/resume material.
+"""
+
+from repro.faults.plan import (
+    DEFAULT_SITE_ERRORS,
+    KNOWN_SITES,
+    TRANSIENT_SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+__all__ = [
+    "DEFAULT_SITE_ERRORS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "KNOWN_SITES",
+    "TRANSIENT_SITES",
+]

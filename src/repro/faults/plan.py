@@ -1,0 +1,286 @@
+"""Fault plans and injectors: seeded, deterministic failure schedules.
+
+A :class:`FaultPlan` is the immutable *specification* of which faults can
+fire where: per-site probabilities (a fault coin flipped at every hooked
+operation) and/or explicit schedules (fire exactly at the Nth operation
+of a site).  :meth:`FaultPlan.injector` builds the mutable runtime
+counterpart, a :class:`FaultInjector`, whose per-rule random streams are
+derived from ``(seed, rule index)`` so the fault schedule of one site
+never perturbs another's — the property the determinism tests pin down.
+
+The injector is *resumable*: :meth:`FaultInjector.state_dict` captures
+operation counters and RNG states in JSON-serialisable form, and
+:meth:`FaultInjector.load_state_dict` restores them, which is how a
+checkpointed campaign resumes with a byte-identical fault stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.errors import (
+    ClientDisconnectError,
+    FaultError,
+    PageCorruptionError,
+    QueryTimeoutError,
+    TransientDiskError,
+)
+
+#: Site name -> the exception class injected there by default.
+DEFAULT_SITE_ERRORS: Mapping[str, Type[FaultError]] = {
+    "disk.read": TransientDiskError,
+    "buffer.read": PageCorruptionError,
+    "client.run": ClientDisconnectError,
+    "engine.execute": QueryTimeoutError,
+}
+
+#: Every injection site wired into the MiniDB stack.
+KNOWN_SITES: Tuple[str, ...] = tuple(DEFAULT_SITE_ERRORS)
+
+#: Sites whose default fault is recoverable by retrying.
+TRANSIENT_SITES: Tuple[str, ...] = ("disk.read", "client.run",
+                                    "engine.execute")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source: where it fires, what it raises, when.
+
+    Parameters
+    ----------
+    site:
+        The injection site name (usually one of :data:`KNOWN_SITES`).
+    error:
+        The :class:`~repro.errors.FaultError` subclass to raise.
+    probability:
+        Per-operation firing probability in ``[0, 1)``.
+    schedule:
+        Explicit 1-based operation numbers at which the fault fires
+        unconditionally (in addition to any probabilistic firings).
+    message:
+        Optional custom exception message.
+    """
+
+    site: str
+    error: Type[FaultError]
+    probability: float = 0.0
+    schedule: Tuple[int, ...] = ()
+    message: str = ""
+
+    def __post_init__(self):
+        if not self.site:
+            raise FaultError("fault rule needs a non-empty site name")
+        if not (isinstance(self.error, type)
+                and issubclass(self.error, FaultError)):
+            raise FaultError(
+                f"fault rule error must be a FaultError subclass, "
+                f"got {self.error!r}")
+        if not 0.0 <= self.probability < 1.0:
+            raise FaultError(
+                f"fault probability must be in [0, 1), "
+                f"got {self.probability}")
+        object.__setattr__(self, "schedule",
+                           tuple(sorted(set(self.schedule))))
+        if any((not isinstance(n, int)) or n < 1 for n in self.schedule):
+            raise FaultError(
+                f"fault schedule entries must be positive operation "
+                f"numbers, got {list(self.schedule)}")
+        if self.probability == 0.0 and not self.schedule:
+            raise FaultError(
+                f"fault rule for site {self.site!r} can never fire: "
+                "give it a probability or a schedule")
+
+    def describe(self) -> str:
+        parts = []
+        if self.probability:
+            parts.append(f"p={self.probability:g}/op")
+        if self.schedule:
+            parts.append(f"at ops {list(self.schedule)}")
+        return f"{self.site}: {self.error.__name__} ({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable collection of fault rules.
+
+    Build one per campaign, then hand fresh :meth:`injector` instances
+    to the components under test.  Two plans with equal rules and seed
+    produce injectors with identical fault schedules.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def uniform(cls, probability: float, seed: int = 0,
+                sites: Sequence[str] = TRANSIENT_SITES) -> "FaultPlan":
+        """Same per-operation probability at each *site* (default: the
+        transient ones, so a retry policy can recover)."""
+        rules = []
+        for site in sites:
+            error = DEFAULT_SITE_ERRORS.get(site)
+            if error is None:
+                raise FaultError(
+                    f"unknown fault site {site!r}; known sites: "
+                    f"{list(KNOWN_SITES)}")
+            rules.append(FaultRule(site=site, error=error,
+                                   probability=probability))
+        return cls(rules=tuple(rules), seed=seed)
+
+    @classmethod
+    def scheduled(cls, site: str, operations: Sequence[int],
+                  seed: int = 0,
+                  error: Optional[Type[FaultError]] = None) -> "FaultPlan":
+        """Fire deterministically at the given operation numbers."""
+        if error is None:
+            error = DEFAULT_SITE_ERRORS.get(site)
+            if error is None:
+                raise FaultError(
+                    f"unknown fault site {site!r} and no error class "
+                    f"given; known sites: {list(KNOWN_SITES)}")
+        rule = FaultRule(site=site, error=error,
+                         schedule=tuple(operations))
+        return cls(rules=(rule,), seed=seed)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh runtime injector for this plan."""
+        return FaultInjector(self)
+
+    def describe(self) -> str:
+        if not self.rules:
+            return "no faults injected"
+        rules = "; ".join(rule.describe() for rule in self.rules)
+        return f"faults (seed={self.seed}): {rules}"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for the injector's audit log."""
+
+    site: str
+    operation: int
+    error: str
+
+
+class FaultInjector:
+    """The mutable runtime of a :class:`FaultPlan`.
+
+    Components call :meth:`tick` at each hooked operation; the injector
+    counts operations per site and raises the planned exception when a
+    rule fires.  Every firing is appended to :attr:`events` so reports
+    can say exactly what went wrong and when — the paper's "report what
+    went wrong" guideline made executable.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._counts: Dict[str, int] = {}
+        self._rngs: List[np.random.Generator] = [
+            np.random.default_rng([plan.seed & 0x7FFFFFFF, index])
+            for index in range(len(plan.rules))]
+        self.events: List[FaultEvent] = []
+        self._enabled = True
+
+    # -- runtime ----------------------------------------------------------
+
+    def tick(self, site: str) -> None:
+        """Register one operation at *site*; raises if a rule fires."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        if not self._enabled:
+            return
+        for index, rule in enumerate(self.plan.rules):
+            if rule.site != site:
+                continue
+            # Exactly one RNG draw per (rule, operation) — even when a
+            # schedule hit already decided — keeps the probabilistic
+            # stream aligned across runs regardless of schedule contents.
+            drew = (self._rngs[index].random() < rule.probability
+                    if rule.probability else False)
+            if count in rule.schedule or drew:
+                self.events.append(FaultEvent(
+                    site=site, operation=count,
+                    error=rule.error.__name__))
+                message = rule.message or (
+                    f"injected {rule.error.__name__} at {site} "
+                    f"operation #{count}")
+                raise rule.error(message)
+
+    def operations(self, site: str) -> int:
+        """How many operations have been registered at *site*."""
+        return self._counts.get(site, 0)
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.events)
+
+    def disable(self) -> None:
+        """Stop firing (counters still advance) — for teardown paths."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def reset(self) -> None:
+        """Back to the pristine plan state: exact fault replay."""
+        self._counts.clear()
+        self._rngs = [
+            np.random.default_rng([self.plan.seed & 0x7FFFFFFF, index])
+            for index in range(len(self.plan.rules))]
+        self.events.clear()
+        self._enabled = True
+
+    # -- checkpoint/resume -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of counters, RNGs, and events."""
+        return {
+            "counts": dict(self._counts),
+            "rng_states": [_jsonable(rng.bit_generator.state)
+                           for rng in self._rngs],
+            "events": [[e.site, e.operation, e.error]
+                       for e in self.events],
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (same plan required)."""
+        rng_states = state.get("rng_states", [])
+        if len(rng_states) != len(self.plan.rules):
+            raise FaultError(
+                f"fault state has {len(rng_states)} RNG streams but the "
+                f"plan has {len(self.plan.rules)} rules — checkpoint "
+                "from a different fault plan?")
+        self._counts = {str(k): int(v)
+                        for k, v in state.get("counts", {}).items()}
+        for rng, saved in zip(self._rngs, rng_states):
+            rng.bit_generator.state = saved
+        self.events = [FaultEvent(site=s, operation=int(op), error=err)
+                       for s, op, err in state.get("events", [])]
+
+    def format_events(self) -> str:
+        if not self.events:
+            return "no faults fired"
+        lines = [f"{len(self.events)} fault(s) fired:"]
+        for event in self.events:
+            lines.append(f"  {event.site} op#{event.operation}: "
+                         f"{event.error}")
+        return "\n".join(lines)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars in RNG state to Python ints."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return value

@@ -1,5 +1,6 @@
 """Measurement: clocks, timers, run protocols, statistics, result sets."""
 
+from repro.measurement.checkpoint import CheckpointEntry, CheckpointJournal
 from repro.measurement.calibration import (
     ClockCalibration,
     calibrate_clock,
@@ -14,12 +15,18 @@ from repro.measurement.clocks import (
     WallClock,
 )
 from repro.measurement.harness import (
+    FailedPoint,
     HarnessReport,
     Workload,
     run_harness,
     workload_from_callable,
 )
 from repro.measurement.noise import NoiseModel, NoisyWorkload
+from repro.measurement.retry import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    execute_with_retry,
+)
 from repro.measurement.protocol import (
     COLD_MEDIAN_OF_THREE,
     LAST_OF_THREE_HOT,
@@ -43,7 +50,13 @@ from repro.measurement.timer import TimeBreakdown, Timer, time_callable
 
 __all__ = [
     "COLD_MEDIAN_OF_THREE",
+    "CheckpointEntry",
+    "CheckpointJournal",
     "ClockCalibration",
+    "DEFAULT_RETRYABLE",
+    "FailedPoint",
+    "RetryPolicy",
+    "execute_with_retry",
     "calibrate_clock",
     "measure_until_stable",
     "repetitions_for_ci",

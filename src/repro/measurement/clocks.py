@@ -112,3 +112,27 @@ class VirtualClock(Clock):
 
     def reset(self) -> None:
         self._real = self._user = self._system = 0.0
+
+    # -------------------------------------------------- checkpointing
+
+    def state_dict(self) -> dict:
+        """The clock position, JSON-able for a campaign checkpoint.
+
+        A resumed campaign must continue the *same* timeline: restarting
+        from zero shifts every subsequent sample, and float subtraction
+        at a different absolute offset rounds differently — enough to
+        break byte-identical resumes.  (JSON round-trips floats exactly,
+        so saving and restoring loses nothing.)
+        """
+        return {"real": self._real, "user": self._user,
+                "system": self._system}
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            real = float(state["real"])
+            user = float(state["user"])
+            system = float(state["system"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MeasurementError(
+                f"bad VirtualClock state {state!r}: {exc}") from exc
+        self._real, self._user, self._system = real, user, system

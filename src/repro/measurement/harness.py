@@ -13,18 +13,29 @@ This is where the three planning ingredients of the tutorial meet:
 The workload is any object implementing :class:`Workload`'s three hooks
 (setup/run/make_cold); plain callables can be adapted with
 :func:`workload_from_callable`.
+
+The harness is *resilient*: with a
+:class:`~repro.measurement.retry.RetryPolicy` transient faults are
+retried with backoff, with ``on_error="record"`` a point that still
+fails becomes an explicit :class:`FailedPoint` in the
+:class:`HarnessReport` instead of aborting the campaign, and with a
+``checkpoint`` path every completed point is journalled so an
+interrupted campaign resumes from where it stopped
+(:mod:`repro.measurement.checkpoint`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
-from repro.errors import MeasurementError
+from repro.errors import MeasurementError, ReproError, RetryExhaustedError
 from repro.core.designs import Design
-from repro.measurement.clocks import Clock
+from repro.measurement.checkpoint import CheckpointEntry, CheckpointJournal
+from repro.measurement.clocks import Clock, ProcessClock
 from repro.measurement.protocol import ProtocolResult, RunProtocol
 from repro.measurement.results import ResultSet
+from repro.measurement.retry import RetryPolicy
 
 
 class Workload:
@@ -85,6 +96,29 @@ def workload_from_callable(fn: Callable[[Mapping[str, Any]], None],
 
 
 @dataclass(frozen=True)
+class FailedPoint:
+    """A design point that could not be measured, explicitly recorded.
+
+    The tutorial's "report what went wrong" guideline: a failed point is
+    data, not something to silently drop.  ``attempts`` counts how many
+    times the point was tried (including retries); ``elapsed_s`` is the
+    time spent on it against the harness clock.
+    """
+
+    index: int
+    config: Mapping[str, Any]
+    error_type: str
+    error_message: str
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+    def format(self) -> str:
+        return (f"point {self.index} {dict(self.config)}: "
+                f"{self.error_type} after {self.attempts} attempt(s) "
+                f"({self.error_message})")
+
+
+@dataclass(frozen=True)
 class HarnessReport:
     """Everything a harness execution produced."""
 
@@ -92,11 +126,82 @@ class HarnessReport:
     raw: Mapping[int, ProtocolResult]  # design point index -> full timings
     protocol: RunProtocol
     design_description: str
+    failures: Tuple[FailedPoint, ...] = ()
+    retry: Optional[RetryPolicy] = None
+    resumed_points: int = 0
+
+    @property
+    def n_measured(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def n_points(self) -> int:
+        return self.n_measured + self.n_failed
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of design points that produced a measurement."""
+        return self.n_measured / self.n_points if self.n_points else 1.0
+
+    @property
+    def total_attempts(self) -> int:
+        """Protocol executions across measured and failed points."""
+        measured = sum(outcome.attempts for outcome in self.raw.values())
+        failed = sum(point.attempts for point in self.failures)
+        return measured + failed
+
+    @property
+    def total_retries(self) -> int:
+        """Attempts beyond the first, across all points."""
+        return self.total_attempts - len(self.raw) - self.n_failed
+
+    def require_complete(self) -> "HarnessReport":
+        """This report, or a clear diagnostic if any point failed.
+
+        Analysis entry points that cannot mask missing cells (effect
+        estimation, allocation of variation) should call this first.
+        """
+        if self.failures:
+            listing = "; ".join(p.format() for p in self.failures)
+            raise MeasurementError(
+                f"{self.n_failed} of {self.n_points} design points "
+                f"failed and cannot enter a full-design analysis — "
+                f"re-run them, raise the retry budget, or analyse a "
+                f"masked subset explicitly.  Failures: {listing}")
+        return self
 
     def documentation(self) -> str:
-        """The methodology paragraph to publish with the numbers."""
-        return (f"{self.design_description}; "
-                f"protocol: {self.protocol.describe()}")
+        """The methodology paragraph to publish with the numbers.
+
+        Per the tutorial, this reports not just what was done but what
+        went *wrong*: the retry discipline, resumed points, and every
+        design point that stayed failed.
+        """
+        parts = [f"{self.design_description}; "
+                 f"protocol: {self.protocol.describe()}"]
+        if self.retry is not None:
+            parts.append(f"retry policy: {self.retry.describe()}")
+        if self.resumed_points:
+            parts.append(f"{self.resumed_points} point(s) replayed from "
+                         "a checkpoint of an interrupted campaign")
+        retries = self.total_retries
+        if retries:
+            parts.append(f"{retries} retried attempt(s) across the "
+                         "campaign")
+        if self.failures:
+            failed = ", ".join(
+                f"#{p.index} ({p.error_type}, {p.attempts} attempts)"
+                for p in self.failures)
+            parts.append(f"{self.n_failed} of {self.n_points} point(s) "
+                         f"failed and are excluded from the result set: "
+                         f"{failed}")
+        elif self.retry is not None:
+            parts.append("all points measured")
+        return "; ".join(parts)
 
 
 def run_harness(design: Design, workload: Workload,
@@ -104,35 +209,150 @@ def run_harness(design: Design, workload: Workload,
                 clock: Optional[Clock] = None,
                 extra_metrics: Optional[
                     Callable[[Mapping[str, Any]], Mapping[str, float]]] = None,
-                name: str = "results") -> HarnessReport:
+                name: str = "results",
+                retry: Optional[RetryPolicy] = None,
+                on_error: str = "raise",
+                checkpoint: Optional[Any] = None,
+                resumables: Optional[Mapping[str, Any]] = None
+                ) -> HarnessReport:
     """Measure *workload* at every design point under *protocol*.
 
     For each point the harness records ``real_ms``, ``user_ms`` and
     ``sys_ms`` of the protocol's picked run; ``extra_metrics(config)`` may
     contribute additional columns (e.g. result sizes, simulated cache
     misses) evaluated after the measured runs.
+
+    Resilience parameters
+    ---------------------
+    retry:
+        Optional :class:`~repro.measurement.retry.RetryPolicy`; transient
+        faults restart the point's protocol execution with backoff
+        charged to *clock*.
+    on_error:
+        ``"raise"`` (default) aborts on the first failed point, matching
+        the historical behaviour.  ``"record"`` degrades gracefully: the
+        failed point becomes a :class:`FailedPoint` in the report and
+        the campaign continues.
+    checkpoint:
+        Optional path of a :class:`~repro.measurement.checkpoint.
+        CheckpointJournal`.  Completed points (measured *or* failed) are
+        journalled immediately; re-running with the same path replays
+        them instead of re-executing, so an interrupted campaign resumes
+        at the first incomplete point.
+    resumables:
+        Mapping of name -> object with ``state_dict()`` /
+        ``load_state_dict()`` (e.g. a
+        :class:`~repro.faults.FaultInjector` or
+        :class:`~repro.measurement.noise.NoiseModel`).  Their states are
+        journalled with every point and restored on resume, so resumed
+        campaigns continue identical random streams.
     """
+    if on_error not in ("raise", "record"):
+        raise MeasurementError(
+            f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if resumables and checkpoint is None:
+        raise MeasurementError(
+            "resumables only make sense with a checkpoint path")
+    journal = CheckpointJournal(checkpoint) if checkpoint is not None \
+        else None
+    elapsed_clock = clock if clock is not None else ProcessClock()
     results = ResultSet(name=name)
-    raw = {}
+    raw: Dict[int, ProtocolResult] = {}
+    failures = []
+    resumed = 0
+    state_restored = False
     make_cold = workload.make_cold if workload.supports_cold else None
+
     for point in design.points():
-        workload.setup(point.config)
-        outcome = protocol.execute(workload.run, make_cold=make_cold,
-                                   clock=clock, label=name)
-        picked = outcome.picked
-        metrics = {
-            "real_ms": picked.real_ms(),
-            "user_ms": picked.user_ms(),
-            "sys_ms": picked.system_ms(),
-        }
-        if extra_metrics is not None:
-            extra = dict(extra_metrics(point.config))
-            overlap = set(extra) & set(metrics)
-            if overlap:
-                raise MeasurementError(
-                    f"extra metrics shadow built-ins: {sorted(overlap)}")
-            metrics.update(extra)
+        entry = journal.lookup(point.index, point.config) \
+            if journal is not None else None
+        if entry is not None:
+            # Replay a completed point from the journal.
+            if entry.ok:
+                results.add(point.config, entry.metrics)
+            else:
+                failures.append(FailedPoint(
+                    index=point.index, config=dict(point.config),
+                    error_type=entry.error_type,
+                    error_message=entry.error_message,
+                    attempts=entry.attempts, elapsed_s=entry.elapsed_s))
+            resumed += 1
+            continue
+        if journal is not None and resumables and resumed \
+                and not state_restored:
+            _restore_states(journal, resumables)
+        state_restored = True
+
+        started = elapsed_clock.sample()
+        try:
+            workload.setup(point.config)
+            outcome = protocol.execute(workload.run, make_cold=make_cold,
+                                       clock=clock, label=name,
+                                       retry=retry)
+            picked = outcome.picked
+            metrics = {
+                "real_ms": picked.real_ms(),
+                "user_ms": picked.user_ms(),
+                "sys_ms": picked.system_ms(),
+            }
+            if extra_metrics is not None:
+                extra = dict(extra_metrics(point.config))
+                overlap = set(extra) & set(metrics)
+                if overlap:
+                    raise MeasurementError(
+                        f"extra metrics shadow built-ins: "
+                        f"{sorted(overlap)}")
+                metrics.update(extra)
+        except ReproError as exc:
+            if on_error == "raise":
+                raise
+            elapsed = (elapsed_clock.sample() - started).real
+            attempts = exc.attempts \
+                if isinstance(exc, RetryExhaustedError) else 1
+            failed = FailedPoint(
+                index=point.index, config=dict(point.config),
+                error_type=type(exc).__name__, error_message=str(exc),
+                attempts=attempts, elapsed_s=elapsed)
+            failures.append(failed)
+            if journal is not None:
+                journal.append(CheckpointEntry(
+                    index=point.index, config=dict(point.config),
+                    status="failed", attempts=attempts,
+                    elapsed_s=elapsed, error_type=failed.error_type,
+                    error_message=failed.error_message,
+                    state=_capture_states(resumables)))
+            continue
+        elapsed = (elapsed_clock.sample() - started).real
         results.add(point.config, metrics)
         raw[point.index] = outcome
+        if journal is not None:
+            journal.append(CheckpointEntry(
+                index=point.index, config=dict(point.config),
+                status="ok", metrics=metrics, attempts=outcome.attempts,
+                elapsed_s=elapsed, state=_capture_states(resumables)))
+
     return HarnessReport(results=results, raw=raw, protocol=protocol,
-                         design_description=design.describe())
+                         design_description=design.describe(),
+                         failures=tuple(failures), retry=retry,
+                         resumed_points=resumed)
+
+
+def _capture_states(resumables: Optional[Mapping[str, Any]]
+                    ) -> Dict[str, Any]:
+    if not resumables:
+        return {}
+    return {key: obj.state_dict() for key, obj in resumables.items()}
+
+
+def _restore_states(journal: CheckpointJournal,
+                    resumables: Mapping[str, Any]) -> None:
+    """Load the newest journalled states into the resumable objects."""
+    states = journal.last_state
+    for key, obj in resumables.items():
+        saved = states.get(key)
+        if saved is None:
+            raise MeasurementError(
+                f"checkpoint has no saved state for resumable {key!r}; "
+                f"saved states: {sorted(states)} — was the campaign "
+                "started with different resumables?")
+        obj.load_state_dict(saved)

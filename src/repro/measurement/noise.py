@@ -14,7 +14,7 @@ tested against known ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -31,6 +31,15 @@ class NoiseModel:
     ``N(1, relative_std)`` (truncated at +-3 sigma and floored at 10% of
     the base) and, with probability ``outlier_probability``, multiplies
     by ``outlier_scale`` — the "a cron job fired" event.
+
+    Copying semantics: ``copy.copy`` and ``pickle`` fork an
+    *independent* generator at the current stream position (they go
+    through :meth:`__getstate__`, which snapshots the RNG state — a
+    shared ``_rng`` used to let the copy silently drain the original's
+    stream).  ``dataclasses.replace`` restarts the stream from the
+    seed; call :meth:`reseed` to split a copy onto its own seed
+    explicitly.  :meth:`state_dict` / :meth:`load_state_dict` expose
+    the stream state in JSON form for campaign checkpoints.
     """
 
     seed: int = 7
@@ -62,6 +71,59 @@ class NoiseModel:
     def reset(self) -> None:
         """Restart the noise stream from the seed (exact replay)."""
         self._rng = np.random.default_rng(self.seed)
+
+    def reseed(self, seed: Optional[int] = None) -> None:
+        """Give this model its own fresh stream.
+
+        With *seed* the model restarts from that seed (and remembers
+        it); without, it restarts from the current seed — the explicit
+        fix after ``copy.copy`` left two models sharing one ``_rng``.
+        """
+        if seed is not None:
+            self.seed = seed
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- checkpoint/resume & pickling -------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot of the noise stream position."""
+        return {"seed": self.seed,
+                "rng": _jsonable(self._rng.bit_generator.state)}
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Resume the stream exactly where :meth:`state_dict` left it."""
+        if int(state.get("seed", self.seed)) != self.seed:
+            raise MeasurementError(
+                f"noise state was saved for seed {state.get('seed')} "
+                f"but this model uses seed {self.seed}")
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = state["rng"]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        # Serialise the generator as its bit-generator state so unpickled
+        # models keep perturbing from the exact stream position.
+        state["_rng"] = self._rng.bit_generator.state
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        rng_state = state.pop("_rng")
+        self.__dict__.update(state)
+        self._rng = np.random.default_rng(self.seed)
+        self._rng.bit_generator.state = rng_state
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars in RNG state to Python types."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    return value
 
 
 class NoisyWorkload(Workload):

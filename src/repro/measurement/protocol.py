@@ -22,8 +22,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TimeoutExceededError
 from repro.measurement.clocks import Clock
+from repro.measurement.retry import RetryPolicy, execute_with_retry
 from repro.measurement.timer import TimeBreakdown, Timer
 
 
@@ -45,11 +46,17 @@ class PickRule(enum.Enum):
 
 @dataclass(frozen=True)
 class ProtocolResult:
-    """All measurements of one protocol execution plus the picked one."""
+    """All measurements of one protocol execution plus the picked one.
+
+    ``attempts`` counts the protocol executions needed under a retry
+    policy; 1 means the first attempt succeeded (the only possibility
+    when no policy is in force).
+    """
 
     runs: Sequence[TimeBreakdown]
     picked: TimeBreakdown
     protocol: "RunProtocol"
+    attempts: int = 1
 
     @property
     def reals(self) -> List[float]:
@@ -101,7 +108,8 @@ class RunProtocol:
     def execute(self, run: Callable[[], object],
                 make_cold: Optional[Callable[[], None]] = None,
                 clock: Optional[Clock] = None,
-                label: str = "") -> ProtocolResult:
+                label: str = "",
+                retry: Optional[RetryPolicy] = None) -> ProtocolResult:
         """Run the workload under this protocol and collect timings.
 
         Parameters
@@ -114,12 +122,35 @@ class RunProtocol:
         clock:
             Clock to measure against; defaults to the process clock.
             Pass the substrate's ``VirtualClock`` for simulated time.
+        retry:
+            Optional :class:`~repro.measurement.retry.RetryPolicy`.
+            A retryable failure (injected fault, run timeout) restarts
+            the *whole* protocol execution — warm-ups included, so a
+            retried hot run is still a hot run — after backing off on
+            *clock*.  Exhausting the budget raises
+            :class:`~repro.errors.RetryExhaustedError`.
         """
         if self.state is State.COLD and make_cold is None:
             raise ProtocolError(
                 "a cold protocol needs a make_cold() hook — a clean state "
                 "must be re-established before every measured run")
+        timeout = retry.timeout_s if retry is not None else None
+        if retry is None:
+            return self._execute_once(run, make_cold, clock, label, timeout)
+        result, attempts = execute_with_retry(
+            lambda: self._execute_once(run, make_cold, clock, label,
+                                       timeout),
+            retry, clock=clock, label=label)
+        if attempts == 1:
+            return result
+        return ProtocolResult(runs=result.runs, picked=result.picked,
+                              protocol=self, attempts=attempts)
 
+    def _execute_once(self, run: Callable[[], object],
+                      make_cold: Optional[Callable[[], None]],
+                      clock: Optional[Clock], label: str,
+                      timeout_s: Optional[float] = None) -> ProtocolResult:
+        """One full protocol execution (warm-ups plus measured runs)."""
         if self.state is State.HOT:
             if make_cold is not None:
                 make_cold()  # start from a defined state, then warm up
@@ -134,6 +165,11 @@ class RunProtocol:
                           clock=clock)
             with timer:
                 run()
+            if timeout_s is not None and timer.result.real > timeout_s:
+                raise TimeoutExceededError(
+                    f"measured run {timer.result.label!r} took "
+                    f"{timer.result.real:.3f}s, over the {timeout_s:g}s "
+                    "per-run timeout")
             runs.append(timer.result)
         return ProtocolResult(runs=tuple(runs), picked=self._pick(runs),
                               protocol=self)

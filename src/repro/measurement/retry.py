@@ -1,0 +1,150 @@
+"""Retry policies: bounded attempts, exponential backoff, run timeouts.
+
+The tutorial's repeatability advice assumes campaigns that survive the
+occasional failed run.  A :class:`RetryPolicy` makes that explicit and
+*documentable*: how many attempts a measurement gets, how long to back
+off between them (charged to the active clock, so simulated campaigns
+stay deterministic), and an optional per-run timeout checked against the
+same clock.
+
+Only :class:`~repro.errors.TransientError` subclasses (plus the
+harness's own :class:`~repro.errors.TimeoutExceededError`) are retried
+by default — re-reading a corrupt page does not help, so permanent
+faults fail the design point immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import (
+    ProtocolError,
+    RetryExhaustedError,
+    TimeoutExceededError,
+    TransientError,
+)
+from repro.measurement.clocks import Clock, VirtualClock
+
+T = TypeVar("T")
+
+#: Exception classes retried when no explicit ``retry_on`` is given.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    TransientError, TimeoutExceededError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A documented retry discipline for one measurement campaign.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts allowed per design point (>= 1; 1 means no
+        retries).
+    backoff_base_s:
+        Wait before the second attempt, in seconds.
+    backoff_factor:
+        Multiplier applied to the wait after each further failure
+        (>= 1; 2.0 gives the classic exponential backoff).
+    timeout_s:
+        Optional per-measured-run budget; a run whose real time exceeds
+        it raises :class:`~repro.errors.TimeoutExceededError` (which is
+        itself retryable under the default ``retry_on``).
+    retry_on:
+        Exception classes worth retrying.  Anything else propagates
+        immediately.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    timeout_s: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ProtocolError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ProtocolError("backoff base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ProtocolError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ProtocolError("per-run timeout must be positive")
+        if not self.retry_on:
+            raise ProtocolError(
+                "retry_on must name at least one exception class")
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        """The wait after the Nth failed attempt (1-based)."""
+        if failed_attempts < 1:
+            raise ProtocolError(
+                f"failed_attempts must be >= 1, got {failed_attempts}")
+        return self.backoff_base_s * \
+            self.backoff_factor ** (failed_attempts - 1)
+
+    def total_backoff_seconds(self, failed_attempts: int) -> float:
+        """Total wait accumulated over *failed_attempts* failures."""
+        return sum(self.backoff_seconds(i)
+                   for i in range(1, failed_attempts + 1))
+
+    def describe(self) -> str:
+        """The sentence to publish with the methodology paragraph."""
+        if self.max_attempts == 1:
+            retries = "no retries"
+        else:
+            retries = (f"up to {self.max_attempts} attempts per point, "
+                       f"exponential backoff "
+                       f"{self.backoff_base_s:g}s x "
+                       f"{self.backoff_factor:g}^n")
+        timeout = "" if self.timeout_s is None else \
+            f"; per-run timeout {self.timeout_s:g}s"
+        kinds = "/".join(sorted(cls.__name__ for cls in self.retry_on))
+        return f"{retries} (on {kinds}){timeout}"
+
+
+def wait(seconds: float, clock: Optional[Clock] = None) -> None:
+    """Back off for *seconds* against the right notion of time.
+
+    A :class:`~repro.measurement.clocks.VirtualClock` is advanced (the
+    wait is I/O-style idle time, so it accrues to the system share);
+    any other clock waits in real time.
+    """
+    if seconds <= 0:
+        return
+    if isinstance(clock, VirtualClock):
+        clock.advance(io_seconds=seconds)
+    else:
+        time.sleep(seconds)
+
+
+def execute_with_retry(fn: Callable[[], T], policy: RetryPolicy,
+                       clock: Optional[Clock] = None,
+                       label: str = "") -> Tuple[T, int]:
+    """Run *fn* under *policy*; returns ``(result, attempts_used)``.
+
+    Raises :class:`~repro.errors.RetryExhaustedError` (carrying the
+    attempt count and last error) once the budget is spent, and
+    propagates non-retryable exceptions immediately.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(), attempt
+        except BaseException as exc:
+            if not policy.is_retryable(exc):
+                raise
+            last = exc
+            if attempt < policy.max_attempts:
+                wait(policy.backoff_seconds(attempt), clock)
+    what = f" {label!r}" if label else ""
+    raise RetryExhaustedError(
+        f"run{what} failed {policy.max_attempts} attempt(s); last error: "
+        f"{type(last).__name__}: {last}",
+        attempts=policy.max_attempts, last_error=last) from last

@@ -1,0 +1,120 @@
+"""Tests for the fault-injection hooks wired through the MiniDB stack."""
+
+import pytest
+
+from repro.db import (
+    BufferPool,
+    Client,
+    Database,
+    DataType,
+    DiskModel,
+    Engine,
+    FileSink,
+    PAGE_SIZE_BYTES,
+    Table,
+)
+from repro.errors import (
+    ClientDisconnectError,
+    PageCorruptionError,
+    QueryTimeoutError,
+    TransientDiskError,
+)
+from repro.faults import FaultPlan
+from repro.measurement import VirtualClock
+
+
+def sample_db(n=50):
+    db = Database()
+    db.create_table(Table.from_columns(
+        "t", [("k", DataType.INT64), ("v", DataType.FLOAT64)],
+        {"k": list(range(n)), "v": [float(i) for i in range(n)]}))
+    return db
+
+
+class TestDiskHook:
+    def test_scheduled_read_fails(self):
+        injector = FaultPlan.scheduled("disk.read", (2,)).injector()
+        disk = DiskModel().with_faults(injector)
+        disk.read_seconds(4)
+        with pytest.raises(TransientDiskError):
+            disk.read_seconds(4)
+
+    def test_zero_page_read_not_counted(self):
+        """A no-op read is not an I/O operation, so no fault fires."""
+        injector = FaultPlan.scheduled("disk.read", (1,)).injector()
+        disk = DiskModel().with_faults(injector)
+        assert disk.read_seconds(0) == 0.0
+        assert injector.operations("disk.read") == 0
+
+    def test_with_faults_preserves_geometry(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=64.0)
+        faulty = disk.with_faults(FaultPlan().injector())
+        assert faulty.seek_ms == disk.seek_ms
+        assert faulty.read_seconds(7) == disk.read_seconds(7)
+
+    def test_faultless_disk_unchanged(self):
+        assert DiskModel().faults is None
+        assert DiskModel().read_seconds(3) > 0
+
+
+class TestBufferHook:
+    def test_corruption_on_scheduled_read(self):
+        injector = FaultPlan.scheduled("buffer.read", (2,)).injector()
+        pool = BufferPool(8, DiskModel(), VirtualClock(),
+                          faults=injector)
+        pool.read_table("t", PAGE_SIZE_BYTES)
+        with pytest.raises(PageCorruptionError):
+            pool.read_table("t", PAGE_SIZE_BYTES)
+
+    def test_random_reads_also_ticked(self):
+        injector = FaultPlan.scheduled("buffer.read", (1,)).injector()
+        pool = BufferPool(8, DiskModel(), VirtualClock(),
+                          faults=injector)
+        with pytest.raises(PageCorruptionError):
+            pool.read_pages_random("t", 2 * PAGE_SIZE_BYTES, (0, 1))
+
+
+class TestEngineAndClientHooks:
+    def test_engine_execute_ticked_per_query(self):
+        injector = FaultPlan.scheduled("engine.execute", (2,)).injector()
+        engine = Engine(sample_db(), faults=injector)
+        engine.execute("SELECT k FROM t")
+        with pytest.raises(QueryTimeoutError):
+            engine.execute("SELECT k FROM t")
+
+    def test_engine_wires_faults_down_the_stack(self):
+        injector = FaultPlan.scheduled("disk.read", (1,)).injector()
+        engine = Engine(sample_db(), faults=injector)
+        with pytest.raises(TransientDiskError):
+            engine.execute("SELECT k FROM t")  # cold read hits the disk
+
+    def test_client_inherits_engine_injector(self):
+        injector = FaultPlan.scheduled("client.run", (1,)).injector()
+        client = Client(Engine(sample_db(), faults=injector), FileSink())
+        assert client.faults is injector
+        with pytest.raises(ClientDisconnectError):
+            client.run("SELECT k FROM t")
+
+    def test_faultless_stack_still_works(self):
+        client = Client(Engine(sample_db()), FileSink())
+        measurement = client.run("SELECT k FROM t")
+        assert measurement is not None
+
+    def test_probabilistic_faults_deterministic_across_stacks(self):
+        plan = FaultPlan.uniform(0.3, seed=9, sites=("engine.execute",))
+
+        def survivors(injector):
+            engine = Engine(sample_db(), faults=injector)
+            ok = []
+            for i in range(30):
+                try:
+                    engine.execute("SELECT k FROM t")
+                    ok.append(i)
+                except QueryTimeoutError:
+                    pass
+            return ok
+
+        first = survivors(plan.injector())
+        second = survivors(plan.injector())
+        assert first == second
+        assert 0 < len(first) < 30

@@ -1,0 +1,196 @@
+"""Tests for fault plans and injectors: determinism, schedules, state."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ClientDisconnectError,
+    FaultError,
+    PageCorruptionError,
+    QueryTimeoutError,
+    TransientDiskError,
+    TransientError,
+)
+from repro.faults import (
+    DEFAULT_SITE_ERRORS,
+    KNOWN_SITES,
+    TRANSIENT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+
+
+def fire_pattern(injector, site, n):
+    """Which of n ticks raise, as a list of bools."""
+    fired = []
+    for __ in range(n):
+        try:
+            injector.tick(site)
+            fired.append(False)
+        except FaultError:
+            fired.append(True)
+    return fired
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(FaultError, match="site"):
+            FaultRule(site="", error=TransientDiskError, probability=0.1)
+        with pytest.raises(FaultError, match="probability"):
+            FaultRule(site="disk.read", error=TransientDiskError,
+                      probability=1.0)
+        with pytest.raises(FaultError, match="FaultError subclass"):
+            FaultRule(site="disk.read", error=ValueError,
+                      probability=0.1)
+        with pytest.raises(FaultError, match="positive"):
+            FaultRule(site="disk.read", error=TransientDiskError,
+                      schedule=(0,))
+        with pytest.raises(FaultError, match="never fire"):
+            FaultRule(site="disk.read", error=TransientDiskError)
+
+    def test_schedule_normalised(self):
+        rule = FaultRule(site="x", error=TransientDiskError,
+                         schedule=(5, 2, 5))
+        assert rule.schedule == (2, 5)
+
+    def test_describe(self):
+        rule = FaultRule(site="disk.read", error=TransientDiskError,
+                         probability=0.25, schedule=(3,))
+        text = rule.describe()
+        assert "disk.read" in text and "0.25" in text and "3" in text
+
+
+class TestFaultPlan:
+    def test_uniform_covers_transient_sites(self):
+        plan = FaultPlan.uniform(0.1, seed=1)
+        assert {rule.site for rule in plan.rules} == set(TRANSIENT_SITES)
+        for rule in plan.rules:
+            assert issubclass(rule.error, TransientError)
+
+    def test_uniform_rejects_unknown_site(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultPlan.uniform(0.1, sites=("nonsense",))
+
+    def test_default_site_errors_cover_known_sites(self):
+        assert set(DEFAULT_SITE_ERRORS) == set(KNOWN_SITES)
+        assert DEFAULT_SITE_ERRORS["buffer.read"] is PageCorruptionError
+        assert DEFAULT_SITE_ERRORS["client.run"] is ClientDisconnectError
+        assert DEFAULT_SITE_ERRORS["engine.execute"] is QueryTimeoutError
+
+    def test_describe(self):
+        assert FaultPlan().describe() == "no faults injected"
+        assert "seed=7" in FaultPlan.uniform(0.1, seed=7).describe()
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self):
+        plan = FaultPlan.uniform(0.3, seed=11)
+        a = fire_pattern(plan.injector(), "disk.read", 200)
+        b = fire_pattern(plan.injector(), "disk.read", 200)
+        assert a == b
+        assert any(a)
+
+    def test_different_seed_different_schedule(self):
+        a = fire_pattern(FaultPlan.uniform(0.3, seed=1).injector(),
+                         "disk.read", 200)
+        b = fire_pattern(FaultPlan.uniform(0.3, seed=2).injector(),
+                         "disk.read", 200)
+        assert a != b
+
+    def test_sites_have_independent_streams(self):
+        """Ticking one site must not perturb another's fault schedule."""
+        plan = FaultPlan.uniform(0.3, seed=11)
+        alone = fire_pattern(plan.injector(), "client.run", 100)
+        mixed_injector = plan.injector()
+        mixed = []
+        for __ in range(100):
+            try:
+                mixed_injector.tick("disk.read")
+            except FaultError:
+                pass
+            try:
+                mixed_injector.tick("client.run")
+                mixed.append(False)
+            except FaultError:
+                mixed.append(True)
+        assert alone == mixed
+
+    def test_reset_replays_exactly(self):
+        injector = FaultPlan.uniform(0.3, seed=3).injector()
+        first = fire_pattern(injector, "disk.read", 100)
+        injector.reset()
+        assert fire_pattern(injector, "disk.read", 100) == first
+
+
+class TestScheduledFaults:
+    def test_fires_exactly_at_scheduled_ops(self):
+        plan = FaultPlan.scheduled("disk.read", (2, 5))
+        pattern = fire_pattern(plan.injector(), "disk.read", 6)
+        assert pattern == [False, True, False, False, True, False]
+
+    def test_scheduled_message_names_site_and_op(self):
+        injector = FaultPlan.scheduled("client.run", (1,)).injector()
+        with pytest.raises(ClientDisconnectError,
+                           match="client.run operation #1"):
+            injector.tick("client.run")
+
+    def test_schedule_needs_known_site_or_error(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultPlan.scheduled("nonsense", (1,))
+        plan = FaultPlan.scheduled("custom.site", (1,),
+                                   error=TransientDiskError)
+        with pytest.raises(TransientDiskError):
+            plan.injector().tick("custom.site")
+
+
+class TestInjectorRuntime:
+    def test_counts_and_events(self):
+        injector = FaultPlan.scheduled("disk.read", (2,)).injector()
+        fire_pattern(injector, "disk.read", 3)
+        assert injector.operations("disk.read") == 3
+        assert injector.n_injected == 1
+        event = injector.events[0]
+        assert (event.site, event.operation) == ("disk.read", 2)
+        assert event.error == "TransientDiskError"
+        assert "disk.read op#2" in injector.format_events()
+
+    def test_disable_enable(self):
+        injector = FaultPlan.scheduled("disk.read", (1, 2)).injector()
+        injector.disable()
+        assert fire_pattern(injector, "disk.read", 2) == [False, False]
+        injector.enable()
+        with pytest.raises(TransientDiskError):
+            # Counter kept advancing while disabled; op 3 not scheduled.
+            injector2 = FaultPlan.scheduled("disk.read", (1,)).injector()
+            injector2.tick("disk.read")
+
+
+class TestStateRoundTrip:
+    def test_state_dict_is_json_serialisable(self):
+        injector = FaultPlan.uniform(0.3, seed=5).injector()
+        fire_pattern(injector, "disk.read", 50)
+        state = injector.state_dict()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_resume_continues_identical_stream(self):
+        plan = FaultPlan.uniform(0.3, seed=5)
+        uninterrupted = plan.injector()
+        full = fire_pattern(uninterrupted, "disk.read", 100)
+
+        first_half = plan.injector()
+        head = fire_pattern(first_half, "disk.read", 50)
+        state = json.loads(json.dumps(first_half.state_dict()))
+
+        resumed = plan.injector()
+        resumed.load_state_dict(state)
+        tail = fire_pattern(resumed, "disk.read", 50)
+        assert head + tail == full
+        assert resumed.n_injected == uninterrupted.n_injected
+
+    def test_rejects_state_from_other_plan(self):
+        state = FaultPlan.uniform(0.3, seed=5).injector().state_dict()
+        other = FaultPlan.scheduled("disk.read", (1,)).injector()
+        with pytest.raises(FaultError, match="different fault plan"):
+            other.load_state_dict(state)

@@ -11,7 +11,7 @@ import pytest
 from repro.experiments import (
     run_e01, run_e02, run_e03, run_e04, run_e05, run_e06, run_e07,
     run_e08, run_e09, run_e10, run_e11, run_e12, run_e13, run_e14,
-    run_e15, run_e16, run_e17, run_e18, run_e19, run_e20,
+    run_e15, run_e16, run_e17, run_e18, run_e19, run_e20, run_e21,
 )
 
 SF = 0.004  # small scale factor keeps the whole module fast
@@ -330,3 +330,32 @@ class TestE20TwoStage:
                                  ("build", "opt"), ("buffer", "large")):
             if name in result.outcome.screening.selected:
                 assert best[name] == fast_level
+
+
+class TestE21FaultTolerance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e21(sf=0.002)
+
+    def test_every_point_accounted_at_every_budget(self, result):
+        for outcome in result.outcomes:
+            assert outcome.measured + outcome.failed == result.n_points
+
+    def test_retries_recover_lost_points(self, result):
+        no_retry = result.outcome(1)
+        best = result.outcomes[-1]
+        assert no_retry.failed > 0        # 20% faults must bite
+        assert no_retry.retries == 0
+        assert best.survival_rate > no_retry.survival_rate
+        assert best.survival_rate >= 0.875
+
+    def test_faults_actually_fired(self, result):
+        assert all(o.faults_fired > 0 for o in result.outcomes)
+
+    def test_analysis_refuses_failed_campaigns(self, result):
+        assert "NaN" in result.analysis_diagnostic
+
+    def test_format_prints_table_and_paragraph(self, result):
+        text = result.format()
+        assert "survival" in text
+        assert "methodology paragraph" in text

@@ -1,0 +1,105 @@
+"""Tests for checkpoint journals: round-trips, refusals, diagnostics."""
+
+import json
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import CheckpointEntry, CheckpointJournal
+
+
+def ok_entry(index=0, **overrides):
+    fields = dict(index=index, config={"buffer": "large", "mode": "column"},
+                  status="ok", metrics={"real_ms": 12.5},
+                  attempts=2, elapsed_s=0.75,
+                  state={"faults": {"counts": [3]}})
+    fields.update(overrides)
+    return CheckpointEntry(**fields)
+
+
+def failed_entry(index=1):
+    return CheckpointEntry(
+        index=index, config={"buffer": "small", "mode": "tuple"},
+        status="failed", attempts=3, elapsed_s=1.5,
+        error_type="RetryExhaustedError",
+        error_message="run failed 3 attempt(s)")
+
+
+class TestCheckpointEntry:
+    def test_rejects_bad_status(self):
+        with pytest.raises(MeasurementError, match="status"):
+            ok_entry(status="maybe")
+
+    def test_failed_entry_must_name_error(self):
+        with pytest.raises(MeasurementError, match="error type"):
+            ok_entry(status="failed")
+
+    def test_json_round_trip_ok(self):
+        entry = ok_entry()
+        back = CheckpointEntry.from_json(entry.to_json())
+        assert back == entry
+        assert back.ok
+
+    def test_json_round_trip_failed(self):
+        entry = failed_entry()
+        back = CheckpointEntry.from_json(entry.to_json())
+        assert back == entry
+        assert not back.ok
+
+    def test_corrupt_line_diagnostic(self):
+        with pytest.raises(MeasurementError, match="corrupt checkpoint"):
+            CheckpointEntry.from_json("{not json")
+
+    def test_version_mismatch_refused(self):
+        payload = json.loads(ok_entry().to_json())
+        payload["v"] = 999
+        with pytest.raises(MeasurementError, match="journal version"):
+            CheckpointEntry.from_json(json.dumps(payload))
+
+
+class TestCheckpointJournal:
+    def test_append_then_reopen(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        journal = CheckpointJournal(path)
+        assert len(journal) == 0
+        journal.append(ok_entry(0))
+        journal.append(failed_entry(1))
+
+        reopened = CheckpointJournal(path)
+        assert len(reopened) == 2
+        assert reopened.entries == journal.entries
+        assert reopened.last_state == {}  # failed_entry carries no state
+        assert reopened.entries[0].state == {"faults": {"counts": [3]}}
+
+    def test_duplicate_index_refused_on_append(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "camp.journal")
+        journal.append(ok_entry(0))
+        with pytest.raises(MeasurementError, match="already journalled"):
+            journal.append(ok_entry(0))
+
+    def test_duplicate_index_refused_on_load(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        line = ok_entry(0).to_json()
+        path.write_text(line + "\n" + line + "\n", encoding="utf-8")
+        with pytest.raises(MeasurementError, match="twice"):
+            CheckpointJournal(path)
+
+    def test_lookup_verifies_config(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "camp.journal")
+        entry = ok_entry(0)
+        journal.append(entry)
+        assert journal.lookup(0, entry.config) == entry
+        assert journal.lookup(7, {"any": "thing"}) is None
+        with pytest.raises(MeasurementError, match="different campaign"):
+            journal.lookup(0, {"buffer": "small", "mode": "column"})
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        path.write_text(ok_entry(0).to_json() + "\n\n", encoding="utf-8")
+        assert len(CheckpointJournal(path)) == 1
+
+    def test_last_state_tracks_newest_entry(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "camp.journal")
+        journal.append(ok_entry(0, state={"noise": {"seed": 1}}))
+        journal.append(ok_entry(1, state={"noise": {"seed": 2}}))
+        assert journal.last_state == {"noise": {"seed": 2}}

@@ -1,5 +1,9 @@
 """Tests for the deterministic noise model and noisy workloads."""
 
+import copy
+import json
+import pickle
+
 import pytest
 
 from repro.core import (
@@ -61,6 +65,59 @@ class TestNoiseModel:
             NoiseModel(outlier_scale=0.5)
         with pytest.raises(MeasurementError):
             NoiseModel().perturb(-1.0)
+
+
+class TestNoiseModelSharing:
+    """copy/replace/pickle semantics of the underlying RNG stream."""
+
+    def test_copy_forks_an_independent_stream(self):
+        """The historical bug: copies shared one ``_rng``, so draining
+        the copy silently advanced the original.  Copies now get their
+        own generator, forked at the current stream position."""
+        original = NoiseModel(seed=3, relative_std=0.1)
+        [original.perturb(1.0) for __ in range(5)]
+        clone = copy.copy(original)
+        assert clone._rng is not original._rng
+        continuation = [original.perturb(1.0) for __ in range(5)]
+        assert [clone.perturb(1.0) for __ in range(5)] == continuation
+
+    def test_reseed_gives_a_diverged_stream(self):
+        original = NoiseModel(seed=3, relative_std=0.1)
+        clone = copy.copy(original)
+        clone.reseed(99)
+        assert clone.seed == 99
+        assert [clone.perturb(1.0) for __ in range(5)] != \
+            [original.perturb(1.0) for __ in range(5)]
+
+    def test_reseed_without_seed_restarts_current(self):
+        model = NoiseModel(seed=3, relative_std=0.1)
+        first = [model.perturb(1.0) for __ in range(5)]
+        model.reseed()
+        assert [model.perturb(1.0) for __ in range(5)] == first
+
+    def test_pickle_round_trip_mid_stream(self):
+        model = NoiseModel(seed=3, relative_std=0.1,
+                           outlier_probability=0.05)
+        head = [model.perturb(1.0) for __ in range(5)]
+        clone = pickle.loads(pickle.dumps(model))
+        # Both continue from the same position, independently.
+        expected = [model.perturb(1.0) for __ in range(5)]
+        assert [clone.perturb(1.0) for __ in range(5)] == expected
+        assert head != expected
+
+    def test_state_dict_round_trip_is_json_and_exact(self):
+        model = NoiseModel(seed=3, relative_std=0.1)
+        [model.perturb(1.0) for __ in range(7)]
+        state = json.loads(json.dumps(model.state_dict()))
+        fresh = NoiseModel(seed=3, relative_std=0.1)
+        fresh.load_state_dict(state)
+        assert [fresh.perturb(1.0) for __ in range(5)] == \
+            [model.perturb(1.0) for __ in range(5)]
+
+    def test_state_dict_seed_mismatch_refused(self):
+        state = NoiseModel(seed=3).state_dict()
+        with pytest.raises(MeasurementError, match="seed"):
+            NoiseModel(seed=4).load_state_dict(state)
 
 
 class _SimWorkload(Workload):

@@ -1,0 +1,286 @@
+"""Tests for the resilient harness: graceful degradation, checkpoints."""
+
+import pytest
+
+from repro.core import FactorSpace, TwoLevelFactorialDesign, two_level
+from repro.errors import (
+    ClientDisconnectError,
+    DesignError,
+    MeasurementError,
+)
+from repro.faults import FaultPlan
+from repro.measurement import (
+    NoiseModel,
+    RetryPolicy,
+    RunProtocol,
+    State,
+    VirtualClock,
+    Workload,
+    run_harness,
+)
+
+
+def make_space():
+    return FactorSpace([two_level("a", "lo", "hi"),
+                        two_level("b", "lo", "hi")])
+
+
+ONE_SHOT = RunProtocol(state=State.HOT, repetitions=1, warmups=1)
+
+
+class FlakyWorkload(Workload):
+    """Deterministic cost, with faults ticked from an injector.
+
+    Each protocol execution ticks ``client.run`` twice per attempt
+    until a tick raises: a failed warm-up short-circuits the point, so
+    the next point's warm-up gets the next operation number.
+    """
+
+    def __init__(self, clock, injector=None):
+        self.clock = clock
+        self.injector = injector
+
+    def setup(self, config):
+        self.cost = 0.001 * (2 if config["a"] == "hi" else 1) \
+            * (3 if config["b"] == "hi" else 1)
+
+    def run(self):
+        if self.injector is not None:
+            self.injector.tick("client.run")
+        self.clock.advance(cpu_seconds=self.cost)
+
+
+class TestGracefulDegradation:
+    def test_on_error_validated(self):
+        with pytest.raises(MeasurementError, match="on_error"):
+            run_harness(TwoLevelFactorialDesign(make_space()),
+                        FlakyWorkload(VirtualClock()), ONE_SHOT,
+                        on_error="ignore")
+
+    def test_raise_is_the_default(self):
+        clock = VirtualClock()
+        injector = FaultPlan.scheduled(
+            "client.run", (3,)).injector()  # dies inside point 1
+        with pytest.raises(ClientDisconnectError):
+            run_harness(TwoLevelFactorialDesign(make_space()),
+                        FlakyWorkload(clock, injector), ONE_SHOT,
+                        clock=clock)
+
+    def test_record_keeps_the_campaign_going(self):
+        clock = VirtualClock()
+        # Op 3 is point #1's warm-up: with no retries the point fails
+        # once and is recorded; the remaining points pass.
+        injector = FaultPlan.scheduled("client.run", (3,)).injector()
+        report = run_harness(TwoLevelFactorialDesign(make_space()),
+                             FlakyWorkload(clock, injector), ONE_SHOT,
+                             clock=clock, on_error="record")
+        assert report.n_measured == 3
+        assert report.n_failed == 1
+        assert report.n_points == 4
+        assert report.survival_rate == pytest.approx(0.75)
+        failed = report.failures[0]
+        assert failed.index == 1
+        assert failed.error_type == "ClientDisconnectError"
+        assert failed.attempts == 1
+
+    def test_retry_recovers_a_transient_point(self):
+        clock = VirtualClock()
+        # Op 4 is point #1's measured run; attempt 2 (ops 5-6) passes.
+        injector = FaultPlan.scheduled("client.run", (4,)).injector()
+        report = run_harness(
+            TwoLevelFactorialDesign(make_space()),
+            FlakyWorkload(clock, injector), ONE_SHOT, clock=clock,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.5),
+            on_error="record")
+        assert report.n_failed == 0
+        assert report.total_retries == 1
+        assert report.raw[1].attempts == 2
+        # The backoff shows up as simulated idle time on the clock.
+        assert clock.sample().system == pytest.approx(0.5)
+
+    def test_exhausted_retries_record_the_attempt_count(self):
+        clock = VirtualClock()
+        # Point #1's three attempts fail at their warm-ups (ops 3-5);
+        # point #2 resumes cleanly at op 6.
+        injector = FaultPlan.scheduled("client.run", (3, 4, 5)).injector()
+        report = run_harness(
+            TwoLevelFactorialDesign(make_space()),
+            FlakyWorkload(clock, injector), ONE_SHOT, clock=clock,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+            on_error="record")
+        assert report.n_measured == 3
+        assert report.n_failed == 1
+        assert report.failures[0].attempts == 3
+        assert report.failures[0].error_type == "RetryExhaustedError"
+
+    def test_require_complete_names_the_failures(self):
+        clock = VirtualClock()
+        injector = FaultPlan.scheduled("client.run", (3,)).injector()
+        report = run_harness(TwoLevelFactorialDesign(make_space()),
+                             FlakyWorkload(clock, injector), ONE_SHOT,
+                             clock=clock, on_error="record")
+        with pytest.raises(MeasurementError,
+                           match="1 of 4 design points failed"):
+            report.require_complete()
+        clean = run_harness(TwoLevelFactorialDesign(make_space()),
+                            FlakyWorkload(clock), ONE_SHOT, clock=clock)
+        assert clean.require_complete() is clean
+
+    def test_documentation_reports_resilience(self):
+        clock = VirtualClock()
+        # Point #1 exhausts its budget (ops 3-5); point #3's measured
+        # run fails once (op 10) and recovers on the second attempt.
+        injector = FaultPlan.scheduled(
+            "client.run", (3, 4, 5, 10)).injector()
+        report = run_harness(
+            TwoLevelFactorialDesign(make_space()),
+            FlakyWorkload(clock, injector), ONE_SHOT, clock=clock,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0),
+            on_error="record")
+        text = report.documentation()
+        assert "retry policy" in text
+        assert "retried attempt(s)" in text
+        assert "failed and are excluded" in text
+        assert "RetryExhaustedError" in text
+
+    def test_documentation_all_measured(self):
+        clock = VirtualClock()
+        report = run_harness(
+            TwoLevelFactorialDesign(make_space()),
+            FlakyWorkload(clock), ONE_SHOT, clock=clock,
+            retry=RetryPolicy(max_attempts=2))
+        assert "all points measured" in report.documentation()
+
+
+class _Truncated:
+    """The first *n* points of another design (simulates an interrupt)."""
+
+    def __init__(self, design, n):
+        self._design = design
+        self._n = n
+
+    def points(self):
+        return list(self._design.points())[:self._n]
+
+    def describe(self):
+        return self._design.describe()
+
+    def __len__(self):
+        return self._n
+
+
+class TestCheckpointedHarness:
+    def test_full_run_then_replay(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        clock = VirtualClock()
+        first = run_harness(TwoLevelFactorialDesign(make_space()),
+                            FlakyWorkload(clock), ONE_SHOT, clock=clock,
+                            checkpoint=path)
+        assert first.resumed_points == 0
+
+        calls = {"n": 0}
+
+        class CountingWorkload(FlakyWorkload):
+            def run(self):
+                calls["n"] += 1
+                super().run()
+
+        replayed = run_harness(TwoLevelFactorialDesign(make_space()),
+                               CountingWorkload(clock), ONE_SHOT,
+                               clock=clock, checkpoint=path)
+        assert calls["n"] == 0  # everything replayed from the journal
+        assert replayed.resumed_points == 4
+        assert replayed.results.to_csv() == first.results.to_csv()
+        assert "replayed from a checkpoint" in replayed.documentation()
+
+    def test_failed_points_replay_too(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        clock = VirtualClock()
+        injector = FaultPlan.scheduled("client.run", (3,)).injector()
+        first = run_harness(TwoLevelFactorialDesign(make_space()),
+                            FlakyWorkload(clock, injector), ONE_SHOT,
+                            clock=clock, on_error="record",
+                            checkpoint=path)
+        assert first.n_failed == 1
+        replayed = run_harness(TwoLevelFactorialDesign(make_space()),
+                               FlakyWorkload(clock), ONE_SHOT,
+                               clock=clock, on_error="record",
+                               checkpoint=path)
+        assert replayed.n_failed == 1
+        assert replayed.failures == first.failures
+
+    def test_checkpoint_from_other_campaign_refused(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        clock = VirtualClock()
+        run_harness(TwoLevelFactorialDesign(make_space()),
+                    FlakyWorkload(clock), ONE_SHOT, clock=clock,
+                    checkpoint=path)
+        other_space = FactorSpace([two_level("a", "XX", "YY"),
+                                   two_level("b", "lo", "hi")])
+        with pytest.raises(MeasurementError, match="different campaign"):
+            run_harness(TwoLevelFactorialDesign(other_space),
+                        FlakyWorkload(clock), ONE_SHOT, clock=clock,
+                        checkpoint=path)
+
+    def test_resumables_require_checkpoint(self):
+        with pytest.raises(MeasurementError, match="checkpoint"):
+            run_harness(TwoLevelFactorialDesign(make_space()),
+                        FlakyWorkload(VirtualClock()), ONE_SHOT,
+                        resumables={"noise": NoiseModel(seed=1)})
+
+    def test_resumable_state_restored_at_resume_point(self, tmp_path):
+        """A partial journal + resumables continues the random stream."""
+        path = tmp_path / "camp.journal"
+        clock = VirtualClock()
+        design = TwoLevelFactorialDesign(make_space())
+
+        # Ground truth: one perturbation per point, uninterrupted.
+        reference = NoiseModel(seed=7, relative_std=0.1)
+        expected = [reference.perturb(1.0) for _ in design.points()]
+
+        def run_prefix(noise, n_points):
+            drawn = []
+
+            def extras(config):
+                drawn.append(noise.perturb(1.0))
+                return {"noisy": drawn[-1]}
+
+            report = run_harness(
+                _Truncated(design, n_points), FlakyWorkload(clock),
+                ONE_SHOT, clock=clock, checkpoint=path,
+                resumables={"noise": noise}, extra_metrics=extras)
+            return drawn, report
+
+        head, _ = run_prefix(NoiseModel(seed=7, relative_std=0.1), 2)
+        # A fresh process restarts the model from its seed; the journal
+        # must fast-forward it past the replayed points.
+        tail, report = run_prefix(NoiseModel(seed=7, relative_std=0.1), 4)
+        assert report.resumed_points == 2
+        assert head + tail == pytest.approx(expected)
+
+    def test_missing_resumable_state_diagnosed(self, tmp_path):
+        path = tmp_path / "camp.journal"
+        clock = VirtualClock()
+        design = TwoLevelFactorialDesign(make_space())
+        run_harness(_Truncated(design, 2), FlakyWorkload(clock),
+                    ONE_SHOT, clock=clock, checkpoint=path)
+        with pytest.raises(MeasurementError, match="no saved state"):
+            run_harness(design, FlakyWorkload(clock), ONE_SHOT,
+                        clock=clock, checkpoint=path,
+                        resumables={"noise": NoiseModel(seed=1)})
+
+
+class TestAnalysisRefusal:
+    def test_analyze_replicated_refuses_nan_cells(self):
+        from repro.core.replication import analyze_replicated
+        design = TwoLevelFactorialDesign(make_space())
+        matrix = [[1.0, 1.1], [2.0, 2.1],
+                  [float("nan"), float("nan")], [4.0, 4.1]]
+        with pytest.raises(DesignError, match="failed or missing runs"):
+            analyze_replicated(design, matrix)
+
+    def test_allocate_variation_refuses_nan_cells(self):
+        from repro.core.variation import allocate_variation
+        with pytest.raises(DesignError, match="failed or missing runs"):
+            allocate_variation(TwoLevelFactorialDesign(make_space()),
+                               [1.0, 1.1, float("nan"), 2.0])

@@ -1,0 +1,185 @@
+"""Tests for retry policies: backoff accounting, exhaustion, timeouts."""
+
+import pytest
+
+from repro.errors import (
+    PageCorruptionError,
+    ProtocolError,
+    RetryExhaustedError,
+    TimeoutExceededError,
+    TransientDiskError,
+)
+from repro.measurement import (
+    RetryPolicy,
+    RunProtocol,
+    State,
+    VirtualClock,
+    execute_with_retry,
+)
+from repro.measurement.retry import wait
+
+
+class TestRetryPolicyValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProtocolError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(retry_on=())
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+        assert policy.total_backoff_seconds(3) == pytest.approx(0.7)
+
+    def test_describe_documents_the_discipline(self):
+        text = RetryPolicy(max_attempts=4, timeout_s=2.0).describe()
+        assert "4 attempts" in text
+        assert "timeout 2s" in text
+        assert "TransientError" in text
+        assert "no retries" in RetryPolicy(max_attempts=1).describe()
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientDiskError("x"))
+        assert policy.is_retryable(TimeoutExceededError("x"))
+        assert not policy.is_retryable(PageCorruptionError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+
+class TestExecuteWithRetry:
+    def test_success_first_attempt(self):
+        value, attempts = execute_with_retry(
+            lambda: 42, RetryPolicy(max_attempts=3))
+        assert (value, attempts) == (42, 1)
+
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientDiskError("hiccup")
+            return "ok"
+
+        clock = VirtualClock()
+        value, attempts = execute_with_retry(
+            flaky, RetryPolicy(max_attempts=3, backoff_base_s=0.1),
+            clock=clock)
+        assert (value, attempts) == ("ok", 3)
+
+    def test_backoff_charged_to_virtual_clock(self):
+        """Two failures => base + base*factor of simulated idle time."""
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientDiskError("hiccup")
+
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.1,
+                             backoff_factor=2.0)
+        execute_with_retry(flaky, policy, clock=clock)
+        sample = clock.sample()
+        assert sample.system == pytest.approx(0.1 + 0.2)
+        assert sample.user == 0.0
+        assert sample.real == pytest.approx(
+            policy.total_backoff_seconds(2))
+
+    def test_exhaustion_raises_with_accounting(self):
+        def always_fails():
+            raise TransientDiskError("still down")
+
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.1)
+        with pytest.raises(RetryExhaustedError) as info:
+            execute_with_retry(always_fails, policy, clock=clock,
+                               label="pt7")
+        error = info.value
+        assert error.attempts == 3
+        assert isinstance(error.last_error, TransientDiskError)
+        assert "pt7" in str(error) and "still down" in str(error)
+        # Only 2 backoffs: no wait after the final failed attempt.
+        assert clock.sample().real == pytest.approx(0.1 + 0.2)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def corrupt():
+            calls["n"] += 1
+            raise PageCorruptionError("checksum mismatch")
+
+        with pytest.raises(PageCorruptionError):
+            execute_with_retry(corrupt, RetryPolicy(max_attempts=5))
+        assert calls["n"] == 1
+
+    def test_wait_advances_virtual_clock_only_when_positive(self):
+        clock = VirtualClock()
+        wait(0.0, clock)
+        assert clock.now == 0.0
+        wait(0.5, clock)
+        assert clock.now == pytest.approx(0.5)
+
+
+class TestProtocolRetry:
+    def test_protocol_retries_whole_execution(self):
+        """A retried hot run re-warms: warm-ups run again per attempt."""
+        clock = VirtualClock()
+        calls = {"n": 0}
+
+        def run():
+            calls["n"] += 1
+            clock.advance(cpu_seconds=0.001)
+            if calls["n"] == 2:  # fail during the first measured run
+                raise TransientDiskError("hiccup")
+
+        protocol = RunProtocol(state=State.HOT, repetitions=2, warmups=1)
+        outcome = protocol.execute(
+            run, clock=clock, retry=RetryPolicy(max_attempts=2,
+                                                backoff_base_s=0.0))
+        assert outcome.attempts == 2
+        # attempt 1: warmup + 1 failed measured run; attempt 2: warmup +
+        # 2 measured runs.
+        assert calls["n"] == 5
+        assert len(outcome.runs) == 2
+
+    def test_no_retry_keeps_attempts_at_one(self):
+        clock = VirtualClock()
+        protocol = RunProtocol(state=State.HOT, repetitions=1, warmups=1)
+        outcome = protocol.execute(
+            lambda: clock.advance(cpu_seconds=0.001), clock=clock)
+        assert outcome.attempts == 1
+
+    def test_per_run_timeout_detected_and_retryable(self):
+        clock = VirtualClock()
+        durations = iter([0.001, 5.0,    # attempt 1: warm-up, slow run
+                          0.001, 0.5])   # attempt 2: warm-up, ok run
+
+        def run():
+            clock.advance(cpu_seconds=next(durations))
+
+        protocol = RunProtocol(state=State.HOT, repetitions=1, warmups=1)
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.0,
+                             timeout_s=1.0)
+        outcome = protocol.execute(run, clock=clock, retry=policy)
+        assert outcome.attempts == 2
+        assert outcome.picked.real == pytest.approx(0.5)
+
+    def test_timeout_exhaustion_raises(self):
+        clock = VirtualClock()
+        protocol = RunProtocol(state=State.HOT, repetitions=1, warmups=1)
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.0,
+                             timeout_s=0.5)
+        with pytest.raises(RetryExhaustedError) as info:
+            protocol.execute(lambda: clock.advance(cpu_seconds=2.0),
+                             clock=clock, retry=policy)
+        assert isinstance(info.value.last_error, TimeoutExceededError)

@@ -5,7 +5,7 @@ import types
 
 import pytest
 
-from repro.errors import SuiteError
+from repro.errors import MeasurementError, SuiteError
 from repro.measurement import ResultSet
 from repro.repeat import ExperimentSuite, Properties
 from repro.repeat.run import load_suite, main
@@ -100,3 +100,82 @@ class TestMain:
     def test_import_error_reported(self, capsys):
         assert main(["definitely.not.a.module"]) == 1
         assert "cannot import" in capsys.readouterr().err
+
+
+def build_flaky_suite_in(tmp_path):
+    """Three experiments; the middle one always raises a ReproError."""
+    suite = ExperimentSuite(tmp_path, name="flaky-demo",
+                            properties=Properties({}))
+
+    def good(properties):
+        rs = ResultSet()
+        rs.add({"x": 1}, {"y": 1.0})
+        return rs
+
+    def bad(properties):
+        raise MeasurementError("the disk hiccuped")
+
+    suite.add("alpha", good)
+    suite.add("broken", bad)
+    suite.add("omega", good)
+    return suite
+
+
+@pytest.fixture
+def flaky_module(tmp_path, monkeypatch):
+    module = types.ModuleType("flaky_suite_module")
+    module.SUITE = build_flaky_suite_in(tmp_path)
+    monkeypatch.setitem(sys.modules, "flaky_suite_module", module)
+    return module
+
+
+class TestResilientCli:
+    def test_failure_is_a_summary_not_a_traceback(self, flaky_module,
+                                                  capsys):
+        assert main(["flaky_suite_module"]) == 1
+        err = capsys.readouterr().err
+        assert "broken: FAILED (MeasurementError: the disk hiccuped)" \
+            in err
+        assert "experiment summary" in err
+        assert "Traceback" not in err
+
+    def test_fail_fast_skips_the_rest(self, flaky_module, capsys):
+        assert main(["flaky_suite_module"]) == 1
+        err = capsys.readouterr().err
+        assert "omega" in err  # listed as skipped in the summary
+        assert "skipped" in err
+        assert not flaky_module.SUITE.res_path("omega").exists()
+
+    def test_keep_going_runs_the_rest(self, flaky_module, capsys):
+        assert main(["--keep-going", "flaky_suite_module"]) == 1
+        err = capsys.readouterr().err
+        assert "1 failed, 0 skipped" in err
+        assert flaky_module.SUITE.res_path("alpha").exists()
+        assert flaky_module.SUITE.res_path("omega").exists()
+
+    def test_single_failing_experiment_no_summary(self, flaky_module,
+                                                  capsys):
+        assert main(["flaky_suite_module", "broken"]) == 1
+        err = capsys.readouterr().err
+        assert "broken: FAILED" in err
+        assert "experiment summary" not in err  # nothing to tabulate
+
+    def test_resume_sets_checkpoint_property(self, suite_module):
+        assert main(["--resume", "/tmp/c.journal",
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("checkpoint") == \
+            "/tmp/c.journal"
+
+    def test_resume_equals_form(self, suite_module):
+        assert main(["--resume=/tmp/c2.journal",
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("checkpoint") == \
+            "/tmp/c2.journal"
+
+    def test_resume_without_path_is_an_error(self, suite_module, capsys):
+        assert main(["fake_suite_module", "--resume"]) == 1
+        assert "checkpoint path" in capsys.readouterr().err
+
+    def test_unknown_option_is_an_error(self, suite_module, capsys):
+        assert main(["--frobnicate", "fake_suite_module"]) == 1
+        assert "unknown option" in capsys.readouterr().err
