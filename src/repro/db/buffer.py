@@ -18,6 +18,7 @@ from repro.db.disk import DiskModel, pages_for_bytes
 from repro.errors import DatabaseError
 from repro.hardware.counters import HardwareCounters
 from repro.measurement.clocks import VirtualClock
+from repro.obs import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
@@ -73,6 +74,7 @@ class BufferPool:
         self._resident: "OrderedDict[PageId, bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._resident)
@@ -90,56 +92,74 @@ class BufferPool:
         Misses are charged to the clock as one sequential disk read (the
         scan fetches missing pages in one pass).
         """
-        if self.faults is not None:
-            self.faults.tick("buffer.read")
-        pages = self.table_pages(table_name, n_bytes)
-        missing = 0
-        for page in pages:
-            if page in self._resident:
-                self._resident.move_to_end(page)
-                self.hits += 1
-            else:
-                self.misses += 1
-                missing += 1
-                self._admit(page)
-        if missing:
-            self.clock.advance(
-                io_seconds=self.disk.read_seconds(missing, sequential=True))
-            self.counters.increment("io_reads", missing)
-        return missing
+        with maybe_span("buffer.read_table", "buffer",
+                        table=table_name) as span:
+            if self.faults is not None:
+                self.faults.tick("buffer.read")
+            pages = self.table_pages(table_name, n_bytes)
+            evicted_before = self.evictions
+            missing = 0
+            for page in pages:
+                if page in self._resident:
+                    self._resident.move_to_end(page)
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    missing += 1
+                    self._admit(page)
+            if missing:
+                self.clock.advance(
+                    io_seconds=self.disk.read_seconds(missing,
+                                                      sequential=True))
+                self.counters.increment("io_reads", missing)
+            if span is not None:
+                span.set(pages=len(pages),
+                         hits=len(pages) - missing, misses=missing,
+                         evictions=self.evictions - evicted_before)
+            return missing
 
     def read_pages_random(self, table_name: str, n_bytes: int,
                           page_numbers: Tuple[int, ...]) -> int:
         """Random page reads (index-style access); seeks per miss."""
-        if self.faults is not None:
-            self.faults.tick("buffer.read")
-        total = pages_for_bytes(n_bytes)
-        bad = [p for p in page_numbers if not 0 <= p < total]
-        if bad:
-            raise DatabaseError(
-                f"pages {bad} out of range for table {table_name!r} "
-                f"({total} pages)")
-        missing = 0
-        for number in page_numbers:
-            page = (table_name, number)
-            if page in self._resident:
-                self._resident.move_to_end(page)
-                self.hits += 1
-            else:
-                self.misses += 1
-                missing += 1
-                self._admit(page)
-        if missing:
-            self.clock.advance(
-                io_seconds=self.disk.read_seconds(missing, sequential=False))
-            self.counters.increment("io_reads", missing)
-        return missing
+        with maybe_span("buffer.read_random", "buffer",
+                        table=table_name) as span:
+            if self.faults is not None:
+                self.faults.tick("buffer.read")
+            total = pages_for_bytes(n_bytes)
+            bad = [p for p in page_numbers if not 0 <= p < total]
+            if bad:
+                raise DatabaseError(
+                    f"pages {bad} out of range for table {table_name!r} "
+                    f"({total} pages)")
+            evicted_before = self.evictions
+            missing = 0
+            for number in page_numbers:
+                page = (table_name, number)
+                if page in self._resident:
+                    self._resident.move_to_end(page)
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    missing += 1
+                    self._admit(page)
+            if missing:
+                self.clock.advance(
+                    io_seconds=self.disk.read_seconds(missing,
+                                                      sequential=False))
+                self.counters.increment("io_reads", missing)
+            if span is not None:
+                span.set(pages=len(page_numbers),
+                         hits=len(page_numbers) - missing,
+                         misses=missing,
+                         evictions=self.evictions - evicted_before)
+            return missing
 
     def _admit(self, page: PageId) -> None:
         # Evict before inserting so MRU removes the previous most-recent
         # page rather than the one being admitted.
         while len(self._resident) >= self.capacity_pages:
             self._resident.popitem(last=(self.policy == "mru"))
+            self.evictions += 1
         self._resident[page] = True
         self._resident.move_to_end(page)
 
@@ -158,3 +178,4 @@ class BufferPool:
     def reset_statistics(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -21,6 +21,7 @@ from repro.db.engine import Engine, QueryResult
 from repro.db.profiler import ProfileReport
 from repro.errors import DatabaseError
 from repro.measurement.timer import TimeBreakdown
+from repro.obs import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
@@ -99,15 +100,18 @@ class Client:
         Client real time = server real time + output shipping/rendering,
         charged on the same simulated clock.
         """
-        if self.faults is not None:
-            self.faults.tick("client.run")
-        start = self.engine.clock.sample()
-        result = self.engine.execute(sql)
-        server = result.server_time
-        n_bytes = result.formatted_size_bytes()
-        self.engine.clock.advance(
-            cpu_seconds=self.sink.cost_seconds(n_bytes))
-        total = self.engine.clock.sample() - start
+        with maybe_span("client.run", "client", sink=self.sink.name):
+            if self.faults is not None:
+                self.faults.tick("client.run")
+            start = self.engine.clock.sample()
+            result = self.engine.execute(sql)
+            server = result.server_time
+            n_bytes = result.formatted_size_bytes()
+            with maybe_span("client.print", "client",
+                            sink=self.sink.name, bytes=n_bytes):
+                self.engine.clock.advance(
+                    cpu_seconds=self.sink.cost_seconds(n_bytes))
+            total = self.engine.clock.sample() - start
         return ClientMeasurement(
             sql=sql, sink=self.sink.name,
             server_user_ms=server.user_ms(),
@@ -127,7 +131,9 @@ class Client:
         result, report = self.engine.profile(sql)
         n_bytes = result.formatted_size_bytes()
         print_seconds = self.sink.cost_seconds(n_bytes)
-        self.engine.clock.advance(cpu_seconds=print_seconds)
+        with maybe_span("client.print", "client",
+                        sink=self.sink.name, bytes=n_bytes):
+            self.engine.clock.advance(cpu_seconds=print_seconds)
         phase_ms = dict(report.phase_ms)
         phase_ms["print"] = print_seconds * 1000.0
         return ProfileReport(sql=sql, phase_ms=phase_ms,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import HardwareModelError
+from repro.obs import emit_event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
@@ -57,7 +58,10 @@ class DiskModel:
             self.faults.tick("disk.read")
         transfer = n_pages * self.transfer_s_per_page
         seeks = 1 if sequential else n_pages
-        return seeks * self.seek_ms / 1000.0 + transfer
+        seek = seeks * self.seek_ms / 1000.0
+        emit_event("disk.read", pages=n_pages, sequential=sequential,
+                   seek_ms=seek * 1000.0, transfer_ms=transfer * 1000.0)
+        return seek + transfer
 
     def write_seconds(self, n_pages: int, sequential: bool = True) -> float:
         """Writes cost the same as reads in this model."""

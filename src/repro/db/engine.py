@@ -40,6 +40,7 @@ from repro.hardware.compiler import BuildMode, BuildModel
 from repro.hardware.counters import HardwareCounters
 from repro.measurement.clocks import VirtualClock
 from repro.measurement.timer import TimeBreakdown
+from repro.obs import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector
@@ -208,32 +209,54 @@ class Engine:
         return result
 
     def profile(self, sql: str) -> Tuple[QueryResult, ProfileReport]:
-        """Execute and return both the result and the timing breakdown."""
+        """Execute and return both the result and the timing breakdown.
+
+        Under an active :class:`~repro.obs.Tracer` the execution is
+        decomposed into ``engine.parse`` / ``engine.optimize`` /
+        ``engine.execute`` / ``engine.materialize`` child spans (the
+        per-operator spans nest inside ``engine.execute``).
+        """
+        with maybe_span("engine.query", "engine", sql=sql[:80]):
+            return self._profile(sql)
+
+    def _profile(self, sql: str) -> Tuple[QueryResult, ProfileReport]:
         if self.faults is not None:
             self.faults.tick("engine.execute")
         ctx = self._context()
         costs = self.config.costs
 
         start = self.clock.sample()
-        ctx.charge_cpu("arithmetic", costs.parse_ns_per_char * len(sql))
-        statement = parse_select(sql)
+        with maybe_span("engine.parse", "engine"):
+            ctx.charge_cpu("arithmetic",
+                           costs.parse_ns_per_char * len(sql))
+            statement = parse_select(sql)
         after_parse = self.clock.sample()
 
-        plan = plan_statement(statement, self.database,
-                              self.config.planner_options(),
-                              indexes=self.indexes)
-        ctx.charge_cpu("arithmetic",
-                       costs.optimize_ns_per_node * count_plan_nodes(plan))
+        with maybe_span("engine.optimize", "engine"):
+            plan = plan_statement(statement, self.database,
+                                  self.config.planner_options(),
+                                  indexes=self.indexes)
+            ctx.charge_cpu(
+                "arithmetic",
+                costs.optimize_ns_per_node * count_plan_nodes(plan))
         after_optimize = self.clock.sample()
 
-        batch = plan.execute(ctx)
+        with maybe_span("engine.execute", "engine") as execute_span:
+            batch = plan.execute(ctx)
+            if execute_span is not None:
+                execute_span.set(
+                    buffer_hits=self.buffer_pool.hits,
+                    buffer_misses=self.buffer_pool.misses)
         after_execute = self.clock.sample()
 
-        columns = tuple(batch)
-        arrays = [batch[name] for name in columns]
-        n = len(arrays[0]) if arrays else 0
-        rows = tuple(tuple(_to_python(col[i]) for col in arrays)
-                     for i in range(n))
+        with maybe_span("engine.materialize", "engine") as mat_span:
+            columns = tuple(batch)
+            arrays = [batch[name] for name in columns]
+            n = len(arrays[0]) if arrays else 0
+            rows = tuple(tuple(_to_python(col[i]) for col in arrays)
+                         for i in range(n))
+            if mat_span is not None:
+                mat_span.set(rows=n)
         total = self.clock.sample() - start
         server_time = TimeBreakdown(label=f"server:{sql[:40]}",
                                     real=total.real, user=total.user,
@@ -270,6 +293,7 @@ class Engine:
             "buffer_hits": float(self.buffer_pool.hits),
             "buffer_misses": float(self.buffer_pool.misses),
             "buffer_hit_rate": self.buffer_pool.hit_rate(),
+            "buffer_evictions": float(self.buffer_pool.evictions),
             "io_pages_read": float(self.counters.read("io_reads")),
         }
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.db.context import ExecutionContext
 from repro.db.types import DataType
 from repro.errors import PlanError
+from repro.obs import maybe_span
 
 Batch = Dict[str, np.ndarray]
 
@@ -71,18 +72,25 @@ class PlanNode:
 
     def execute(self, ctx: ExecutionContext) -> Batch:
         """Run the subtree, recording timing and memory statistics."""
-        start = ctx.now()
-        child_batches = [child.execute(ctx) for child in self.children]
-        children_seconds = sum(c.total_seconds for c in self.children)
-        batch = self._run(ctx, child_batches)
-        end = ctx.now()
-        self.total_seconds = end - start
-        self.self_seconds = self.total_seconds - children_seconds
-        self.rows_out = batch_rows(batch)
-        # Peak working set at this node: inputs + output + auxiliaries.
-        inputs = sum(batch_bytes(b) for b in child_batches)
-        ctx.track_memory(inputs + batch_bytes(batch) + self.aux_bytes)
-        return batch
+        with maybe_span(self.name(), "operator",
+                        kind=type(self).__name__) as span:
+            start = ctx.now()
+            child_batches = [child.execute(ctx)
+                             for child in self.children]
+            children_seconds = sum(c.total_seconds
+                                   for c in self.children)
+            batch = self._run(ctx, child_batches)
+            end = ctx.now()
+            self.total_seconds = end - start
+            self.self_seconds = self.total_seconds - children_seconds
+            self.rows_out = batch_rows(batch)
+            # Peak working set at this node: inputs + output + auxiliaries.
+            inputs = sum(batch_bytes(b) for b in child_batches)
+            ctx.track_memory(inputs + batch_bytes(batch) + self.aux_bytes)
+            if span is not None:
+                span.set(rows=self.rows_out,
+                         self_ms=self.self_seconds * 1000.0)
+            return batch
 
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:

@@ -9,7 +9,7 @@ can report where its (simulated) time went, per phase and per operator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from repro.db.plan import PlanNode
 from repro.errors import DatabaseError
@@ -26,8 +26,15 @@ class OperatorTiming:
     self_ms: float
     rows: int
 
-    def format(self, total_ms: float) -> str:
-        share = (100.0 * self.self_ms / total_ms) if total_ms else 0.0
+    def share_of(self, execute_ms: float) -> float:
+        """This operator's fraction of the execute phase, in [0, 1]."""
+        return self.self_ms / execute_ms if execute_ms else 0.0
+
+    def format(self, execute_ms: float) -> str:
+        """One report row.  The share denominator is the *execute
+        phase* only — parse/optimize/print time is not operator time,
+        so including it would understate every operator."""
+        share = 100.0 * self.share_of(execute_ms)
         return (f"  {self.operator:<44} {self.self_ms:>10.3f} ms "
                 f"{share:>5.1f}%  rows={self.rows}")
 
@@ -80,6 +87,29 @@ class ProfileReport:
             for op in self.operators:
                 lines.append(op.format(execute))
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able breakdown (for trace attachments and reports).
+
+        Operator shares are normalised against the execute phase, the
+        same denominator :meth:`format` prints.
+        """
+        execute = self.execute_ms
+        return {
+            "sql": self.sql,
+            "phase_ms": dict(self.phase_ms),
+            "total_ms": self.total_ms,
+            "execute_ms": execute,
+            "operators": [
+                {
+                    "operator": op.operator,
+                    "self_ms": op.self_ms,
+                    "rows": op.rows,
+                    "share_of_execute": op.share_of(execute),
+                }
+                for op in self.operators
+            ],
+        }
 
 
 def operator_timings(plan: PlanNode) -> Tuple[OperatorTiming, ...]:

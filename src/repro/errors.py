@@ -76,6 +76,17 @@ class HardwareModelError(ReproError):
     """A simulated hardware component was configured inconsistently."""
 
 
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was used inconsistently.
+
+    Raised by :mod:`repro.obs` for structural mistakes — closing a span
+    that is not innermost, exporting a trace with open spans, registering
+    one metric name under two different types — never for anything in the
+    measured workload itself: observability must not perturb the
+    experiment it observes.
+    """
+
+
 class FaultError(ReproError):
     """Base class for injected faults and fault-handling failures.
 

@@ -1,4 +1,4 @@
-"""Paper experiments: one module per tutorial table/figure (E01-E21).
+"""Paper experiments: one module per tutorial table/figure (E01-E22).
 
 Each ``eNN_*`` module exposes a ``run(...)`` function returning a typed
 result object with a ``format()`` method that prints the same rows or
@@ -31,5 +31,6 @@ from repro.experiments.e18_fair_comparison import run_e18
 from repro.experiments.e19_metrics import run_e19
 from repro.experiments.e20_twostage import run_e20
 from repro.experiments.e21_fault_tolerance import run_e21
+from repro.experiments.e22_trace_contrast import run_e22
 
-__all__ = [f"run_e{i:02d}" for i in range(1, 22)]
+__all__ = [f"run_e{i:02d}" for i in range(1, 23)]

@@ -28,6 +28,7 @@ from repro.errors import (
     QueryTimeoutError,
     TransientDiskError,
 )
+from repro.obs import emit_event
 
 #: Site name -> the exception class injected there by default.
 DEFAULT_SITE_ERRORS: Mapping[str, Type[FaultError]] = {
@@ -207,6 +208,8 @@ class FaultInjector:
                 self.events.append(FaultEvent(
                     site=site, operation=count,
                     error=rule.error.__name__))
+                emit_event("fault.injected", site=site, operation=count,
+                           error=rule.error.__name__)
                 message = rule.message or (
                     f"injected {rule.error.__name__} at {site} "
                     f"operation #{count}")

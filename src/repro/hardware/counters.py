@@ -59,8 +59,21 @@ class HardwareCounters:
         return dict(self.counts)
 
     def since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
-        """Delta of every counter against an earlier snapshot."""
-        return {name: self.counts[name] - snapshot.get(name, 0)
+        """Delta of every counter against an earlier snapshot.
+
+        The snapshot must cover exactly the known counters — a partial
+        or foreign mapping silently read as "everything started at 0"
+        would fabricate deltas, so it is rejected instead.
+        """
+        missing = sorted(set(self.counts) - set(snapshot))
+        extra = sorted(set(snapshot) - set(self.counts))
+        if missing or extra:
+            raise HardwareModelError(
+                "snapshot does not match the counter bundle"
+                + (f"; missing: {missing}" if missing else "")
+                + (f"; unknown: {extra}" if extra else "")
+                + f" — expected exactly {sorted(self.counts)}")
+        return {name: self.counts[name] - snapshot[name]
                 for name in self.counts}
 
     def reset(self) -> None:

@@ -26,8 +26,18 @@ interrupted campaign resumes from where it stopped
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import MeasurementError, ReproError, RetryExhaustedError
 from repro.core.designs import Design
@@ -36,6 +46,9 @@ from repro.measurement.clocks import Clock, ProcessClock
 from repro.measurement.protocol import ProtocolResult, RunProtocol
 from repro.measurement.results import ResultSet
 from repro.measurement.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Trace, Tracer
 
 
 class Workload:
@@ -129,6 +142,9 @@ class HarnessReport:
     failures: Tuple[FailedPoint, ...] = ()
     retry: Optional[RetryPolicy] = None
     resumed_points: int = 0
+    #: Structured span timeline of the campaign, when it ran under a
+    #: :class:`~repro.obs.Tracer` (see :mod:`repro.obs`).
+    trace: Optional[Trace] = None
 
     @property
     def n_measured(self) -> int:
@@ -201,6 +217,8 @@ class HarnessReport:
                          f"{failed}")
         elif self.retry is not None:
             parts.append("all points measured")
+        if self.trace is not None:
+            parts.append(f"trace: {self.trace.summary()}")
         return "; ".join(parts)
 
 
@@ -213,7 +231,8 @@ def run_harness(design: Design, workload: Workload,
                 retry: Optional[RetryPolicy] = None,
                 on_error: str = "raise",
                 checkpoint: Optional[Any] = None,
-                resumables: Optional[Mapping[str, Any]] = None
+                resumables: Optional[Mapping[str, Any]] = None,
+                tracer: Optional[Tracer] = None
                 ) -> HarnessReport:
     """Measure *workload* at every design point under *protocol*.
 
@@ -246,6 +265,14 @@ def run_harness(design: Design, workload: Workload,
         :class:`~repro.measurement.noise.NoiseModel`).  Their states are
         journalled with every point and restored on resume, so resumed
         campaigns continue identical random streams.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  The harness activates it
+        for the whole campaign (so every instrumented layer below —
+        protocol, retries, engine, buffer pool, disk, faults —
+        contributes spans and events), wraps the campaign and each
+        design point in spans, and attaches the finished
+        :class:`~repro.obs.Trace` to :attr:`HarnessReport.trace`.
+        Build it on the campaign's clock for a deterministic trace.
     """
     if on_error not in ("raise", "record"):
         raise MeasurementError(
@@ -258,83 +285,115 @@ def run_harness(design: Design, workload: Workload,
     elapsed_clock = clock if clock is not None else ProcessClock()
     results = ResultSet(name=name)
     raw: Dict[int, ProtocolResult] = {}
-    failures = []
+    failures: List[FailedPoint] = []
     resumed = 0
     state_restored = False
     make_cold = workload.make_cold if workload.supports_cold else None
 
-    for point in design.points():
-        entry = journal.lookup(point.index, point.config) \
-            if journal is not None else None
-        if entry is not None:
-            # Replay a completed point from the journal.
-            if entry.ok:
-                results.add(point.config, entry.metrics)
-            else:
-                failures.append(FailedPoint(
-                    index=point.index, config=dict(point.config),
-                    error_type=entry.error_type,
-                    error_message=entry.error_message,
-                    attempts=entry.attempts, elapsed_s=entry.elapsed_s))
-            resumed += 1
-            continue
-        if journal is not None and resumables and resumed \
-                and not state_restored:
-            _restore_states(journal, resumables)
-        state_restored = True
+    with ExitStack() as campaign_stack:
+        if tracer is not None:
+            campaign_stack.enter_context(tracer.activate())
+            campaign_stack.enter_context(tracer.span(
+                "harness.campaign", "harness", campaign=name,
+                design=design.describe(),
+                protocol=protocol.describe()))
+        for point in design.points():
+            entry = journal.lookup(point.index, point.config) \
+                if journal is not None else None
+            if entry is not None:
+                # Replay a completed point from the journal.
+                if entry.ok:
+                    results.add(point.config, entry.metrics)
+                else:
+                    failures.append(FailedPoint(
+                        index=point.index, config=dict(point.config),
+                        error_type=entry.error_type,
+                        error_message=entry.error_message,
+                        attempts=entry.attempts,
+                        elapsed_s=entry.elapsed_s))
+                resumed += 1
+                if tracer is not None:
+                    tracer.event("harness.point_resumed",
+                                 index=point.index, status=entry.status)
+                continue
+            if journal is not None and resumables and resumed \
+                    and not state_restored:
+                _restore_states(journal, resumables)
+            state_restored = True
 
-        started = elapsed_clock.sample()
-        try:
-            workload.setup(point.config)
-            outcome = protocol.execute(workload.run, make_cold=make_cold,
-                                       clock=clock, label=name,
-                                       retry=retry)
-            picked = outcome.picked
-            metrics = {
-                "real_ms": picked.real_ms(),
-                "user_ms": picked.user_ms(),
-                "sys_ms": picked.system_ms(),
-            }
-            if extra_metrics is not None:
-                extra = dict(extra_metrics(point.config))
-                overlap = set(extra) & set(metrics)
-                if overlap:
-                    raise MeasurementError(
-                        f"extra metrics shadow built-ins: "
-                        f"{sorted(overlap)}")
-                metrics.update(extra)
-        except ReproError as exc:
-            if on_error == "raise":
-                raise
-            elapsed = (elapsed_clock.sample() - started).real
-            attempts = exc.attempts \
-                if isinstance(exc, RetryExhaustedError) else 1
-            failed = FailedPoint(
-                index=point.index, config=dict(point.config),
-                error_type=type(exc).__name__, error_message=str(exc),
-                attempts=attempts, elapsed_s=elapsed)
-            failures.append(failed)
-            if journal is not None:
-                journal.append(CheckpointEntry(
-                    index=point.index, config=dict(point.config),
-                    status="failed", attempts=attempts,
-                    elapsed_s=elapsed, error_type=failed.error_type,
-                    error_message=failed.error_message,
-                    state=_capture_states(resumables)))
-            continue
-        elapsed = (elapsed_clock.sample() - started).real
-        results.add(point.config, metrics)
-        raw[point.index] = outcome
-        if journal is not None:
-            journal.append(CheckpointEntry(
-                index=point.index, config=dict(point.config),
-                status="ok", metrics=metrics, attempts=outcome.attempts,
-                elapsed_s=elapsed, state=_capture_states(resumables)))
+            with ExitStack() as point_stack:
+                point_span = None
+                if tracer is not None:
+                    point_span = point_stack.enter_context(tracer.span(
+                        f"harness.point[{point.index}]", "harness",
+                        index=point.index, config=dict(point.config)))
+                started = elapsed_clock.sample()
+                try:
+                    workload.setup(point.config)
+                    outcome = protocol.execute(
+                        workload.run, make_cold=make_cold, clock=clock,
+                        label=name, retry=retry)
+                    picked = outcome.picked
+                    metrics = {
+                        "real_ms": picked.real_ms(),
+                        "user_ms": picked.user_ms(),
+                        "sys_ms": picked.system_ms(),
+                    }
+                    if extra_metrics is not None:
+                        extra = dict(extra_metrics(point.config))
+                        overlap = set(extra) & set(metrics)
+                        if overlap:
+                            raise MeasurementError(
+                                f"extra metrics shadow built-ins: "
+                                f"{sorted(overlap)}")
+                        metrics.update(extra)
+                except ReproError as exc:
+                    if on_error == "raise":
+                        raise
+                    elapsed = (elapsed_clock.sample() - started).real
+                    attempts = exc.attempts \
+                        if isinstance(exc, RetryExhaustedError) else 1
+                    failed = FailedPoint(
+                        index=point.index, config=dict(point.config),
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                        attempts=attempts, elapsed_s=elapsed)
+                    failures.append(failed)
+                    if point_span is not None:
+                        point_span.set(status="failed",
+                                       error_type=failed.error_type,
+                                       attempts=attempts)
+                    if journal is not None:
+                        journal.append(CheckpointEntry(
+                            index=point.index,
+                            config=dict(point.config),
+                            status="failed", attempts=attempts,
+                            elapsed_s=elapsed,
+                            error_type=failed.error_type,
+                            error_message=failed.error_message,
+                            state=_capture_states(resumables)))
+                    continue
+                elapsed = (elapsed_clock.sample() - started).real
+                results.add(point.config, metrics)
+                raw[point.index] = outcome
+                if point_span is not None:
+                    point_span.set(status="ok",
+                                   attempts=outcome.attempts,
+                                   real_ms=metrics["real_ms"])
+                if journal is not None:
+                    journal.append(CheckpointEntry(
+                        index=point.index, config=dict(point.config),
+                        status="ok", metrics=metrics,
+                        attempts=outcome.attempts,
+                        elapsed_s=elapsed,
+                        state=_capture_states(resumables)))
 
     return HarnessReport(results=results, raw=raw, protocol=protocol,
                          design_description=design.describe(),
                          failures=tuple(failures), retry=retry,
-                         resumed_points=resumed)
+                         resumed_points=resumed,
+                         trace=tracer.trace() if tracer is not None
+                         else None)
 
 
 def _capture_states(resumables: Optional[Mapping[str, Any]]

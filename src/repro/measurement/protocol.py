@@ -26,6 +26,7 @@ from repro.errors import ProtocolError, TimeoutExceededError
 from repro.measurement.clocks import Clock
 from repro.measurement.retry import RetryPolicy, execute_with_retry
 from repro.measurement.timer import TimeBreakdown, Timer
+from repro.obs import emit_event, maybe_span
 
 
 class State(enum.Enum):
@@ -135,16 +136,21 @@ class RunProtocol:
                 "a cold protocol needs a make_cold() hook — a clean state "
                 "must be re-established before every measured run")
         timeout = retry.timeout_s if retry is not None else None
-        if retry is None:
-            return self._execute_once(run, make_cold, clock, label, timeout)
-        result, attempts = execute_with_retry(
-            lambda: self._execute_once(run, make_cold, clock, label,
-                                       timeout),
-            retry, clock=clock, label=label)
-        if attempts == 1:
-            return result
-        return ProtocolResult(runs=result.runs, picked=result.picked,
-                              protocol=self, attempts=attempts)
+        with maybe_span("protocol.execute", "protocol",
+                        state=self.state.value,
+                        repetitions=self.repetitions,
+                        pick=self.pick.value, label=label):
+            if retry is None:
+                return self._execute_once(run, make_cold, clock, label,
+                                          timeout)
+            result, attempts = execute_with_retry(
+                lambda: self._execute_once(run, make_cold, clock, label,
+                                           timeout),
+                retry, clock=clock, label=label)
+            if attempts == 1:
+                return result
+            return ProtocolResult(runs=result.runs, picked=result.picked,
+                                  protocol=self, attempts=attempts)
 
     def _execute_once(self, run: Callable[[], object],
                       make_cold: Optional[Callable[[], None]],
@@ -153,18 +159,25 @@ class RunProtocol:
         """One full protocol execution (warm-ups plus measured runs)."""
         if self.state is State.HOT:
             if make_cold is not None:
+                emit_event("protocol.make_cold")
                 make_cold()  # start from a defined state, then warm up
-            for _ in range(self.warmups):
-                run()
+            for w in range(self.warmups):
+                with maybe_span(f"protocol.warmup[{w}]", "protocol"):
+                    run()
 
         runs: List[TimeBreakdown] = []
         for i in range(self.repetitions):
             if self.state is State.COLD:
+                emit_event("protocol.make_cold")
                 make_cold()
             timer = Timer(label=f"{label}#{i}" if label else f"run#{i}",
                           clock=clock)
-            with timer:
-                run()
+            with maybe_span(f"protocol.run[{i}]", "protocol",
+                            rep=i) as span:
+                with timer:
+                    run()
+                if span is not None:
+                    span.set(real_ms=timer.result.real_ms())
             if timeout_s is not None and timer.result.real > timeout_s:
                 raise TimeoutExceededError(
                     f"measured run {timer.result.label!r} took "

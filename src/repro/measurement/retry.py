@@ -26,6 +26,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.measurement.clocks import Clock, VirtualClock
+from repro.obs import emit_event
 
 T = TypeVar("T")
 
@@ -118,6 +119,7 @@ def wait(seconds: float, clock: Optional[Clock] = None) -> None:
     """
     if seconds <= 0:
         return
+    emit_event("retry.backoff", seconds=seconds)
     if isinstance(clock, VirtualClock):
         clock.advance(io_seconds=seconds)
     else:
@@ -141,6 +143,8 @@ def execute_with_retry(fn: Callable[[], T], policy: RetryPolicy,
             if not policy.is_retryable(exc):
                 raise
             last = exc
+            emit_event("retry.attempt_failed", attempt=attempt,
+                       error=type(exc).__name__, label=label)
             if attempt < policy.max_attempts:
                 wait(policy.backoff_seconds(attempt), clock)
     what = f" {label!r}" if label else ""

@@ -1,0 +1,60 @@
+"""Observability: cross-layer tracing, metrics, and trace export.
+
+The tutorial's core discipline is that a performance number you cannot
+*explain* is a number you cannot trust (slides 28/47/54).  ``repro.obs``
+makes a whole campaign explainable, not just a single query: a
+:class:`Tracer` threads nested, clock-stamped :class:`Span`\\ s through
+harness → protocol → retries → engine phases → operators → buffer pool →
+disk, a :class:`MetricsRegistry` accumulates counts (including simulated
+hardware-counter deltas absorbed per span), and exporters emit JSON-lines
+span logs and Chrome ``trace_event`` files.  Traces taken on a
+:class:`~repro.measurement.clocks.VirtualClock` are deterministic: the
+same seed yields a byte-identical JSONL export.
+
+See DESIGN.md's "Observability" section for the span taxonomy and the
+overhead discussion.
+"""
+
+from repro.obs.export import (
+    TRACE_PID,
+    TRACE_TID,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import Span, SpanEvent, Trace
+from repro.obs.tracer import (
+    Tracer,
+    current_tracer,
+    emit_event,
+    maybe_span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "TRACE_PID",
+    "TRACE_TID",
+    "Trace",
+    "Tracer",
+    "current_tracer",
+    "emit_event",
+    "maybe_span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

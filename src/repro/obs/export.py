@@ -1,0 +1,99 @@
+"""Trace exporters: JSON-lines span logs and Chrome ``trace_event`` files.
+
+Two machine formats, one human one:
+
+- :func:`write_jsonl` — one JSON object per span, append-friendly and
+  diff-friendly.  Keys are sorted and floats serialised by ``json``
+  round-trip rules, so identical seeded campaigns export *byte
+  identical* files (the repeatability acceptance criterion).
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format understood by ``chrome://tracing`` and Perfetto: complete
+  (``ph: "X"``) events with microsecond ``ts``/``dur`` plus instant
+  (``ph: "i"``) events for span events such as retries and injected
+  faults.
+- the ASCII flamegraph lives with the other terminal renderings, in
+  :func:`repro.viz.flamegraph.render_flamegraph`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.obs.span import Trace
+
+#: Synthetic process/thread ids: the whole simulated stack is one
+#: process, and the deterministic single timeline is one thread.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def to_jsonl(trace: Trace) -> str:
+    """The span log as JSON-lines text (one span per line, id order)."""
+    lines = [json.dumps(span.to_dict(), sort_keys=True)
+             for span in trace.spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(trace: Trace, path: "str | Path") -> Path:
+    """Write the JSONL span log; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_jsonl(trace), encoding="utf-8")
+    return target
+
+
+def to_chrome_trace(trace: Trace,
+                    process_name: str = "repro") -> Dict[str, Any]:
+    """The trace as a Chrome/Perfetto ``trace_event`` object.
+
+    Load the written file via ``chrome://tracing`` or
+    https://ui.perfetto.dev to browse the campaign interactively.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": TRACE_PID,
+        "tid": TRACE_TID, "args": {"name": process_name},
+    }]
+    for span in trace.spans:
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "cat": span.category or "uncategorized",
+            "ph": "X",
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": args,
+        })
+        for event in span.events:
+            events.append({
+                "name": event.name,
+                "cat": span.category or "uncategorized",
+                "ph": "i",
+                "s": "t",
+                "ts": event.t_s * 1e6,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": dict(event.attributes),
+            })
+    for event in trace.orphan_events:
+        events.append({
+            "name": event.name, "cat": "orphan", "ph": "i", "s": "p",
+            "ts": event.t_s * 1e6, "pid": TRACE_PID, "tid": TRACE_TID,
+            "args": dict(event.attributes),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path: "str | Path",
+                       process_name: str = "repro") -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_chrome_trace(trace, process_name=process_name)
+    target.write_text(json.dumps(payload, sort_keys=True),
+                      encoding="utf-8")
+    return target

@@ -1,0 +1,184 @@
+"""A metrics registry: counters, gauges, histograms for campaigns.
+
+Where spans (:mod:`repro.obs.span`) answer "where did the time go?",
+metrics answer "how much of everything happened?": spans per category,
+simulated hardware events (absorbed from
+:class:`~repro.hardware.counters.HardwareCounters` deltas as spans
+close), buffer hits, retries.  The registry is deliberately tiny and
+deterministic — :meth:`MetricsRegistry.snapshot` returns plain sorted
+dicts so two identical seeded campaigns snapshot identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Default histogram bucket upper bounds (ms-oriented, exponential).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} only increases; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (e.g. resident pages)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation counts in fixed exponential buckets, plus moments.
+
+    ``buckets`` are upper bounds; an observation lands in the first
+    bucket whose bound is >= the value, or in the implicit overflow
+    bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "overflow", "n", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ObservabilityError(
+                f"histogram {name!r} needs ascending bucket bounds, "
+                f"got {list(buckets)}")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.n = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        if index >= len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.n += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n": self.n, "total": self.total, "mean": self.mean,
+            "min": self.min if self.n else 0.0,
+            "max": self.max if self.n else 0.0,
+            "buckets": {f"le_{bound:g}": count for bound, count
+                        in zip(self.buckets, self.counts)},
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms.
+
+    One name maps to exactly one metric type; re-registering a name
+    under a different type is a configuration error, not a silent alias.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ObservabilityError(
+                    f"metric {name!r} is already a {other_kind}; "
+                    f"cannot re-register it as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_free(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_free(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if name not in self._histograms:
+            self._check_free(name, "histogram")
+            self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS)
+        return self._histograms[name]
+
+    def absorb(self, deltas: Mapping[str, float],
+               prefix: str = "hw.") -> None:
+        """Add a bundle of event-count deltas as prefixed counters.
+
+        This is how per-span :class:`~repro.hardware.counters.
+        HardwareCounters` deltas accumulate into campaign totals; the
+        tracer feeds *self* deltas (children excluded) so nothing is
+        double-counted.
+        """
+        for name, delta in deltas.items():
+            if delta:
+                self.counter(f"{prefix}{name}").inc(delta)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain sorted dict of every metric (deterministic)."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            out[name] = self._histograms[name].to_dict()
+        return out
+
+    def format(self) -> str:
+        lines = ["metrics:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name:<32} {self._counters[name].value:>14g}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name:<32} {self._gauges[name].value:>14g} "
+                         "(gauge)")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(f"  {name:<32} n={h.n} mean={h.mean:g} "
+                         f"min={h.min if h.n else 0:g} "
+                         f"max={h.max if h.n else 0:g}")
+        return "\n".join(lines)

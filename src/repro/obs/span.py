@@ -1,0 +1,241 @@
+"""Spans and traces: the structured timeline of a campaign.
+
+A :class:`Span` is one named, categorised interval on the active clock's
+timeline — a harness design point, a protocol run, an engine phase, an
+operator, a buffer-pool scan.  Spans nest (``parent_id``) and carry
+attributes plus point-in-time :class:`SpanEvent`\\ s (a retry backoff, an
+injected fault, a disk read).  A :class:`Trace` is the immutable bundle
+of all closed spans of one campaign, ready for export
+(:mod:`repro.obs.export`) or rendering
+(:func:`repro.viz.flamegraph.render_flamegraph`).
+
+Because every timestamp comes from the tracer's clock — a
+:class:`~repro.measurement.clocks.VirtualClock` in all simulated
+campaigns — and span ids are assigned sequentially, two identical seeded
+campaigns produce *byte-identical* trace exports.  That determinism is
+pinned by ``tests/integration/test_trace_determinism.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time occurrence attached to a span."""
+
+    name: str
+    t_s: float
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "t_us": self.t_s * 1e6,
+                "attrs": dict(self.attributes)}
+
+
+class Span:
+    """One named interval on the trace timeline.
+
+    Mutable while open (attributes and events may still be attached);
+    :class:`~repro.obs.tracer.Tracer` closes it by stamping ``end_s``.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "start_s",
+                 "end_s", "attributes", "events")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 category: str, start_s: float,
+                 attributes: Optional[Dict[str, Any]] = None):
+        if not name:
+            raise ObservabilityError("a span needs a non-empty name")
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.events: List[SpanEvent] = []
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_s is None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ObservabilityError(
+                f"span {self.name!r} is still open; no duration yet")
+        return self.end_s - self.start_s
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1000.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def add_event(self, event: SpanEvent) -> None:
+        self.events.append(event)
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able rendering (microsecond timestamps, Chrome-style)."""
+        if self.end_s is None:
+            raise ObservabilityError(
+                f"cannot export open span {self.name!r}")
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "start_us": self.start_s * 1e6,
+            "dur_us": self.duration_s * 1e6,
+            "attrs": dict(self.attributes),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.is_open else f"{self.duration_ms:.3f}ms"
+        return f"Span(#{self.span_id} {self.name!r} [{state}])"
+
+
+class Trace:
+    """The immutable result of one traced campaign: all closed spans.
+
+    Spans are ordered by start time (the order the tracer opened them),
+    which is also id order — stable across identical seeded runs.
+    """
+
+    def __init__(self, spans: Tuple[Span, ...],
+                 orphan_events: Tuple[SpanEvent, ...] = ()):
+        still_open = [span.name for span in spans if span.is_open]
+        if still_open:
+            raise ObservabilityError(
+                f"trace contains open spans: {still_open}")
+        self.spans = tuple(spans)
+        self.orphan_events = tuple(orphan_events)
+        self._by_id: Dict[int, Span] = {s.span_id: s for s in self.spans}
+        self._children: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.parent_id, []).append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    # -- structure ---------------------------------------------------------
+
+    def roots(self) -> Tuple[Span, ...]:
+        return tuple(self._children.get(None, ()))
+
+    def children(self, span: Span) -> Tuple[Span, ...]:
+        return tuple(self._children.get(span.span_id, ()))
+
+    def parent(self, span: Span) -> Optional[Span]:
+        if span.parent_id is None:
+            return None
+        return self._by_id[span.parent_id]
+
+    def depth(self, span: Span) -> int:
+        depth = 0
+        while span.parent_id is not None:
+            span = self._by_id[span.parent_id]
+            depth += 1
+        return depth
+
+    def self_seconds(self, span: Span) -> float:
+        """Span duration minus the time covered by its children."""
+        covered = sum(child.duration_s for child in self.children(span))
+        return max(0.0, span.duration_s - covered)
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, name: str) -> Tuple[Span, ...]:
+        """All spans with exactly this name."""
+        return tuple(s for s in self.spans if s.name == name)
+
+    def category_spans(self, category: str) -> Tuple[Span, ...]:
+        return tuple(s for s in self.spans if s.category == category)
+
+    def categories(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.category or "uncategorized", None)
+        return tuple(seen)
+
+    def events(self, name: Optional[str] = None) -> Tuple[SpanEvent, ...]:
+        """Every event across all spans (optionally filtered by name)."""
+        out: List[SpanEvent] = []
+        for span in self.spans:
+            out.extend(span.events)
+        out.extend(self.orphan_events)
+        if name is not None:
+            out = [e for e in out if e.name == name]
+        return tuple(out)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events())
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-to-wall extent of the trace (0 for an empty trace)."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start_s for s in self.spans)
+        end = max(s.end_s for s in self.spans)  # type: ignore[type-var]
+        return end - start
+
+    def category_self_ms(self) -> Dict[str, float]:
+        """Self-time per category, in ms (the flamegraph's base facts)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            key = span.category or "uncategorized"
+            totals[key] = totals.get(key, 0.0) + \
+                self.self_seconds(span) * 1000.0
+        return totals
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """One line for methodology paragraphs and reports."""
+        if not self.spans:
+            return "empty trace"
+        by_cat = self.category_self_ms()
+        total = sum(by_cat.values()) or 1.0
+        shares = ", ".join(
+            f"{cat} {100.0 * ms / total:.0f}%"
+            for cat, ms in sorted(by_cat.items(),
+                                  key=lambda kv: -kv[1])[:4])
+        return (f"{len(self.spans)} spans / {self.n_events} events over "
+                f"{self.duration_s * 1000.0:.1f} simulated ms "
+                f"(self-time: {shares})")
+
+    def format(self) -> str:
+        """Indented span tree with durations (debugging aid)."""
+        lines: List[str] = []
+
+        def walk(span: Span, indent: int) -> None:
+            lines.append(f"{'  ' * indent}{span.name} "
+                         f"[{span.category}] {span.duration_ms:.3f} ms")
+            for event in span.events:
+                lines.append(f"{'  ' * (indent + 1)}! {event.name} "
+                             f"@ {event.t_s * 1000.0:.3f} ms")
+            for child in self.children(span):
+                walk(child, indent + 1)
+
+        for root in self.roots():
+            walk(root, 0)
+        return "\n".join(lines)

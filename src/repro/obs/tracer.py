@@ -1,0 +1,257 @@
+"""The tracer: nested spans stamped from the active (simulated) clock.
+
+A :class:`Tracer` turns the paper's "explain where the time went" advice
+into plumbing: code under measurement opens nested spans with
+``with tracer.span("engine.execute", "engine"): ...`` and the tracer
+stamps start/end from *its clock* — a
+:class:`~repro.measurement.clocks.VirtualClock` in every simulated
+campaign, so traces are deterministic and replayable.
+
+Instrumented library code never holds a tracer reference.  It calls the
+module-level helpers :func:`maybe_span` and :func:`emit_event`, which
+consult the *active tracer stack* (:func:`current_tracer`) and reduce to
+a cheap no-op when tracing is off — the overhead discipline
+``benchmarks/bench_e22_trace_overhead.py`` enforces.  A tracer becomes
+active inside ``with tracer.activate(): ...`` (the harness does this for
+a whole campaign).
+
+When the tracer is given a :class:`~repro.hardware.counters.
+HardwareCounters` bundle, every closing span is annotated with the
+counter deltas it covered (``hw.*`` attributes, children included) and a
+:class:`~repro.obs.metrics.MetricsRegistry` — when attached — absorbs
+the *self* deltas (children excluded), so campaign totals are never
+double-counted.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, SpanEvent, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.counters import HardwareCounters
+    from repro.measurement.clocks import Clock
+
+#: The stack of active tracers; the innermost one receives spans/events
+#: from instrumented library code.  A plain module-level stack (rather
+#: than a contextvar) is deliberate: campaigns are single-threaded and
+#: the stack must behave identically across replays.
+_ACTIVE: List["Tracer"] = []
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The innermost active tracer, or None when tracing is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def maybe_span(name: str, category: str = "",
+               **attributes: Any) -> Iterator[Optional[Span]]:
+    """A span on the active tracer — or a no-op when tracing is off.
+
+    This is the one helper instrumented modules import; it yields the
+    open :class:`Span` (for attaching attributes) or ``None``.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, category, **attributes) as span:
+        yield span
+
+
+def emit_event(name: str, **attributes: Any) -> None:
+    """Attach an event to the active tracer's current span (or no-op)."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.event(name, **attributes)
+
+
+class _OpenSpan:
+    """Book-keeping for one open span on the tracer stack."""
+
+    __slots__ = ("span", "hw_snapshot", "child_hw")
+
+    def __init__(self, span: Span,
+                 hw_snapshot: Optional[Dict[str, int]]):
+        self.span = span
+        self.hw_snapshot = hw_snapshot
+        self.child_hw: Dict[str, int] = {}
+
+
+class Tracer:
+    """Produces nested, clock-stamped spans for one campaign.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source.  Pass the campaign's shared
+        :class:`~repro.measurement.clocks.VirtualClock` for
+        deterministic, replayable traces; defaults to a
+        :class:`~repro.measurement.clocks.ProcessClock` (real time).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; every
+        closing span contributes ``spans.<category>`` counts,
+        ``span_ms.<category>`` duration histograms, and (with *counters*
+        attached) ``hw.*`` event totals.
+    counters:
+        Optional :class:`~repro.hardware.counters.HardwareCounters` to
+        snapshot around spans.  Swap per design point with
+        :meth:`attach_counters` when workloads rebuild their engine.
+    """
+
+    def __init__(self, clock: "Optional[Clock]" = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 counters: "Optional[HardwareCounters]" = None):
+        if clock is None:
+            # Imported lazily: repro.measurement is instrumented with
+            # this module, so a top-level import would be circular.
+            from repro.measurement.clocks import ProcessClock
+            clock = ProcessClock()
+        self.clock = clock
+        self.registry = registry
+        self._counters = counters
+        self._spans: List[Span] = []
+        self._stack: List[_OpenSpan] = []
+        self._orphan_events: List[SpanEvent] = []
+        self._next_id = 1
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_counters(
+            self, counters: "Optional[HardwareCounters]") -> None:
+        """Point hardware-delta absorption at a (new) counter bundle.
+
+        Snapshots taken by spans still open belong to the old bundle
+        and are discarded — a span spanning a counter swap reports no
+        ``hw.*`` deltas rather than nonsense ones.
+        """
+        self._counters = counters
+        for entry in self._stack:
+            entry.hw_snapshot = None
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Make this the tracer :func:`maybe_span` / :func:`emit_event`
+        target for the dynamic extent of the ``with`` block."""
+        _ACTIVE.append(self)
+        try:
+            yield self
+        finally:
+            popped = _ACTIVE.pop()
+            if popped is not self:  # pragma: no cover - defensive
+                raise ObservabilityError(
+                    "active tracer stack was corrupted")
+
+    # -- spans -------------------------------------------------------------
+
+    def start_span(self, name: str, category: str = "",
+                   **attributes: Any) -> Span:
+        """Open a span; prefer the :meth:`span` context manager."""
+        now = self.clock.sample().real
+        parent = self._stack[-1].span.span_id if self._stack else None
+        span = Span(span_id=self._next_id, parent_id=parent, name=name,
+                    category=category, start_s=now, attributes=attributes)
+        self._next_id += 1
+        snapshot = dict(self._counters.snapshot()) \
+            if self._counters is not None else None
+        self._spans.append(span)
+        self._stack.append(_OpenSpan(span, snapshot))
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close *span*, which must be the innermost open one."""
+        if not self._stack or self._stack[-1].span is not span:
+            open_name = self._stack[-1].span.name if self._stack \
+                else "<none>"
+            raise ObservabilityError(
+                f"cannot close span {span.name!r}: innermost open span "
+                f"is {open_name!r} (spans must nest)")
+        entry = self._stack.pop()
+        span.end_s = self.clock.sample().real
+        self._absorb(entry)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "",
+             **attributes: Any) -> Iterator[Span]:
+        """Context manager: open a nested span, close it on exit.
+
+        The span is closed even when the body raises (the fault is what
+        the trace is *for*); the exception type is recorded as an
+        ``error`` attribute before propagating.
+        """
+        opened = self.start_span(name, category, **attributes)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.set(error=type(exc).__name__)
+            raise
+        finally:
+            self.end_span(opened)
+
+    def event(self, name: str, **attributes: Any) -> SpanEvent:
+        """Record a point-in-time event on the innermost open span.
+
+        Events outside any span are kept as trace-level orphans rather
+        than dropped — a fault that fires between spans is still data.
+        """
+        event = SpanEvent(name=name, t_s=self.clock.sample().real,
+                          attributes=attributes)
+        if self._stack:
+            self._stack[-1].span.add_event(event)
+        else:
+            self._orphan_events.append(event)
+        return event
+
+    # -- hardware-delta absorption ------------------------------------------
+
+    def _absorb(self, entry: _OpenSpan) -> None:
+        span = entry.span
+        if entry.hw_snapshot is not None and self._counters is not None:
+            deltas = self._counters.since(entry.hw_snapshot)
+            self_deltas = {name: delta - entry.child_hw.get(name, 0)
+                           for name, delta in deltas.items()}
+            for name, delta in deltas.items():
+                if delta:
+                    span.attributes[f"hw.{name}"] = delta
+            if self.registry is not None:
+                self.registry.absorb(
+                    {k: v for k, v in self_deltas.items() if v > 0})
+            if self._stack:
+                parent = self._stack[-1]
+                for name, delta in deltas.items():
+                    parent.child_hw[name] = \
+                        parent.child_hw.get(name, 0) + delta
+        if self.registry is not None:
+            cat = span.category or "uncategorized"
+            self.registry.counter(f"spans.{cat}").inc()
+            self.registry.histogram(f"span_ms.{cat}").observe(
+                span.duration_ms)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def n_open(self) -> int:
+        return len(self._stack)
+
+    def trace(self) -> Trace:
+        """Snapshot the finished timeline (refuses while spans are open)."""
+        if self._stack:
+            raise ObservabilityError(
+                "cannot build a trace while spans are open: "
+                f"{[e.span.name for e in self._stack]}")
+        return Trace(tuple(self._spans), tuple(self._orphan_events))
+
+    def reset(self) -> None:
+        """Discard all spans/events (e.g. between contrast runs)."""
+        if self._stack:
+            raise ObservabilityError(
+                "cannot reset a tracer with open spans")
+        self._spans.clear()
+        self._orphan_events.clear()
+        self._next_id = 1

@@ -15,6 +15,7 @@ from repro.viz.charts import (
     line_chart,
     pie_chart,
 )
+from repro.viz.flamegraph import render_flamegraph, render_span_shares
 from repro.viz.gnuplot import GnuplotScript, from_chart, size_ratio_settings
 from repro.viz.guidelines import (
     Finding,
@@ -73,6 +74,8 @@ __all__ = [
     "pie_chart",
     "render_bars",
     "render_chart",
+    "render_flamegraph",
+    "render_span_shares",
     "render_pie",
     "render_series_table",
     "render_stacked_bars",

@@ -1,0 +1,147 @@
+"""ASCII flamegraphs: a trace's nested time shares, in the terminal.
+
+The flamegraph answers slide 54's question at a glance: *where did the
+time go?*  Each row is one nesting depth, each block one span, block
+width proportional to the span's share of the rendered window.  Like the
+other :mod:`repro.viz.ascii` renderings it exists so benchmark logs and
+reports carry the *shape* of the figure inline.
+
+::
+
+    [harness.campaign ........................................ 812.4ms]
+    [harness.point[0] ....][harness.point[1] ....][harness.point[2] ..]
+    [protocol.execute ....][protocol.execute ....][protocol.execute ..]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ChartError
+from repro.obs.span import Span, Trace
+
+
+def _format_ms(seconds: float) -> str:
+    ms = seconds * 1000.0
+    return f"{ms:.1f}ms" if ms < 10000 else f"{ms / 1000.0:.2f}s"
+
+
+def _block(label: str, width: int) -> str:
+    """One span block: ``[label ...]`` squeezed into *width* chars."""
+    if width <= 1:
+        return "|"
+    if width == 2:
+        return "[]"
+    inner = width - 2
+    if len(label) > inner:
+        label = label[:inner - 1] + "~" if inner >= 2 else label[:inner]
+    pad = inner - len(label)
+    return "[" + label + "." * pad + "]"
+
+
+def render_flamegraph(trace: Trace, width: int = 100,
+                      max_depth: Optional[int] = None) -> str:
+    """Render *trace* as an ASCII flamegraph.
+
+    Parameters
+    ----------
+    trace:
+        A closed :class:`~repro.obs.span.Trace` (any number of roots —
+        sibling roots share the timeline, like Chrome's view).
+    width:
+        Total character columns of the time axis.
+    max_depth:
+        Deepest row to draw (``None``: everything).  Deeper spans are
+        summarised in the footer instead of silently dropped.
+    """
+    if width < 20:
+        raise ChartError(f"flamegraph needs width >= 20, got {width}")
+    roots = trace.roots()
+    if not roots:
+        raise ChartError("cannot render an empty trace")
+    t0 = min(span.start_s for span in roots)
+    t1 = max(span.end_s for span in roots)
+    window = t1 - t0
+    if window <= 0:
+        # Zero-duration traces (everything instantaneous): one row.
+        return "\n".join(_block(f"{s.name} 0ms", width) for s in roots)
+
+    def column(t: float) -> int:
+        return int(round((t - t0) / window * width))
+
+    rows: List[str] = []
+    level: Sequence[Span] = roots
+    depth = 0
+    hidden = 0
+    while level:
+        if max_depth is not None and depth > max_depth:
+            hidden += len(level)
+            next_level: List[Span] = []
+            for span in level:
+                next_level.extend(trace.children(span))
+            level = next_level
+            depth += 1
+            continue
+        chars = [" "] * width
+        for span in level:
+            start = column(span.start_s)
+            end = max(start + 1, column(span.end_s))  # always visible
+            label = f"{span.name} {_format_ms(span.duration_s)}"
+            block = _block(label, end - start)
+            for i, ch in enumerate(block):
+                if start + i < width:
+                    chars[start + i] = ch
+        rows.append("".join(chars).rstrip())
+        next_level = []
+        for span in level:
+            next_level.extend(trace.children(span))
+        level = next_level
+        depth += 1
+    header = (f"flamegraph: {len(trace)} spans, window "
+              f"{_format_ms(window)} "
+              f"({width} cols, {_format_ms(window / width)}/col)")
+    lines = [header] + rows
+    if hidden:
+        lines.append(f"... {hidden} deeper span(s) below "
+                     f"max_depth={max_depth} not drawn")
+    return "\n".join(lines)
+
+
+#: Longest span name printed verbatim by :func:`render_span_shares`;
+#: operator names carry their whole expression list and would otherwise
+#: stretch every row of the table.
+MAX_SHARE_LABEL = 48
+
+
+def render_span_shares(trace: Trace, top: int = 10,
+                       width: int = 50) -> str:
+    """Top spans by *self* time, flamegraph companion table.
+
+    Groups spans by name, so the 24 executions of one operator across a
+    campaign fold into one row — the "which primitive dominates"
+    question slide 54 answers with its MIL trace.
+    """
+    if not trace.spans:
+        raise ChartError("cannot summarise an empty trace")
+    totals: dict = {}
+    counts: dict = {}
+    for span in trace.spans:
+        totals[span.name] = totals.get(span.name, 0.0) + \
+            trace.self_seconds(span)
+        counts[span.name] = counts.get(span.name, 0) + 1
+    ranked = [(name if len(name) <= MAX_SHARE_LABEL
+               else name[:MAX_SHARE_LABEL - 1] + "~",
+               counts[name], seconds)
+              for name, seconds
+              in sorted(totals.items(), key=lambda kv: -kv[1])[:top]]
+    grand = sum(totals.values()) or 1.0
+    name_width = max(len(label) for label, __, __ in ranked)
+    lines = []
+    for label, count, seconds in ranked:
+        share = seconds / grand
+        bar = "#" * max(1 if seconds > 0 else 0,
+                        int(round(share * width)))
+        lines.append(f"{label.ljust(name_width)} {100 * share:5.1f}% "
+                     f"x{count:<4} |{bar} "
+                     f"{_format_ms(seconds)}")
+    return "\n".join(lines)

@@ -64,9 +64,40 @@ class TestProfileReport:
 
     def test_operator_format_shows_share(self):
         timing = OperatorTiming("SeqScan(t)", 5.0, 3)
-        text = timing.format(total_ms=10.0)
+        text = timing.format(execute_ms=10.0)
         assert "50.0%" in text and "rows=3" in text
-        assert "0.0%" in timing.format(total_ms=0.0)
+        assert "0.0%" in timing.format(execute_ms=0.0)
+
+    def test_operator_shares_use_execute_phase_denominator(self):
+        # The operator table must normalise against the execute phase
+        # only: parse/optimize/print time is not operator time.
+        report = self.make_report()
+        text = report.format()
+        seq_scan = next(line for line in text.splitlines()
+                        if "SeqScan" in line)
+        assert "71.4%" in seq_scan  # 5.0 / 7.0, not 5.0 / 10.0
+        assert "50.0%" not in seq_scan
+
+    def test_to_dict(self):
+        report = self.make_report()
+        payload = report.to_dict()
+        assert payload["sql"] == report.sql
+        assert payload["total_ms"] == pytest.approx(10.0)
+        assert payload["execute_ms"] == pytest.approx(7.0)
+        assert payload["phase_ms"] == {"parse": 1.0, "optimize": 2.0,
+                                       "execute": 7.0}
+        ops = payload["operators"]
+        assert [op["operator"] for op in ops] == ["SeqScan(t)",
+                                                  "Project(a)"]
+        assert ops[0]["share_of_execute"] == pytest.approx(5.0 / 7.0)
+        assert ops[1]["rows"] == 3
+
+    def test_to_dict_zero_execute_shares(self):
+        report = ProfileReport(
+            sql="q", phase_ms={"parse": 1.0},
+            operators=(OperatorTiming("SeqScan(t)", 0.0, 0),))
+        ops = report.to_dict()["operators"]
+        assert ops[0]["share_of_execute"] == 0.0
 
 
 class TestOperatorTimings:

@@ -169,6 +169,18 @@ class TestCounters:
         counters.increment("cycles", 5)
         assert counters.since(snap)["cycles"] == 5
 
+    def test_since_rejects_partial_snapshot(self):
+        counters = HardwareCounters()
+        with pytest.raises(HardwareModelError, match="missing"):
+            counters.since({"cycles": 0})
+
+    def test_since_rejects_foreign_keys(self):
+        counters = HardwareCounters()
+        snap = dict(counters.snapshot())
+        snap["bogus"] = 3
+        with pytest.raises(HardwareModelError, match="unknown"):
+            counters.since(snap)
+
     def test_miss_rate(self):
         counters = HardwareCounters()
         assert counters.miss_rate(1) == 0.0

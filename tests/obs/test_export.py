@@ -1,0 +1,85 @@
+"""Unit tests for the JSONL and Chrome trace exporters."""
+
+import json
+
+import pytest
+
+from repro.measurement.clocks import VirtualClock
+from repro.obs import (
+    TRACE_PID,
+    TRACE_TID,
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_trace():
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer", "harness", campaign="t"):
+        clock.advance(cpu_seconds=0.001)
+        with tracer.span("inner", "engine"):
+            tracer.event("fault.injected", site="disk.read")
+            clock.advance(io_seconds=0.002)
+    tracer.event("stray")
+    return tracer.trace()
+
+
+class TestJsonl:
+    def test_one_sorted_json_object_per_span(self):
+        trace = sample_trace()
+        lines = to_jsonl(trace).splitlines()
+        assert len(lines) == len(trace)
+        for line in lines:
+            payload = json.loads(line)
+            assert list(payload) == sorted(payload)
+        outer = json.loads(lines[0])
+        assert outer["name"] == "outer"
+        assert outer["parent"] is None
+        assert outer["dur_us"] == pytest.approx(3000.0)
+
+    def test_empty_trace_is_empty_text(self):
+        tracer = Tracer(clock=VirtualClock())
+        assert to_jsonl(tracer.trace()) == ""
+
+    def test_write_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = write_jsonl(trace, tmp_path / "spans" / "trace.jsonl")
+        assert path.read_text(encoding="utf-8") == to_jsonl(trace)
+
+
+class TestChromeTrace:
+    def test_complete_events_carry_required_fields(self):
+        trace = sample_trace()
+        payload = to_chrome_trace(trace, process_name="unit")
+        events = payload["traceEvents"]
+        meta = events[0]
+        assert meta["ph"] == "M" and meta["args"]["name"] == "unit"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(trace)
+        for event in complete:
+            assert set(("name", "cat", "ts", "dur", "pid", "tid")) <= \
+                set(event)
+            assert event["pid"] == TRACE_PID
+            assert event["tid"] == TRACE_TID
+        inner = next(e for e in complete if e["name"] == "inner")
+        assert inner["ts"] == pytest.approx(1000.0)
+        assert inner["dur"] == pytest.approx(2000.0)
+
+    def test_span_events_become_instants(self):
+        payload = to_chrome_trace(sample_trace())
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        names = {e["name"] for e in instants}
+        assert {"fault.injected", "stray"} <= names
+        stray = next(e for e in instants if e["name"] == "stray")
+        assert stray["cat"] == "orphan"
+
+    def test_write_is_deterministic(self, tmp_path):
+        trace = sample_trace()
+        a = write_chrome_trace(trace, tmp_path / "a.json")
+        b = write_chrome_trace(trace, tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+        json.loads(a.read_text(encoding="utf-8"))  # valid JSON

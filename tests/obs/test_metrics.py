@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_goes_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(value)
+        assert h.counts == [2, 2]  # <=1: {0.5, 1.0}; <=10: {5, 10}
+        assert h.overflow == 1
+        assert h.n == 5
+        assert h.mean == pytest.approx(27.5 / 5)
+        assert h.min == 0.5 and h.max == 11.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(10.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=())
+
+    def test_to_dict_empty(self):
+        payload = Histogram("h", buckets=(1.0,)).to_dict()
+        assert payload["n"] == 0
+        assert payload["min"] == 0.0 and payload["max"] == 0.0
+        assert payload["buckets"] == {"le_1": 0}
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError, match="already a counter"):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+
+    def test_absorb_prefixes_and_skips_zero(self):
+        registry = MetricsRegistry()
+        registry.absorb({"cycles": 10, "io_reads": 0})
+        registry.absorb({"cycles": 5})
+        snap = registry.snapshot()
+        assert snap["hw.cycles"] == 15
+        assert "hw.io_reads" not in snap
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("z").set(1)
+        registry.histogram("m").observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap)[:2] == ["a", "b"]
+        assert snap["m"]["n"] == 1
+
+    def test_format_mentions_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("spans.engine").inc(3)
+        registry.gauge("pages").set(7)
+        registry.histogram("span_ms.engine").observe(2.0)
+        text = registry.format()
+        assert "spans.engine" in text
+        assert "(gauge)" in text
+        assert "n=1" in text

@@ -1,0 +1,113 @@
+"""Unit tests for spans and traces (structure, queries, export dicts)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Span, SpanEvent, Trace
+
+
+def closed(span_id, parent, name, start, end, category="", **attrs):
+    span = Span(span_id=span_id, parent_id=parent, name=name,
+                category=category, start_s=start, attributes=attrs)
+    span.end_s = end
+    return span
+
+
+def small_trace():
+    #  root [0, 10]
+    #    a  [1, 4]
+    #    b  [5, 9]
+    #      c [6, 7]
+    root = closed(1, None, "root", 0.0, 10.0, "harness")
+    a = closed(2, 1, "a", 1.0, 4.0, "engine")
+    b = closed(3, 1, "b", 5.0, 9.0, "engine")
+    c = closed(4, 3, "c", 6.0, 7.0, "operator")
+    return Trace((root, a, b, c))
+
+
+class TestSpan:
+    def test_needs_name(self):
+        with pytest.raises(ObservabilityError):
+            Span(span_id=1, parent_id=None, name="", category="x",
+                 start_s=0.0)
+
+    def test_open_span_has_no_duration(self):
+        span = Span(span_id=1, parent_id=None, name="s", category="",
+                    start_s=0.0)
+        assert span.is_open
+        with pytest.raises(ObservabilityError):
+            span.duration_s
+        with pytest.raises(ObservabilityError):
+            span.to_dict()
+
+    def test_set_is_chainable(self):
+        span = closed(1, None, "s", 0.0, 1.0)
+        assert span.set(rows=3).attributes["rows"] == 3
+
+    def test_to_dict_microseconds(self):
+        span = closed(7, 2, "s", 0.5, 1.5, "cat", rows=3)
+        span.add_event(SpanEvent("ev", 0.75, {"k": 1}))
+        payload = span.to_dict()
+        assert payload["id"] == 7 and payload["parent"] == 2
+        assert payload["start_us"] == pytest.approx(5e5)
+        assert payload["dur_us"] == pytest.approx(1e6)
+        assert payload["attrs"] == {"rows": 3}
+        assert payload["events"] == [
+            {"name": "ev", "t_us": pytest.approx(7.5e5),
+             "attrs": {"k": 1}}]
+
+
+class TestTrace:
+    def test_refuses_open_spans(self):
+        open_span = Span(span_id=1, parent_id=None, name="s",
+                         category="", start_s=0.0)
+        with pytest.raises(ObservabilityError, match="open"):
+            Trace((open_span,))
+
+    def test_structure(self):
+        trace = small_trace()
+        root, a, b, c = trace.spans
+        assert trace.roots() == (root,)
+        assert trace.children(root) == (a, b)
+        assert trace.parent(c) is b
+        assert trace.parent(root) is None
+        assert trace.depth(c) == 2 and trace.depth(root) == 0
+
+    def test_self_seconds_subtracts_children(self):
+        trace = small_trace()
+        root = trace.spans[0]
+        # 10s total, children cover 3 + 4 = 7.
+        assert trace.self_seconds(root) == pytest.approx(3.0)
+        assert trace.self_seconds(trace.spans[3]) == pytest.approx(1.0)
+
+    def test_queries(self):
+        trace = small_trace()
+        assert [s.name for s in trace.find("a")] == ["a"]
+        assert len(trace.category_spans("engine")) == 2
+        assert trace.categories() == ("harness", "engine", "operator")
+        assert trace.duration_s == pytest.approx(10.0)
+
+    def test_events_include_orphans(self):
+        root = closed(1, None, "root", 0.0, 1.0)
+        root.add_event(SpanEvent("fault.injected", 0.5))
+        trace = Trace((root,),
+                      orphan_events=(SpanEvent("stray", 2.0),))
+        assert {e.name for e in trace.events()} == {"fault.injected",
+                                                    "stray"}
+        assert len(trace.events("stray")) == 1
+        assert trace.n_events == 2
+
+    def test_category_self_ms_and_summary(self):
+        trace = small_trace()
+        by_cat = trace.category_self_ms()
+        assert by_cat["harness"] == pytest.approx(3000.0)
+        assert by_cat["engine"] == pytest.approx(6000.0)
+        assert by_cat["operator"] == pytest.approx(1000.0)
+        assert "4 spans" in trace.summary()
+
+    def test_format_tree_is_indented(self):
+        text = small_trace().format()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  a")
+        assert any(line.startswith("    c") for line in lines)

@@ -1,0 +1,177 @@
+"""Unit tests for the tracer: nesting, activation, hw absorption."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.hardware import HardwareCounters
+from repro.measurement.clocks import VirtualClock
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    emit_event,
+    maybe_span,
+)
+
+
+def make_tracer(**kwargs):
+    return Tracer(clock=VirtualClock(), **kwargs)
+
+
+class TestNesting:
+    def test_spans_nest_and_stamp_from_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer", "harness"):
+            clock.advance(cpu_seconds=1.0)
+            with tracer.span("inner", "engine"):
+                clock.advance(io_seconds=2.0)
+        trace = tracer.trace()
+        outer, inner = trace.find("outer")[0], trace.find("inner")[0]
+        assert inner.parent_id == outer.span_id
+        assert outer.duration_s == pytest.approx(3.0)
+        assert inner.start_s == pytest.approx(1.0)
+        assert inner.duration_s == pytest.approx(2.0)
+
+    def test_ids_are_sequential_in_open_order(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.span_id for s in tracer.trace().spans] == [1, 2, 3]
+
+    def test_out_of_order_close_rejected(self):
+        tracer = make_tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")
+        with pytest.raises(ObservabilityError, match="nest"):
+            tracer.end_span(outer)
+
+    def test_trace_refuses_open_spans(self):
+        tracer = make_tracer()
+        tracer.start_span("open")
+        with pytest.raises(ObservabilityError, match="open"):
+            tracer.trace()
+        assert tracer.n_open == 1
+
+    def test_exception_closes_span_and_records_error(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        span = tracer.trace().find("risky")[0]
+        assert span.attributes["error"] == "ValueError"
+
+    def test_reset(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert len(tracer.trace()) == 0
+        with tracer.span("b"):
+            pass
+        assert tracer.trace().spans[0].span_id == 1
+
+
+class TestEvents:
+    def test_event_attaches_to_innermost_span(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("fault.injected", site="disk.read")
+        trace = tracer.trace()
+        assert trace.find("inner")[0].events[0].name == "fault.injected"
+        assert trace.find("outer")[0].events == []
+
+    def test_orphan_events_are_kept(self):
+        tracer = make_tracer()
+        tracer.event("stray", n=1)
+        trace = tracer.trace()
+        assert trace.orphan_events[0].name == "stray"
+        assert len(trace.events("stray")) == 1
+
+
+class TestActivation:
+    def test_maybe_span_is_noop_without_active_tracer(self):
+        assert current_tracer() is None
+        with maybe_span("nothing") as span:
+            assert span is None
+        emit_event("nothing.happens")  # must not raise
+
+    def test_maybe_span_routes_to_active_tracer(self):
+        tracer = make_tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+            with maybe_span("work", "engine", rows=1) as span:
+                assert span is not None
+                emit_event("tick", n=2)
+        assert current_tracer() is None
+        trace = tracer.trace()
+        assert trace.find("work")[0].attributes["rows"] == 1
+        assert trace.find("work")[0].events[0].attributes["n"] == 2
+
+    def test_activation_nests_innermost_wins(self):
+        outer, inner = make_tracer(), make_tracer()
+        with outer.activate():
+            with inner.activate():
+                with maybe_span("who"):
+                    pass
+            assert current_tracer() is outer
+        assert len(inner.trace()) == 1
+        assert len(outer.trace()) == 0
+
+
+class TestHardwareAbsorption:
+    def test_span_attrs_and_registry_self_deltas(self):
+        counters = HardwareCounters()
+        registry = MetricsRegistry()
+        tracer = make_tracer(registry=registry, counters=counters)
+        with tracer.span("outer"):
+            counters.increment("cycles", 10)
+            with tracer.span("inner"):
+                counters.increment("cycles", 7)
+                counters.increment("io_reads", 2)
+        trace = tracer.trace()
+        outer, inner = trace.find("outer")[0], trace.find("inner")[0]
+        assert inner.attributes["hw.cycles"] == 7
+        assert inner.attributes["hw.io_reads"] == 2
+        assert outer.attributes["hw.cycles"] == 17  # children included
+        snap = registry.snapshot()
+        # Registry totals are self-deltas: 7 + 10, never 7 + 17.
+        assert snap["hw.cycles"] == 17
+        assert snap["hw.io_reads"] == 2
+
+    def test_registry_counts_spans_per_category(self):
+        registry = MetricsRegistry()
+        tracer = make_tracer(registry=registry)
+        with tracer.span("a", "engine"):
+            pass
+        with tracer.span("b", "engine"):
+            pass
+        with tracer.span("c"):
+            pass
+        snap = registry.snapshot()
+        assert snap["spans.engine"] == 2
+        assert snap["spans.uncategorized"] == 1
+        assert snap["span_ms.engine"]["n"] == 2
+
+    def test_counter_swap_discards_stale_snapshots(self):
+        first = HardwareCounters()
+        tracer = make_tracer(counters=first)
+        with tracer.span("crossing"):
+            first.increment("cycles", 5)
+            replacement = HardwareCounters()
+            replacement.increment("cycles", 1000)
+            tracer.attach_counters(replacement)
+        span = tracer.trace().find("crossing")[0]
+        # No hw attrs at all: a delta against the old bundle's snapshot
+        # would be nonsense.
+        assert not any(k.startswith("hw.") for k in span.attributes)
+
+    def test_default_clock_is_process_clock(self):
+        tracer = Tracer()
+        with tracer.span("wall"):
+            pass
+        assert tracer.trace().find("wall")[0].duration_s >= 0.0

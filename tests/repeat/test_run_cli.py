@@ -176,6 +176,22 @@ class TestResilientCli:
         assert main(["fake_suite_module", "--resume"]) == 1
         assert "checkpoint path" in capsys.readouterr().err
 
+    def test_trace_sets_trace_property(self, suite_module):
+        assert main(["--trace", "/tmp/t.jsonl",
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("trace") == \
+            "/tmp/t.jsonl"
+
+    def test_trace_equals_form(self, suite_module):
+        assert main(["--trace=/tmp/t2.jsonl",
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("trace") == \
+            "/tmp/t2.jsonl"
+
+    def test_trace_without_path_is_an_error(self, suite_module, capsys):
+        assert main(["fake_suite_module", "--trace"]) == 1
+        assert "output path" in capsys.readouterr().err
+
     def test_unknown_option_is_an_error(self, suite_module, capsys):
         assert main(["--frobnicate", "fake_suite_module"]) == 1
         assert "unknown option" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Unit tests for the ASCII flamegraph renderer."""
+
+import pytest
+
+from repro.errors import ChartError
+from repro.measurement.clocks import VirtualClock
+from repro.obs import Tracer
+from repro.viz import render_flamegraph, render_span_shares
+from repro.viz.flamegraph import MAX_SHARE_LABEL, _block
+
+
+def nested_trace():
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("campaign", "harness"):
+        with tracer.span("first", "engine"):
+            clock.advance(cpu_seconds=0.6)
+        with tracer.span("second", "engine"):
+            clock.advance(io_seconds=0.4)
+            with tracer.span("leaf", "operator"):
+                clock.advance(cpu_seconds=0.2)
+    return tracer.trace()
+
+
+class TestBlock:
+    def test_degenerate_widths(self):
+        assert _block("x", 1) == "|"
+        assert _block("x", 2) == "[]"
+
+    def test_truncation_marker(self):
+        block = _block("averylonglabel", 8)
+        assert block.startswith("[") and block.endswith("]")
+        assert "~" in block and len(block) == 8
+
+
+class TestRenderFlamegraph:
+    def test_rows_follow_depth(self):
+        text = render_flamegraph(nested_trace(), width=60)
+        lines = text.splitlines()
+        assert lines[0].startswith("flamegraph: 4 spans")
+        assert "campaign" in lines[1]
+        assert "first" in lines[2] and "second" in lines[2]
+        assert "leaf" in lines[3]
+
+    def test_block_positions_track_time(self):
+        text = render_flamegraph(nested_trace(), width=60)
+        row = text.splitlines()[2]
+        # "first" covers the first half of the window, "second" the rest.
+        assert row.index("second") > row.index("first")
+        assert row.index("second") >= 20
+
+    def test_max_depth_summarises_hidden_spans(self):
+        text = render_flamegraph(nested_trace(), width=60, max_depth=1)
+        assert "leaf" not in text
+        assert "1 deeper span(s)" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ChartError):
+            render_flamegraph(nested_trace(), width=10)
+
+    def test_empty_trace_rejected(self):
+        tracer = Tracer(clock=VirtualClock())
+        with pytest.raises(ChartError):
+            render_flamegraph(tracer.trace())
+
+    def test_zero_window(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("instant"):
+            pass
+        text = render_flamegraph(tracer.trace(), width=40)
+        assert "instant" in text
+
+
+class TestRenderSpanShares:
+    def test_shares_ranked_by_self_time(self):
+        text = render_span_shares(nested_trace(), top=3)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("first")
+        assert "x1" in lines[0] and "|" in lines[0]
+
+    def test_repeated_names_fold(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        for __ in range(3):
+            with tracer.span("op", "operator"):
+                clock.advance(cpu_seconds=0.1)
+        text = render_span_shares(tracer.trace())
+        assert "x3" in text and "100.0%" in text
+
+    def test_long_names_truncated(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("x" * 200):
+            clock.advance(cpu_seconds=0.1)
+        line = render_span_shares(tracer.trace()).splitlines()[0]
+        assert "~" in line
+        label = line.split()[0]
+        assert len(label) == MAX_SHARE_LABEL
+
+    def test_empty_trace_rejected(self):
+        tracer = Tracer(clock=VirtualClock())
+        with pytest.raises(ChartError):
+            render_span_shares(tracer.trace())
