@@ -9,7 +9,7 @@ holds the working set — below it LRU thrashes on every sequential pass
 from repro.db import Database, DataType, SeqScan, Table
 from repro.db.buffer import BufferPool
 from repro.db.context import ExecutionContext
-from repro.db.disk import DiskModel, PAGE_SIZE_BYTES, pages_for_bytes
+from repro.db.disk import DiskModel, pages_for_bytes
 from repro.measurement import VirtualClock
 
 import numpy as np

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: smoke benches vs a committed baseline.
+
+Runs a curated subset of fast benchmarks under ``pytest-benchmark``,
+exports their stats with ``--benchmark-json``, and compares each
+benchmark's *median* against the committed ``BENCH_BASELINE.json``.  A
+median more than ``--tolerance`` (default 25%) slower than baseline
+fails the gate — CI turns red before a performance regression lands,
+per the tutorial's "measure, don't guess" discipline.
+
+Usage::
+
+    python scripts/bench_gate.py              # gate against baseline
+    python scripts/bench_gate.py --update     # re-record the baseline
+    python scripts/bench_gate.py --tolerance 0.4 --json out.json
+
+Exit codes: 0 gate passed (or baseline updated), 1 regression
+detected, 2 infrastructure error (bench run failed, baseline missing
+or unreadable).
+
+The baseline records medians from one machine; keep the smoke subset
+to benchmarks dominated by deterministic simulated-time arithmetic and
+re-record with ``--update`` (committing the new file) whenever an
+intentional performance change or a hardware change shifts them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_BASELINE.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: The smoke subset: fast benchmarks (µs-to-ms medians, thousands of
+#: calibration rounds) spanning the design, analysis, guideline and
+#: metrics layers.  Keep entries fast and low-variance — the gate runs
+#: on every PR.
+SMOKE_BENCHMARKS = (
+    "benchmarks/bench_e07_design_sizes.py",
+    "benchmarks/bench_e09_twotwo_design.py",
+    "benchmarks/bench_e10_allocation.py",
+    "benchmarks/bench_e13_guidelines.py",
+    "benchmarks/bench_e19_metrics.py",
+)
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the smoke subset, exporting pytest-benchmark JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    command = [sys.executable, "-m", "pytest", *SMOKE_BENCHMARKS,
+               "--benchmark-only", "--benchmark-json", str(json_path),
+               "-q", "-p", "no:cacheprovider"]
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"benchmark run failed (pytest exit {result.returncode})")
+
+
+def load_medians(json_path: Path) -> Dict[str, float]:
+    """``{fullname: median_seconds}`` from a pytest-benchmark export."""
+    payload = json.loads(json_path.read_text())
+    medians: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        medians[bench["fullname"]] = float(bench["stats"]["median"])
+    if not medians:
+        raise RuntimeError(f"no benchmarks recorded in {json_path}")
+    return medians
+
+
+def write_baseline(baseline_path: Path, medians: Dict[str, float]) -> None:
+    payload = {
+        "comment": "Medians (seconds) from scripts/bench_gate.py "
+                   "--update; the gate fails any benchmark whose "
+                   "median regresses beyond the tolerance.",
+        "tolerance": DEFAULT_TOLERANCE,
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+        "benchmarks": {name: {"median_s": median}
+                       for name, median in sorted(medians.items())},
+    }
+    baseline_path.write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+
+
+def compare(current: Dict[str, float], baseline_path: Path,
+            tolerance: float) -> int:
+    """Print the comparison table; return the gate's exit code."""
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found; record one "
+              "with: python scripts/bench_gate.py --update",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(baseline_path.read_text())
+        baseline = {name: float(entry["median_s"]) for name, entry
+                    in payload["benchmarks"].items()}
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: baseline {baseline_path} is unreadable: {exc}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"benchmark gate: tolerance +{100 * tolerance:.0f}% on the "
+          f"median, baseline {baseline_path.name}")
+    print(f"{'benchmark':<58} {'baseline':>10} {'current':>10} "
+          f"{'delta':>8}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"error: benchmark {name!r} is in the baseline but "
+                  "was not run — smoke subset and baseline have "
+                  "diverged; re-record with --update", file=sys.stderr)
+            return 2
+        if name not in baseline:
+            print(f"{name:<58} {'--':>10} "
+                  f"{1000 * current[name]:>8.3f}ms {'new':>8}  "
+                  "(not gated; record with --update)")
+            continue
+        ratio = current[name] / baseline[name]
+        delta = f"{100 * (ratio - 1):+.1f}%"
+        verdict = ""
+        if ratio > 1 + tolerance:
+            verdict = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:<58} {1000 * baseline[name]:>8.3f}ms "
+              f"{1000 * current[name]:>8.3f}ms {delta:>8}{verdict}")
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(f"\ngate FAILED: {len(regressions)} benchmark(s) "
+              f"regressed beyond +{100 * tolerance:.0f}% "
+              f"(worst: {worst[0]} at {100 * (worst[1] - 1):+.1f}%)",
+              file=sys.stderr)
+        return 1
+    print("\ngate passed: no benchmark regressed beyond "
+          f"+{100 * tolerance:.0f}%")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark-regression gate (see module docstring).")
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the baseline instead of gating")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: "
+                             "BENCH_BASELINE.json)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="keep the raw pytest-benchmark JSON here")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed median slowdown as a fraction "
+                             "(default: 0.25 = +25%%)")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+
+    if args.json is not None:
+        json_path = args.json
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        handle, name = tempfile.mkstemp(suffix=".json",
+                                        prefix="bench-gate-")
+        os.close(handle)
+        json_path = Path(name)
+    try:
+        try:
+            run_benchmarks(json_path)
+            medians = load_medians(json_path)
+        except (RuntimeError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.update:
+            write_baseline(args.baseline, medians)
+            print(f"baseline updated: {args.baseline} "
+                  f"({len(medians)} benchmark(s))")
+            return 0
+        return compare(medians, args.baseline, args.tolerance)
+    finally:
+        if args.json is None:
+            json_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

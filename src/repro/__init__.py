@@ -17,6 +17,8 @@ Subpackages
   simulated stack;
 - :mod:`repro.hardware` — caches, CPU generations, DBG/OPT builds;
 - :mod:`repro.workloads` — generators, micro-benchmarks, TPC-H-like;
+- :mod:`repro.parallel` — deterministic sharded campaign execution
+  across worker processes;
 - :mod:`repro.repeat` — properties, suites, manifests, archives;
 - :mod:`repro.viz` — chart specs, guideline linting, gnuplot emission.
 
@@ -32,8 +34,8 @@ Quickstart::
     print(model.describe())   # y = 40 + 20*xmemory + 10*xcache + ...
 """
 
-from repro import core, db, faults, hardware, measurement, repeat, viz, \
-    workloads
+from repro import core, db, faults, hardware, measurement, parallel, \
+    repeat, viz, workloads
 from repro.errors import (
     ChartError,
     ClientDisconnectError,
@@ -46,6 +48,7 @@ from repro.errors import (
     HardwareModelError,
     MeasurementError,
     PageCorruptionError,
+    ParallelError,
     PlanError,
     ProtocolError,
     QueryTimeoutError,
@@ -74,6 +77,7 @@ __all__ = [
     "HardwareModelError",
     "MeasurementError",
     "PageCorruptionError",
+    "ParallelError",
     "PlanError",
     "ProtocolError",
     "QueryTimeoutError",
@@ -92,6 +96,7 @@ __all__ = [
     "faults",
     "hardware",
     "measurement",
+    "parallel",
     "repeat",
     "viz",
     "workloads",

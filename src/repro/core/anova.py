@@ -18,7 +18,7 @@ defensible answer instead of eyeballing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 from scipy import stats as _scipy_stats

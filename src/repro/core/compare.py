@@ -10,8 +10,8 @@ level, tuned comparably, and measured over the same pipeline stages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.errors import MeasurementError
 

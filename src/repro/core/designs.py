@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.factors import DesignPoint, Factor, FactorSpace
+from repro.core.factors import DesignPoint, FactorSpace
 from repro.core.signtable import SignTable, fractional_sign_table, full_sign_table
 from repro.errors import DesignError
 

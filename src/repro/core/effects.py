@@ -13,7 +13,7 @@ are *confounded* sums of aliased effects (see
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

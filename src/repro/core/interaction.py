@@ -18,7 +18,7 @@ on B: an interaction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -12,7 +12,7 @@ coefficients keyed by canonical column names (``'I'``, ``'A'``, ``'A:B'``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from repro.core.factors import interaction_name, parse_interaction

@@ -21,7 +21,6 @@ from typing import Dict, Mapping, Sequence, Tuple
 import numpy as np
 
 from repro.core.designs import TwoLevelFactorialDesign
-from repro.core.model import AdditiveModel
 from repro.core.signtable import dot_effects
 from repro.errors import DesignError
 

@@ -11,7 +11,6 @@ the run protocols need.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.db.disk import DiskModel, pages_for_bytes

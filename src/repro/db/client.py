@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.db.engine import Engine, QueryResult
+from repro.db.engine import Engine
 from repro.db.profiler import ProfileReport
 from repro.errors import DatabaseError
-from repro.measurement.timer import TimeBreakdown
 from repro.obs import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

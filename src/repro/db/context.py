@@ -14,8 +14,8 @@ both act through them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.db.buffer import BufferPool
 from repro.db.storage import Database

@@ -17,7 +17,7 @@ protocols need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,9 +32,8 @@ from repro.db.indexes import HashIndex, IndexCatalog
 from repro.db.optimizer import PlannerOptions, count_plan_nodes, plan_statement
 from repro.db.parser import parse_select
 from repro.db.plan import PlanNode
-from repro.db.profiler import OperatorTiming, ProfileReport, operator_timings
+from repro.db.profiler import ProfileReport, operator_timings
 from repro.db.storage import Database
-from repro.db.types import DataType
 from repro.errors import DatabaseError
 from repro.hardware.compiler import BuildMode, BuildModel
 from repro.hardware.counters import HardwareCounters

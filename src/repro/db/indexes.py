@@ -22,7 +22,7 @@ from repro.db.expressions import ColumnRef, Comparison, Expr, Literal
 from repro.db.plan import Batch, PlanNode
 from repro.db.storage import Table
 from repro.db.types import DataType
-from repro.errors import CatalogError, PlanError
+from repro.errors import CatalogError
 
 
 @dataclass(frozen=True)

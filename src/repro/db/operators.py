@@ -17,11 +17,11 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.db.context import ExecutionContext, ExecutionMode
+from repro.db.context import ExecutionContext
 from repro.db.expressions import Expr
 from repro.db.plan import Batch, PlanNode, batch_rows, require_columns
 from repro.db.types import DataType

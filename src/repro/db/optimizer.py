@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.db.context import ExecutionContext
 from repro.db.expressions import (
     ColumnRef,
     Expr,
@@ -36,7 +35,7 @@ from repro.db.operators import (
     SeqScan,
     Sort,
 )
-from repro.db.parser import SelectItem, SelectStatement
+from repro.db.parser import SelectStatement
 from repro.db.plan import PlanNode
 from repro.db.storage import Database
 from repro.errors import PlanError

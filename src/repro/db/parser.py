@@ -23,8 +23,8 @@ The parser builds a :class:`SelectStatement`; planning happens in
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.db.expressions import (
     Arithmetic,

@@ -8,7 +8,7 @@ introspection surface the tutorial recommends exploiting (slides 28, 52).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ can report where its (simulated) time went, per phase and per operator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.db.plan import PlanNode
 from repro.errors import DatabaseError

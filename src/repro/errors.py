@@ -87,6 +87,19 @@ class ObservabilityError(ReproError):
     """
 
 
+class ParallelError(MeasurementError):
+    """A sharded campaign could not be specified, executed, or merged.
+
+    Raised by :mod:`repro.parallel` for structural problems — an
+    unresolvable :class:`~repro.parallel.CampaignSpec` factory,
+    non-serialisable campaign parameters, conflicting shard checkpoint
+    journals, or a merge that would silently lose design points.  A
+    design point that merely *fails* is not a ParallelError; it becomes
+    a :class:`~repro.measurement.harness.FailedPoint` exactly as in the
+    sequential harness.
+    """
+
+
 class FaultError(ReproError):
     """Base class for injected faults and fault-handling failures.
 

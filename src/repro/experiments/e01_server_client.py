@@ -19,7 +19,7 @@ reproduced is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.db import Client, Engine, EngineConfig, FileSink, TerminalSink
 from repro.workloads import generate_tpch, tpch_query

@@ -16,7 +16,6 @@ reproduces the contrast:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.db import Engine, EngineConfig, ExecutionMode, ProfileReport
 from repro.workloads import generate_tpch, tpch_query

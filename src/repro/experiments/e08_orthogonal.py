@@ -10,7 +10,6 @@ the price of losing interaction information.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.core import Factor, FactorSpace, OrthogonalArrayDesign
 

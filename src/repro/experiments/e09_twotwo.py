@@ -19,7 +19,7 @@ products.  This is an *exact* reproduction — same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core import (
     AdditiveModel,

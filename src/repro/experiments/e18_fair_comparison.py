@@ -14,7 +14,6 @@ Two war stories made executable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.core import ComparisonContext, FairnessReport, check_fairness
 from repro.db import Engine, EngineConfig

@@ -11,7 +11,6 @@ Exercises the three comparison metrics on MiniDB:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.core import scaleup, speedup, throughput
 from repro.db import Engine, EngineConfig

@@ -12,7 +12,7 @@ configured with the machine's memory latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.errors import HardwareModelError
 from repro.hardware.cache import CacheHierarchy, CacheLevel

@@ -16,7 +16,7 @@ descriptions found in papers.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import HardwareModelError

@@ -26,8 +26,9 @@ interrupted campaign resumes from where it stopped
 
 from __future__ import annotations
 
+import json
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -49,6 +50,7 @@ from repro.measurement.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Trace, Tracer
+    from repro.parallel.executor import CampaignExecutor
 
 
 class Workload:
@@ -222,7 +224,7 @@ class HarnessReport:
         return "; ".join(parts)
 
 
-def run_harness(design: Design, workload: Workload,
+def run_harness(design: Design, workload: Optional[Workload],
                 protocol: RunProtocol,
                 clock: Optional[Clock] = None,
                 extra_metrics: Optional[
@@ -232,7 +234,8 @@ def run_harness(design: Design, workload: Workload,
                 on_error: str = "raise",
                 checkpoint: Optional[Any] = None,
                 resumables: Optional[Mapping[str, Any]] = None,
-                tracer: Optional[Tracer] = None
+                tracer: Optional[Tracer] = None,
+                executor: "Optional[CampaignExecutor]" = None
                 ) -> HarnessReport:
     """Measure *workload* at every design point under *protocol*.
 
@@ -273,15 +276,54 @@ def run_harness(design: Design, workload: Workload,
         design point in spans, and attaches the finished
         :class:`~repro.obs.Trace` to :attr:`HarnessReport.trace`.
         Build it on the campaign's clock for a deterministic trace.
+    executor:
+        Optional :class:`~repro.parallel.executor.CampaignExecutor`
+        (e.g. :class:`~repro.parallel.ProcessCampaignExecutor`).  The
+        harness then delegates the whole campaign to the executor,
+        which shards the design's points across worker processes and
+        merges the per-shard results — the report's documentation,
+        result set and canonical trace are byte-identical to a
+        sequential run of the same spec.  The executor rebuilds its
+        own workload per point from its
+        :class:`~repro.parallel.CampaignSpec` (pass ``workload=None``
+        or a matching live workload; it is not used), validates
+        *design*, *protocol* and *retry* against the spec, and refuses
+        combinations it cannot honour (a live *tracer*, *resumables*,
+        *extra_metrics*, a custom *clock*) — enable tracing on the
+        executor and build per-point hooks into the spec's factory
+        instead.
     """
     if on_error not in ("raise", "record"):
         raise MeasurementError(
             f"on_error must be 'raise' or 'record', got {on_error!r}")
+    if executor is not None:
+        if tracer is not None:
+            raise MeasurementError(
+                "a live tracer cannot observe worker processes; "
+                "enable tracing on the executor (trace=True) instead")
+        if resumables:
+            raise MeasurementError(
+                "resumables are not used with an executor: per-point "
+                "stacks are derived from seeds, so shard checkpoints "
+                "carry no component state")
+        if extra_metrics is not None or clock is not None:
+            raise MeasurementError(
+                "extra_metrics/clock must come from the executor's "
+                "CampaignSpec factory, not the run_harness call")
+        return executor.execute(
+            design=design, workload=workload, protocol=protocol,
+            name=name, retry=retry, on_error=on_error,
+            checkpoint=checkpoint)
+    if workload is None:
+        raise MeasurementError(
+            "workload may only be omitted when an executor is given")
     if resumables and checkpoint is None:
         raise MeasurementError(
             "resumables only make sense with a checkpoint path")
     journal = CheckpointJournal(checkpoint) if checkpoint is not None \
         else None
+    if journal is not None and resumables:
+        _validate_resumables(resumables)
     elapsed_clock = clock if clock is not None else ProcessClock()
     results = ResultSet(name=name)
     raw: Dict[int, ProtocolResult] = {}
@@ -394,6 +436,32 @@ def run_harness(design: Design, workload: Workload,
                          resumed_points=resumed,
                          trace=tracer.trace() if tracer is not None
                          else None)
+
+
+def _validate_resumables(resumables: Mapping[str, Any]) -> None:
+    """Refuse resumables whose state cannot reach the journal.
+
+    ``state_dict()`` values are journalled as JSON with every completed
+    point; validating them eagerly at campaign start turns a crash deep
+    inside :class:`~repro.measurement.checkpoint.CheckpointJournal`
+    (after the first point burned real measurement time) into an
+    immediate, named diagnostic.
+    """
+    for key, obj in resumables.items():
+        state_dict = getattr(obj, "state_dict", None)
+        load = getattr(obj, "load_state_dict", None)
+        if not callable(state_dict) or not callable(load):
+            raise MeasurementError(
+                f"resumable {key!r} ({type(obj).__name__}) must "
+                "implement state_dict() and load_state_dict()")
+        state = state_dict()
+        try:
+            json.dumps(state)
+        except (TypeError, ValueError) as exc:
+            raise MeasurementError(
+                f"resumable {key!r} ({type(obj).__name__}) produced a "
+                f"state_dict() that is not JSON-serialisable and "
+                f"cannot be journalled: {exc}") from exc
 
 
 def _capture_states(resumables: Optional[Mapping[str, Any]]

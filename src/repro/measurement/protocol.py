@@ -19,7 +19,7 @@ authors to publish.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ProtocolError, TimeoutExceededError

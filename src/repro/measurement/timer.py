@@ -10,7 +10,7 @@ label describing *what* was measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import MeasurementError

@@ -12,7 +12,7 @@ dicts so two identical seeded campaigns snapshot identically.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
 

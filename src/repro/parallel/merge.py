@@ -1,0 +1,286 @@
+"""Merging shard results into one :class:`HarnessReport`.
+
+Workers return :class:`PointOutcome`\\ s — picklable, self-contained
+records of one executed (or journal-replayed) design point, including
+the point's protocol timings and its private trace spans.  The merge
+walks outcomes in **design order** (never arrival order), rebuilds the
+result set, failure list and raw timings exactly as the sequential
+harness would, and stitches the per-point traces onto a single virtual
+campaign timeline.
+
+Trace stitching and determinism
+-------------------------------
+Each point is measured on its own :class:`~repro.measurement.clocks.
+VirtualClock` starting at zero, so its spans know nothing about the
+other points.  :func:`stitch_traces` lays the points end-to-end in
+design order under a synthesised ``harness.campaign`` root span —
+point ``i+1`` starts where point ``i``'s extent ended — which makes the
+merged timeline a pure function of the campaign spec, *independent of
+the shard layout*.  The canonical stitched trace therefore exports byte
+identically for any ``jobs`` value.  Passing ``shard_of`` produces the
+*annotated* variant instead: the same timeline with ``shard=<k>``
+stamped on every point span and the job/shard layout on the root span —
+useful for debugging the executor, excluded from the canonical export
+precisely because it depends on ``jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+from repro.measurement.checkpoint import CheckpointEntry
+from repro.measurement.harness import FailedPoint, HarnessReport
+from repro.measurement.protocol import ProtocolResult, RunProtocol
+from repro.measurement.results import ResultSet
+from repro.measurement.retry import RetryPolicy
+from repro.obs.span import Span, SpanEvent, Trace
+
+
+@dataclass
+class PointOutcome:
+    """One design point's complete result, as produced by a worker.
+
+    Picklable (crosses the process boundary) and journal-convertible
+    (:func:`entry_from_outcome`).  ``spans`` are the point's private
+    trace spans with point-local ids and timestamps; the merge re-ids
+    and rebases them.
+    """
+
+    index: int
+    config: Dict[str, Any]
+    status: str                       # "ok" | "failed"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    error_type: str = ""
+    error_message: str = ""
+    seed: int = 0
+    raw: Optional[ProtocolResult] = None
+    spans: Tuple[Span, ...] = ()
+    orphan_events: Tuple[SpanEvent, ...] = ()
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def format(self) -> str:
+        state = "ok" if self.ok else f"failed ({self.error_type})"
+        origin = "journal" if self.resumed else "measured"
+        return (f"point {self.index} {self.config}: {state} "
+                f"[{origin}, {self.attempts} attempt(s)]")
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """What one shard of the campaign executed."""
+
+    shard: int
+    indices: Tuple[int, ...]
+    n_ok: int
+    n_failed: int
+
+    def format(self) -> str:
+        return (f"shard {self.shard}: {len(self.indices)} point(s) "
+                f"{list(self.indices)}, {self.n_ok} ok, "
+                f"{self.n_failed} failed")
+
+
+@dataclass(frozen=True)
+class ParallelReport(HarnessReport):
+    """A :class:`HarnessReport` plus the shard layout that produced it.
+
+    Everything inherited — results, failures, raw timings,
+    :meth:`~repro.measurement.harness.HarnessReport.documentation`, the
+    canonical :attr:`trace` — is *executor-independent*: two runs of the
+    same spec at different ``jobs`` values compare equal byte for byte.
+    The parallel extras (``jobs``, ``shards``, ``sharded_trace``,
+    :meth:`parallel_documentation`) are the only places the layout
+    shows.
+    """
+
+    jobs: int = 1
+    shards: Tuple[ShardSummary, ...] = ()
+    #: The shard-annotated stitched trace (``shard=<k>`` on each point
+    #: span); ``None`` unless the campaign ran with tracing on.
+    sharded_trace: Optional[Trace] = None
+
+    def parallel_documentation(self) -> str:
+        """The methodology paragraph plus the executor layout."""
+        layout = ", ".join(s.format() for s in self.shards) \
+            or "no shards executed"
+        return (f"{self.documentation()}; executed with jobs={self.jobs} "
+                f"({layout})")
+
+
+def entry_from_outcome(outcome: PointOutcome) -> CheckpointEntry:
+    """The journal line for one freshly measured outcome.
+
+    Per-point stacks are derived purely from seeds, so — unlike the
+    sequential harness — no resumable component state needs to ride
+    along: ``state`` stays empty and resume determinism is free.
+    """
+    return CheckpointEntry(
+        index=outcome.index, config=dict(outcome.config),
+        status=outcome.status, metrics=dict(outcome.metrics),
+        attempts=outcome.attempts, elapsed_s=outcome.elapsed_s,
+        error_type=outcome.error_type,
+        error_message=outcome.error_message)
+
+
+def outcome_from_entry(entry: CheckpointEntry) -> PointOutcome:
+    """A journal-replayed outcome (no raw timings, no spans)."""
+    return PointOutcome(
+        index=entry.index, config=dict(entry.config),
+        status=entry.status, metrics=dict(entry.metrics),
+        attempts=entry.attempts, elapsed_s=entry.elapsed_s,
+        error_type=entry.error_type,
+        error_message=entry.error_message, resumed=True)
+
+
+def stitch_traces(outcomes: Sequence[PointOutcome], *, name: str,
+                  design_description: str, protocol_description: str,
+                  shard_of: Optional[Mapping[int, int]] = None,
+                  jobs: Optional[int] = None) -> Trace:
+    """One campaign trace from per-point span bundles (design order).
+
+    See the module docstring: the canonical variant (``shard_of=None``)
+    is executor-independent; the annotated variant stamps shard
+    metadata on every point span and the layout on the root.
+    """
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    root = Span(span_id=1, parent_id=None, name="harness.campaign",
+                category="harness", start_s=0.0,
+                attributes={"campaign": name,
+                            "design": design_description,
+                            "protocol": protocol_description})
+    if shard_of is not None:
+        root.set(jobs=jobs if jobs is not None else 1,
+                 shards=len(set(shard_of.values())))
+    spans: List[Span] = [root]
+    orphans: List[SpanEvent] = []
+    next_id = 2
+    offset = 0.0
+    for outcome in ordered:
+        if outcome.resumed:
+            root.add_event(SpanEvent(
+                name="harness.point_resumed", t_s=offset,
+                attributes={"index": outcome.index,
+                            "status": outcome.status}))
+            continue
+        if not outcome.spans:
+            continue
+        base = min(s.start_s for s in outcome.spans)
+        id_map: Dict[int, int] = {}
+        for old in outcome.spans:
+            if old.parent_id is None:
+                parent = root.span_id
+            else:
+                parent = id_map.get(old.parent_id)
+                if parent is None:
+                    raise ParallelError(
+                        f"point {outcome.index} span {old.name!r} "
+                        f"references unknown parent {old.parent_id} — "
+                        "shard returned a torn trace")
+            if old.end_s is None:
+                raise ParallelError(
+                    f"point {outcome.index} span {old.name!r} is still "
+                    "open — shard returned a torn trace")
+            new = Span(span_id=next_id, parent_id=parent, name=old.name,
+                       category=old.category,
+                       start_s=old.start_s - base + offset,
+                       attributes=dict(old.attributes))
+            new.end_s = old.end_s - base + offset
+            if shard_of is not None and old.parent_id is None:
+                new.set(shard=shard_of.get(outcome.index, -1))
+            for event in old.events:
+                new.add_event(SpanEvent(
+                    name=event.name, t_s=event.t_s - base + offset,
+                    attributes=dict(event.attributes)))
+            id_map[old.span_id] = next_id
+            next_id += 1
+            spans.append(new)
+        for event in outcome.orphan_events:
+            orphans.append(SpanEvent(
+                name=event.name, t_s=event.t_s - base + offset,
+                attributes=dict(event.attributes)))
+        offset += max(s.end_s for s in outcome.spans) - base
+    root.end_s = offset
+    return Trace(tuple(spans), tuple(orphans))
+
+
+def merge_outcomes(outcomes: Sequence[PointOutcome], *, name: str,
+                   design_description: str, protocol: RunProtocol,
+                   retry: Optional[RetryPolicy] = None,
+                   expected_indices: Optional[Sequence[int]] = None,
+                   jobs: int = 1,
+                   shard_of: Optional[Mapping[int, int]] = None,
+                   trace: bool = False) -> ParallelReport:
+    """All shard outcomes -> one report, in design order.
+
+    ``expected_indices`` (when given) enforces the "never a silent
+    drop" rule: every expected design point must be accounted for,
+    exactly once.
+    """
+    by_index: Dict[int, PointOutcome] = {}
+    for outcome in outcomes:
+        if outcome.index in by_index:
+            raise ParallelError(
+                f"design point {outcome.index} was executed twice — "
+                "overlapping shards?")
+        by_index[outcome.index] = outcome
+    if expected_indices is not None:
+        expected = list(expected_indices)
+        missing = sorted(set(expected) - set(by_index))
+        surplus = sorted(set(by_index) - set(expected))
+        if missing or surplus:
+            raise ParallelError(
+                f"merged campaign does not cover the design: "
+                f"missing points {missing}, unexpected points "
+                f"{surplus} — a silent drop")
+    ordered = [by_index[i] for i in sorted(by_index)]
+    results = ResultSet(name=name)
+    raw: Dict[int, ProtocolResult] = {}
+    failures: List[FailedPoint] = []
+    resumed = 0
+    for outcome in ordered:
+        if outcome.resumed:
+            resumed += 1
+        if outcome.ok:
+            results.add(outcome.config, outcome.metrics)
+            if outcome.raw is not None:
+                raw[outcome.index] = outcome.raw
+        else:
+            failures.append(FailedPoint(
+                index=outcome.index, config=dict(outcome.config),
+                error_type=outcome.error_type,
+                error_message=outcome.error_message,
+                attempts=outcome.attempts,
+                elapsed_s=outcome.elapsed_s))
+    shard_ids = sorted(set(shard_of.values())) if shard_of else []
+    summaries = []
+    for shard in shard_ids:
+        indices = tuple(sorted(
+            i for i, k in shard_of.items() if k == shard))
+        executed = [by_index[i] for i in indices if i in by_index]
+        summaries.append(ShardSummary(
+            shard=shard, indices=indices,
+            n_ok=sum(1 for o in executed if o.ok),
+            n_failed=sum(1 for o in executed if not o.ok)))
+    stitched = None
+    annotated = None
+    if trace:
+        stitch_args = dict(name=name,
+                           design_description=design_description,
+                           protocol_description=protocol.describe())
+        stitched = stitch_traces(ordered, **stitch_args)
+        annotated = stitch_traces(ordered, shard_of=shard_of or {},
+                                  jobs=jobs, **stitch_args)
+    return ParallelReport(
+        results=results, raw=raw, protocol=protocol,
+        design_description=design_description,
+        failures=tuple(failures), retry=retry, resumed_points=resumed,
+        trace=stitched, jobs=jobs, shards=tuple(summaries),
+        sharded_trace=annotated)

@@ -1,0 +1,216 @@
+"""Campaign specifications: the serialisable recipe a worker rebuilds.
+
+A sequential campaign can close over live objects — an engine, a shared
+:class:`~repro.measurement.clocks.VirtualClock`, a fault injector — but
+a *sharded* campaign cannot ship live objects to worker processes and
+stay deterministic.  A :class:`CampaignSpec` is therefore a pure-data
+recipe: a dotted ``module:function`` factory path plus JSON-serialisable
+parameters plus a campaign seed.  Every worker calls the factory with a
+**per-point seed** derived from ``(campaign_seed, point_index)`` by
+:func:`derive_point_seed` and gets back a fresh
+:class:`CampaignStack` — its own clock, workload (engine, fault
+injector, noise model, ...), protocol and retry policy.
+
+Because a point's entire simulated stack is a pure function of
+``(spec, point_index)``, the campaign's results are independent of how
+its points are interleaved across workers: ``jobs=4`` reproduces
+``jobs=1`` byte for byte (pinned by
+``tests/integration/test_parallel_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.designs import Design
+from repro.errors import ParallelError
+from repro.measurement.clocks import Clock
+from repro.measurement.harness import Workload
+from repro.measurement.protocol import RunProtocol
+from repro.measurement.retry import RetryPolicy
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 constants (Steele, Lea & Flood; the de-facto standard
+#: stateless seed mixer).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def derive_point_seed(campaign_seed: int, point_index: int) -> int:
+    """The seed of one design point: splitmix64 of the campaign seed.
+
+    The mixing guarantees that neighbouring point indices get
+    statistically independent streams (a plain ``seed + index`` would
+    correlate them) while staying a pure function of its inputs — the
+    foundation of the executor's determinism guarantee.  The result is
+    non-negative and below ``2**63`` so it seeds both
+    :func:`numpy.random.default_rng` and :class:`random.Random`.
+    """
+    if point_index < 0:
+        raise ParallelError(
+            f"point index must be >= 0, got {point_index}")
+    z = ((campaign_seed & _MASK64) + (point_index + 1) * _GOLDEN) \
+        & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z ^= z >> 31
+    return z & ((1 << 63) - 1)
+
+
+@dataclass
+class CampaignStack:
+    """One freshly built simulated stack, ready to measure points.
+
+    Factories registered in a :class:`CampaignSpec` return one of
+    these.  Everything a worker needs is here: the *design* (which must
+    be structurally identical for every seed — only the workload's
+    random streams may depend on it), the *workload* wired onto its own
+    *clock*, the measurement *protocol*, and optionally a *retry*
+    policy and an *extra_metrics* hook, both with the same meaning as
+    in :func:`~repro.measurement.harness.run_harness`.
+    """
+
+    design: Design
+    workload: Workload
+    protocol: RunProtocol
+    clock: Clock
+    retry: Optional[RetryPolicy] = None
+    extra_metrics: Optional[
+        Callable[[Mapping[str, Any]], Mapping[str, float]]] = None
+
+    def __post_init__(self):
+        if not isinstance(self.design, Design):
+            raise ParallelError(
+                f"campaign factory must build a Design, got "
+                f"{type(self.design).__name__}")
+        if not isinstance(self.workload, Workload):
+            raise ParallelError(
+                f"campaign factory must build a Workload, got "
+                f"{type(self.workload).__name__}")
+        if not isinstance(self.protocol, RunProtocol):
+            raise ParallelError(
+                f"campaign factory must build a RunProtocol, got "
+                f"{type(self.protocol).__name__}")
+        if not isinstance(self.clock, Clock):
+            raise ParallelError(
+                f"campaign factory must build a Clock, got "
+                f"{type(self.clock).__name__}")
+
+
+#: Signature every campaign factory implements.
+CampaignFactory = Callable[[Mapping[str, Any], int], CampaignStack]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A fully serialisable description of one measurement campaign.
+
+    Parameters
+    ----------
+    factory:
+        Dotted path ``"package.module:function"`` of a top-level
+        :data:`CampaignFactory`: ``factory(params, seed) ->
+        CampaignStack``.  It must be importable in worker processes
+        (i.e. a module-level function, not a lambda or closure).
+    params:
+        JSON-serialisable factory parameters (scale factor, fault
+        probability, design kind, ...).  Checked eagerly so a broken
+        spec fails at construction, not deep inside a worker.
+    seed:
+        The campaign seed; workers never see it directly but receive
+        :func:`derive_point_seed` ``(seed, point_index)``.
+    name:
+        Campaign name, used for the merged
+        :class:`~repro.measurement.results.ResultSet` and trace spans.
+    """
+
+    factory: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    name: str = "campaign"
+
+    def __post_init__(self):
+        if ":" not in self.factory or self.factory.startswith(":"):
+            raise ParallelError(
+                f"factory must be a 'module:function' path, got "
+                f"{self.factory!r}")
+        try:
+            frozen = json.loads(json.dumps(dict(self.params)))
+        except (TypeError, ValueError) as exc:
+            raise ParallelError(
+                f"campaign params must be JSON-serialisable (workers "
+                f"rebuild the stack from them): {exc}") from exc
+        object.__setattr__(self, "params", frozen)
+        if not self.name:
+            raise ParallelError("campaign needs a non-empty name")
+
+    # -- factory resolution -------------------------------------------------
+
+    def resolve(self) -> CampaignFactory:
+        """Import and return the factory callable."""
+        module_path, __, attr = self.factory.partition(":")
+        try:
+            module = importlib.import_module(module_path)
+        except ImportError as exc:
+            raise ParallelError(
+                f"cannot import campaign factory module "
+                f"{module_path!r}: {exc}") from exc
+        fn = getattr(module, attr, None)
+        if fn is None or not callable(fn):
+            raise ParallelError(
+                f"module {module_path!r} has no callable {attr!r}")
+        return fn
+
+    def build(self, seed: Optional[int] = None) -> CampaignStack:
+        """A fresh stack from the factory (campaign seed by default)."""
+        fn = self.resolve()
+        stack = fn(self.params, self.seed if seed is None else seed)
+        if not isinstance(stack, CampaignStack):
+            raise ParallelError(
+                f"campaign factory {self.factory!r} must return a "
+                f"CampaignStack, got {type(stack).__name__}")
+        return stack
+
+    def point_seed(self, point_index: int) -> int:
+        """Seed of one design point under this spec."""
+        return derive_point_seed(self.seed, point_index)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """The spec as one JSON object (manifest / provenance line)."""
+        return json.dumps({
+            "factory": self.factory,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "name": self.name,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParallelError(
+                f"corrupt campaign spec: {text[:80]!r} ({exc})") from exc
+        unknown = set(payload) - {"factory", "params", "seed", "name"}
+        if unknown:
+            raise ParallelError(
+                f"campaign spec has unknown keys {sorted(unknown)}")
+        try:
+            return cls(factory=payload["factory"],
+                       params=dict(payload.get("params", {})),
+                       seed=int(payload.get("seed", 0)),
+                       name=str(payload.get("name", "campaign")))
+        except KeyError as exc:
+            raise ParallelError(
+                f"campaign spec is missing {exc}") from exc
+
+    def describe(self) -> str:
+        """One line for manifests and shard logs."""
+        return (f"campaign {self.name!r}: factory {self.factory} "
+                f"params {dict(self.params)} seed {self.seed}")

@@ -17,7 +17,7 @@ verified) are exact from the slides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping
 
 from repro.errors import ReproError
 

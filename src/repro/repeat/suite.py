@@ -14,9 +14,9 @@ scripts under ``graphs/``, and a manifest documenting how to repeat it.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SuiteError
 from repro.measurement.results import ResultSet

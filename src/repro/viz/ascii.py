@@ -7,7 +7,7 @@ paper-vs-measured comparison in EXPERIMENTS.md comes from.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Sequence, Tuple
 
 from repro.errors import ChartError
 from repro.viz.charts import ChartKind, ChartSpec, Series

@@ -9,7 +9,6 @@ the identity of the used documents has been kept") is about.
 
 from __future__ import annotations
 
-import datetime as _dt
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -11,7 +11,7 @@ engine plus the query exercising the operator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.db.engine import Engine, EngineConfig
 from repro.db.storage import Database, Table

@@ -9,7 +9,7 @@ data characteristics" half of the tutorial's micro-benchmark pros list.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 import numpy as np
 

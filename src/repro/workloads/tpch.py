@@ -17,7 +17,7 @@ exactly as the tutorial's two-stage methodology would recommend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -5,14 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import (
-    LinearFit,
-    PowerLawFit,
-    fit_power_law,
-    linear_fit,
-    one_way_anova,
-    two_way_anova,
-)
+from repro.core import fit_power_law, linear_fit, one_way_anova, two_way_anova
 from repro.errors import DesignError, MeasurementError
 
 

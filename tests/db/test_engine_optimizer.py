@@ -8,7 +8,6 @@ from repro.db import (
     DataType,
     Engine,
     EngineConfig,
-    ExecutionMode,
     FileSink,
     HashJoin,
     NestedLoopJoin,

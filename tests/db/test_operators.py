@@ -11,7 +11,6 @@ from repro.db import (
     BufferPool,
     ColumnRef,
     Comparison,
-    CostParameters,
     DataType,
     Database,
     DiskModel,

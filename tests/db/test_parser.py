@@ -5,7 +5,6 @@ import pytest
 from repro.db import (
     Between,
     BoolOp,
-    ColumnRef,
     Comparison,
     InList,
     Like,

@@ -16,7 +16,6 @@ from repro.faults import (
     DEFAULT_SITE_ERRORS,
     KNOWN_SITES,
     TRANSIENT_SITES,
-    FaultInjector,
     FaultPlan,
     FaultRule,
 )

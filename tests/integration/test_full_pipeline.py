@@ -17,12 +17,7 @@ from repro.core import (
     two_level,
 )
 from repro.db import Client, Engine, EngineConfig, ExecutionMode, FileSink, TerminalSink
-from repro.measurement import (
-    LAST_OF_THREE_HOT,
-    ResultSet,
-    Workload,
-    run_harness,
-)
+from repro.measurement import LAST_OF_THREE_HOT, ResultSet, Workload
 from repro.repeat import (
     ExperimentSuite,
     InstallInfo,

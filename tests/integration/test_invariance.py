@@ -7,7 +7,6 @@ configurations and demand bit-identical results, plus oracle checks of
 random WHERE clauses against plain-Python evaluation.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,101 @@
+"""Eager validation of resumable state at campaign start.
+
+A resumable whose ``state_dict()`` cannot be journalled used to fail
+only when the *first point completed* — after minutes of measurement.
+The harness now validates every resumable before measuring anything,
+naming the offending component.
+"""
+
+import pytest
+
+from repro.core import FactorSpace, TwoLevelFactorialDesign, two_level
+from repro.errors import MeasurementError
+from repro.measurement import (
+    NoiseModel,
+    PickRule,
+    RunProtocol,
+    State,
+    VirtualClock,
+    Workload,
+    run_harness,
+)
+
+PROTOCOL = RunProtocol(state=State.HOT, repetitions=1,
+                       pick=PickRule.LAST, warmups=1)
+
+
+def make_design():
+    return TwoLevelFactorialDesign(
+        FactorSpace([two_level("a", "lo", "hi")]))
+
+
+class CountingWorkload(Workload):
+    def __init__(self, clock):
+        self.clock = clock
+        self.setups = 0
+
+    def setup(self, config):
+        self.setups += 1
+
+    def run(self):
+        self.clock.advance(cpu_seconds=0.001)
+
+
+class UnserialisableState:
+    """state_dict() holds a live object — cannot be journalled."""
+
+    def state_dict(self):
+        return {"clock": VirtualClock()}
+
+    def load_state_dict(self, state):
+        pass
+
+
+class HalfResumable:
+    def state_dict(self):
+        return {}
+    # no load_state_dict
+
+
+class TestEagerValidation:
+    def test_bad_state_fails_before_any_measurement(self, tmp_path):
+        clock = VirtualClock()
+        workload = CountingWorkload(clock)
+        with pytest.raises(MeasurementError, match="'faults'"):
+            run_harness(make_design(), workload, PROTOCOL, clock=clock,
+                        checkpoint=tmp_path / "j.journal",
+                        resumables={"faults": UnserialisableState()})
+        assert workload.setups == 0  # validated *eagerly*
+
+    def test_error_names_the_offending_resumable(self, tmp_path):
+        clock = VirtualClock()
+        with pytest.raises(MeasurementError,
+                           match="UnserialisableState"):
+            run_harness(make_design(), CountingWorkload(clock),
+                        PROTOCOL, clock=clock,
+                        checkpoint=tmp_path / "j.journal",
+                        resumables={"bad": UnserialisableState()})
+
+    def test_missing_protocol_methods_are_reported(self, tmp_path):
+        clock = VirtualClock()
+        with pytest.raises(MeasurementError,
+                           match="state_dict"):
+            run_harness(make_design(), CountingWorkload(clock),
+                        PROTOCOL, clock=clock,
+                        checkpoint=tmp_path / "j.journal",
+                        resumables={"half": HalfResumable()})
+
+    def test_good_resumables_still_pass(self, tmp_path):
+        clock = VirtualClock()
+        report = run_harness(make_design(), CountingWorkload(clock),
+                             PROTOCOL, clock=clock,
+                             checkpoint=tmp_path / "j.journal",
+                             resumables={"noise": NoiseModel(seed=3)})
+        assert report.n_measured == 2
+
+    def test_resumables_still_require_a_checkpoint(self):
+        clock = VirtualClock()
+        with pytest.raises(MeasurementError, match="checkpoint"):
+            run_harness(make_design(), CountingWorkload(clock),
+                        PROTOCOL, clock=clock,
+                        resumables={"faults": UnserialisableState()})

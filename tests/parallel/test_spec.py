@@ -1,0 +1,155 @@
+"""Tests for campaign specs and per-point seed derivation."""
+
+import pytest
+
+from repro.core import FactorSpace, TwoLevelFactorialDesign, two_level
+from repro.errors import ParallelError
+from repro.measurement import (
+    NoiseModel,
+    PickRule,
+    RunProtocol,
+    State,
+    VirtualClock,
+    Workload,
+)
+from repro.parallel import CampaignSpec, CampaignStack, derive_point_seed
+
+PROTOCOL = RunProtocol(state=State.HOT, repetitions=2,
+                       pick=PickRule.LAST, warmups=1)
+
+
+class TickWorkload(Workload):
+    def __init__(self, clock, noise):
+        self.clock = clock
+        self.noise = noise
+
+    def setup(self, config):
+        self.cost = 0.002 if config["f1"] == "high" else 0.001
+
+    def run(self):
+        self.clock.advance(cpu_seconds=self.noise.perturb(self.cost))
+
+    def make_cold(self):
+        pass
+
+
+def build_tick(params, seed):
+    """A top-level factory (importable from worker processes)."""
+    space = FactorSpace([two_level("f1", "low", "high")])
+    clock = VirtualClock()
+    noise = NoiseModel(seed=seed,
+                       relative_std=float(params.get("noise", 0.05)))
+    return CampaignStack(design=TwoLevelFactorialDesign(space),
+                         workload=TickWorkload(clock, noise),
+                         protocol=PROTOCOL, clock=clock)
+
+
+def build_not_a_stack(params, seed):
+    return {"params": params, "seed": seed}
+
+
+class TestDerivePointSeed:
+    def test_pure_function(self):
+        assert derive_point_seed(42, 7) == derive_point_seed(42, 7)
+
+    def test_neighbouring_points_get_distinct_seeds(self):
+        seeds = [derive_point_seed(42, i) for i in range(256)]
+        assert len(set(seeds)) == 256
+
+    def test_campaign_seed_changes_every_stream(self):
+        a = [derive_point_seed(1, i) for i in range(16)]
+        b = [derive_point_seed(2, i) for i in range(16)]
+        assert not set(a) & set(b)
+
+    def test_range_fits_every_rng(self):
+        for seed in (0, 1, 42, 2**64 - 1):
+            for index in (0, 1, 1000):
+                value = derive_point_seed(seed, index)
+                assert 0 <= value < 2**63
+
+    def test_negative_index_is_refused(self):
+        with pytest.raises(ParallelError, match=">= 0"):
+            derive_point_seed(42, -1)
+
+
+class TestCampaignSpec:
+    def test_round_trips_through_json(self):
+        spec = CampaignSpec(
+            factory="tests.parallel.test_spec:build_tick",
+            params={"noise": 0.1}, seed=9, name="round-trip")
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_point_seed_delegates_to_derivation(self):
+        spec = CampaignSpec(factory="m:f", seed=13)
+        assert spec.point_seed(4) == derive_point_seed(13, 4)
+
+    def test_factory_path_needs_module_and_function(self):
+        with pytest.raises(ParallelError, match="module:function"):
+            CampaignSpec(factory="no_colon_here")
+
+    def test_params_must_be_json_serialisable(self):
+        with pytest.raises(ParallelError, match="JSON"):
+            CampaignSpec(factory="m:f", params={"clock": VirtualClock()})
+
+    def test_name_must_be_non_empty(self):
+        with pytest.raises(ParallelError, match="name"):
+            CampaignSpec(factory="m:f", name="")
+
+    def test_from_json_rejects_unknown_keys(self):
+        with pytest.raises(ParallelError, match="unknown keys"):
+            CampaignSpec.from_json(
+                '{"factory": "m:f", "surprise": true}')
+
+    def test_from_json_rejects_corrupt_text(self):
+        with pytest.raises(ParallelError, match="corrupt"):
+            CampaignSpec.from_json("{not json")
+
+    def test_resolve_reports_missing_module(self):
+        spec = CampaignSpec(factory="no.such.module:build")
+        with pytest.raises(ParallelError, match="cannot import"):
+            spec.resolve()
+
+    def test_resolve_reports_missing_function(self):
+        spec = CampaignSpec(
+            factory="tests.parallel.test_spec:no_such_factory")
+        with pytest.raises(ParallelError, match="no callable"):
+            spec.resolve()
+
+    def test_build_returns_the_factory_stack(self):
+        spec = CampaignSpec(
+            factory="tests.parallel.test_spec:build_tick", seed=3)
+        stack = spec.build()
+        assert isinstance(stack, CampaignStack)
+        assert len(stack.design) == 2
+
+    def test_build_rejects_non_stack_factories(self):
+        spec = CampaignSpec(
+            factory="tests.parallel.test_spec:build_not_a_stack")
+        with pytest.raises(ParallelError, match="CampaignStack"):
+            spec.build()
+
+    def test_describe_mentions_factory_and_seed(self):
+        spec = CampaignSpec(factory="m:f", seed=21, name="spec-demo")
+        text = spec.describe()
+        assert "m:f" in text and "21" in text and "spec-demo" in text
+
+
+class TestCampaignStack:
+    def test_component_types_are_validated(self):
+        clock = VirtualClock()
+        noise = NoiseModel(seed=1)
+        space = FactorSpace([two_level("f1", "low", "high")])
+        design = TwoLevelFactorialDesign(space)
+        workload = TickWorkload(clock, noise)
+        with pytest.raises(ParallelError, match="Design"):
+            CampaignStack(design="nope", workload=workload,
+                          protocol=PROTOCOL, clock=clock)
+        with pytest.raises(ParallelError, match="Workload"):
+            CampaignStack(design=design, workload="nope",
+                          protocol=PROTOCOL, clock=clock)
+        with pytest.raises(ParallelError, match="RunProtocol"):
+            CampaignStack(design=design, workload=workload,
+                          protocol="nope", clock=clock)
+        with pytest.raises(ParallelError, match="Clock"):
+            CampaignStack(design=design, workload=workload,
+                          protocol=PROTOCOL, clock="nope")
