@@ -1,0 +1,132 @@
+"""E23 bench — vectorized kernels vs the per-row loop executor.
+
+Two kinds of timing live here:
+
+* pytest-benchmark cases (picked up by ``scripts/bench_gate.py``) that
+  time the *host* wall-clock of hot loop vs vectorized executions and of
+  the raw kernels, so a regression in the NumPy paths is caught by the
+  benchmark gate like any other slowdown; and
+* a plain assertion test (``test_vectorized_speedup_floor``) that runs in
+  the ordinary pytest pass and fails CI if the vectorized executor stops
+  beating the loop executor by at least 2x on the join/aggregate smoke
+  benches.  ``--benchmark-only`` runs skip it, so the gate's numbers stay
+  pure timings.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.db import kernels
+from repro.db.engine import EngineConfig
+from repro.workloads.microbench import (
+    aggregate_microbenchmark,
+    join_microbenchmark,
+)
+
+_JOIN_ROWS = 4_000
+_AGG_ROWS = 8_000
+
+
+def _hot_micro(builder, executor):
+    micro = builder(EngineConfig(executor=executor))
+    micro.run()  # warm: buffer pool, expression cache, plan structures
+    return micro
+
+
+def _join_builder(config):
+    return join_microbenchmark(n_left=_JOIN_ROWS, n_right=_JOIN_ROWS // 8,
+                               config=config)
+
+
+def _agg_builder(config):
+    return aggregate_microbenchmark(n_rows=_AGG_ROWS, n_groups=64,
+                                    config=config)
+
+
+def _wall_medians(builder, reps=5):
+    """Median host seconds per hot execute, for both executors."""
+    medians = {}
+    for executor in ("loop", "vectorized"):
+        micro = _hot_micro(builder, executor)
+        samples = []
+        for _ in range(reps):
+            start = time.perf_counter()
+            micro.run()
+            samples.append(time.perf_counter() - start)
+        medians[executor] = statistics.median(samples)
+    return medians
+
+
+def test_e23_join_loop(benchmark, report):
+    micro = _hot_micro(_join_builder, "loop")
+    result = benchmark(micro.run)
+    report(f"loop join rows={len(result.rows)}")
+    assert result.rows
+
+
+def test_e23_join_vectorized(benchmark, report):
+    micro = _hot_micro(_join_builder, "vectorized")
+    result = benchmark(micro.run)
+    report(f"vectorized join rows={len(result.rows)}")
+    assert result.rows
+
+
+def test_e23_aggregate_loop(benchmark, report):
+    micro = _hot_micro(_agg_builder, "loop")
+    result = benchmark(micro.run)
+    report(f"loop aggregate groups={len(result.rows)}")
+    assert result.rows
+
+
+def test_e23_aggregate_vectorized(benchmark, report):
+    micro = _hot_micro(_agg_builder, "vectorized")
+    result = benchmark(micro.run)
+    report(f"vectorized aggregate groups={len(result.rows)}")
+    assert result.rows
+
+
+def test_e23_kernel_join_match(benchmark, report):
+    rng = np.random.default_rng(7)
+    left = rng.integers(0, 500, size=_JOIN_ROWS)
+    right = np.arange(500, dtype=np.int64)
+    left_codes, right_codes = kernels.encode_join_keys([left], [right])
+    li, ri = benchmark(kernels.join_match, left_codes, right_codes)
+    report(f"join_match pairs={li.size}")
+    assert li.size == ri.size > 0
+
+
+def test_e23_kernel_grouped_reduce(benchmark, report):
+    rng = np.random.default_rng(7)
+    ids, n_groups = kernels.dict_encode(
+        [rng.integers(0, 64, size=_AGG_ROWS)])
+    values = rng.random(_AGG_ROWS)
+    sums = benchmark(kernels.grouped_reduce, values, ids, n_groups, "sum")
+    report(f"grouped_reduce groups={sums.size}")
+    assert sums.size == n_groups
+
+
+def test_e23_kernel_dict_encode(benchmark, report):
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 1_000, size=_AGG_ROWS)
+    ids, n_groups = benchmark(kernels.dict_encode, [keys])
+    report(f"dict_encode distinct={n_groups}")
+    assert ids.size == _AGG_ROWS
+
+
+def test_vectorized_speedup_floor(report):
+    """CI floor: vectorized must beat loop by >= 2x host wall-clock
+    median on both the join and the aggregate smoke benches."""
+    lines = []
+    for name, builder in (("join", _join_builder),
+                          ("aggregate", _agg_builder)):
+        medians = _wall_medians(builder)
+        speedup = medians["loop"] / medians["vectorized"]
+        lines.append(f"{name}: loop {1e3 * medians['loop']:.2f}ms "
+                     f"vectorized {1e3 * medians['vectorized']:.2f}ms "
+                     f"speedup {speedup:.1f}x")
+        assert speedup >= 2.0, (
+            f"vectorized executor only {speedup:.2f}x faster than loop "
+            f"on the {name} smoke bench (floor is 2x): {medians}")
+    report("\n".join(lines))

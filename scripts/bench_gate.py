@@ -50,6 +50,7 @@ SMOKE_BENCHMARKS = (
     "benchmarks/bench_e10_allocation.py",
     "benchmarks/bench_e13_guidelines.py",
     "benchmarks/bench_e19_metrics.py",
+    "benchmarks/bench_e23_vectorized.py",
 )
 
 

@@ -59,6 +59,19 @@ class CostParameters:
     parse_ns_per_char: float = 400.0
     optimize_ns_per_node: float = 25_000.0
     tuple_overhead_ns: float = 600.0
+    # Vectorized-kernel constants (see repro.db.kernels).  One fused
+    # primitive per batch replaces a per-row interpreter loop, so the
+    # per-unit costs drop by roughly an order of magnitude while each
+    # kernel invocation pays a fixed launch cost.
+    vector_filter_ns_per_value: float = 2.5
+    vector_project_ns_per_value: float = 2.0
+    vector_join_ns_per_row: float = 12.0
+    vector_group_ns_per_row: float = 15.0
+    vector_agg_ns_per_value: float = 4.0
+    vector_distinct_ns_per_row: float = 12.0
+    gather_ns_per_value: float = 1.0
+    kernel_launch_ns: float = 4_000.0
+    plan_cache_lookup_ns: float = 1_500.0
 
     def __post_init__(self):
         for name, value in self.__dict__.items():
@@ -85,7 +98,9 @@ class ExecutionContext:
                  counters: Optional[HardwareCounters] = None,
                  build: Optional[BuildModel] = None,
                  mode: ExecutionMode = ExecutionMode.COLUMN,
-                 costs: Optional[CostParameters] = None):
+                 costs: Optional[CostParameters] = None,
+                 executor: str = "loop",
+                 selection_vectors: bool = True):
         self.database = database
         self.buffer_pool = buffer_pool
         self.clock = clock
@@ -94,6 +109,13 @@ class ExecutionContext:
         self.build = build if build is not None else BuildModel(BuildMode.OPT)
         self.mode = mode
         self.costs = costs if costs is not None else CostParameters()
+        #: Which operator implementations run: "loop" (per-row Python,
+        #: the differential-testing oracle) or "vectorized"
+        #: (:mod:`repro.db.kernels`).
+        self.executor = executor
+        #: Whether the vectorized executor may defer materialisation by
+        #: carrying selection vectors between operators.
+        self.selection_vectors = selection_vectors
         #: Largest per-operator working set seen this execution (bytes).
         self.peak_memory_bytes = 0
 

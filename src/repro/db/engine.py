@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.db import kernels
 from repro.db.buffer import BufferPool
 from repro.db.context import (
     CostParameters,
@@ -30,7 +31,7 @@ from repro.db.context import (
 from repro.db.disk import DiskModel
 from repro.db.indexes import HashIndex, IndexCatalog
 from repro.db.optimizer import PlannerOptions, count_plan_nodes, plan_statement
-from repro.db.parser import parse_select
+from repro.db.parser import normalize_sql, parse_select
 from repro.db.plan import PlanNode
 from repro.db.profiler import ProfileReport, operator_timings
 from repro.db.storage import Database
@@ -60,6 +61,24 @@ class EngineConfig:
     naive_joins: bool = False
     costs: CostParameters = field(default_factory=CostParameters)
     disk: DiskModel = field(default_factory=DiskModel)
+    #: Operator implementation: "loop" (per-row Python, the
+    #: differential-testing oracle) or "vectorized" (repro.db.kernels).
+    executor: str = "loop"
+    #: Let the vectorized executor defer filter materialisation by
+    #: passing selection vectors between operators.
+    selection_vectors: bool = True
+    #: Reuse physical plans across textually-equivalent statements
+    #: (keyed on normalised SQL + catalog versions).  Off by default so
+    #: profiling still observes parse/optimize phases.
+    plan_cache: bool = False
+
+    VALID_EXECUTORS = ("loop", "vectorized")
+
+    def __post_init__(self):
+        if self.executor not in self.VALID_EXECUTORS:
+            raise DatabaseError(
+                f"unknown executor {self.executor!r}; valid options: "
+                + ", ".join(repr(e) for e in self.VALID_EXECUTORS))
 
     def planner_options(self) -> PlannerOptions:
         if self.naive_joins:
@@ -166,6 +185,10 @@ class Engine:
                                       disk, self.clock,
                                       self.counters, faults=faults)
         self.indexes = IndexCatalog()
+        # Plan cache: normalised SQL + catalog versions -> physical plan.
+        self._plan_cache: Dict[Tuple[Any, int, int], PlanNode] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -187,21 +210,52 @@ class Engine:
             database=self.database, buffer_pool=self.buffer_pool,
             clock=self.clock, counters=self.counters,
             build=self.config.build, mode=self.config.mode,
-            costs=self.config.costs)
+            costs=self.config.costs,
+            executor=self.config.executor,
+            selection_vectors=self.config.selection_vectors)
 
     # -- query interface ---------------------------------------------------
 
-    def plan(self, sql: str) -> PlanNode:
-        """Parse and plan without executing."""
+    def _cache_key(self, sql: str) -> Tuple[Any, int, int]:
+        """Cache key: normalised tokens + catalog versions, so any DDL
+        or index change invalidates every dependent plan."""
+        return (normalize_sql(sql), self.database.version,
+                self.indexes.version)
+
+    def _build_plan(self, sql: str) -> PlanNode:
         statement = parse_select(sql)
         return plan_statement(statement, self.database,
                               self.config.planner_options(),
                               indexes=self.indexes)
 
+    def _plan_cached(self, sql: str) -> Tuple[PlanNode, Optional[bool]]:
+        """``(plan, cache_hit)``; hit is None when caching is off."""
+        if not self.config.plan_cache:
+            return self._build_plan(sql), None
+        key = self._cache_key(sql)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self.plan_cache_hits += 1
+            return cached, True
+        self.plan_cache_misses += 1
+        plan = self._build_plan(sql)
+        self._plan_cache[key] = plan
+        return plan, False
+
+    def plan(self, sql: str) -> PlanNode:
+        """Parse and plan without executing (plan-cache aware)."""
+        return self._plan_cached(sql)[0]
+
     def explain(self, sql: str) -> str:
-        """EXPLAIN: the physical plan with cardinality estimates."""
-        plan = self.plan(sql)
-        return plan.explain(self._context())
+        """EXPLAIN: the physical plan with cardinality estimates, the
+        kernel/build-side choices, and (when enabled) plan-cache status."""
+        plan, hit = self._plan_cached(sql)
+        text = plan.explain(self._context())
+        if hit is not None:
+            status = "hit" if hit else "miss"
+            text = (f"-- plan cache: {status} "
+                    f"({len(self._plan_cache)} entries)\n") + text
+        return text
 
     def execute(self, sql: str) -> QueryResult:
         result, __ = self.profile(sql)
@@ -225,20 +279,42 @@ class Engine:
         costs = self.config.costs
 
         start = self.clock.sample()
-        with maybe_span("engine.parse", "engine"):
-            ctx.charge_cpu("arithmetic",
-                           costs.parse_ns_per_char * len(sql))
-            statement = parse_select(sql)
-        after_parse = self.clock.sample()
+        plan: Optional[PlanNode] = None
+        cache_key = None
+        if self.config.plan_cache:
+            with maybe_span("engine.plan_cache", "engine") as cache_span:
+                ctx.charge_cpu("arithmetic", costs.plan_cache_lookup_ns)
+                cache_key = self._cache_key(sql)
+                plan = self._plan_cache.get(cache_key)
+                if plan is not None:
+                    self.plan_cache_hits += 1
+                else:
+                    self.plan_cache_misses += 1
+                if cache_span is not None:
+                    cache_span.set(hit=plan is not None)
 
-        with maybe_span("engine.optimize", "engine"):
-            plan = plan_statement(statement, self.database,
-                                  self.config.planner_options(),
-                                  indexes=self.indexes)
-            ctx.charge_cpu(
-                "arithmetic",
-                costs.optimize_ns_per_node * count_plan_nodes(plan))
-        after_optimize = self.clock.sample()
+        if plan is not None:
+            # Cached plan: the parse and optimize phases collapse to
+            # the (already charged) lookup.
+            after_parse = self.clock.sample()
+            after_optimize = after_parse
+        else:
+            with maybe_span("engine.parse", "engine"):
+                ctx.charge_cpu("arithmetic",
+                               costs.parse_ns_per_char * len(sql))
+                statement = parse_select(sql)
+            after_parse = self.clock.sample()
+
+            with maybe_span("engine.optimize", "engine"):
+                plan = plan_statement(statement, self.database,
+                                      self.config.planner_options(),
+                                      indexes=self.indexes)
+                ctx.charge_cpu(
+                    "arithmetic",
+                    costs.optimize_ns_per_node * count_plan_nodes(plan))
+            after_optimize = self.clock.sample()
+            if cache_key is not None:
+                self._plan_cache[cache_key] = plan
 
         with maybe_span("engine.execute", "engine") as execute_span:
             batch = plan.execute(ctx)
@@ -249,6 +325,9 @@ class Engine:
         after_execute = self.clock.sample()
 
         with maybe_span("engine.materialize", "engine") as mat_span:
+            # A root Filter under selection vectors can hand back a
+            # SelBatch; gather it once here.
+            batch = kernels.materialize_charged(ctx, batch)
             columns = tuple(batch)
             arrays = [batch[name] for name in columns]
             n = len(arrays[0]) if arrays else 0
@@ -294,6 +373,9 @@ class Engine:
             "buffer_hit_rate": self.buffer_pool.hit_rate(),
             "buffer_evictions": float(self.buffer_pool.evictions),
             "io_pages_read": float(self.counters.read("io_reads")),
+            "plan_cache_hits": float(self.plan_cache_hits),
+            "plan_cache_misses": float(self.plan_cache_misses),
+            "plan_cache_size": float(len(self._plan_cache)),
         }
 
     # QueryResult carries per-query peak memory; engine-wide peaks are

@@ -121,6 +121,10 @@ _ARITH_OPS = {
     "/": np.divide,
 }
 
+#: Public aliases so the kernel compiler (:mod:`repro.db.kernels`)
+#: shares the exact ufunc dispatch tables the interpreter uses.
+ARITH_OPS = _ARITH_OPS
+
 
 @dataclass(frozen=True)
 class Arithmetic(Expr):
@@ -168,6 +172,8 @@ _CMP_OPS = {
     ">": np.greater,
     ">=": np.greater_equal,
 }
+
+CMP_OPS = _CMP_OPS
 
 
 @dataclass(frozen=True)

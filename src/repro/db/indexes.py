@@ -79,6 +79,9 @@ class IndexCatalog:
 
     def __init__(self):
         self._indexes: Dict[Tuple[str, str], HashIndex] = {}
+        #: Bumped on create/drop; part of the plan-cache key, since an
+        #: index change can flip the optimizer's access-path choice.
+        self.version = 0
 
     def create(self, table: Table, column_name: str) -> HashIndex:
         key = (table.name, column_name)
@@ -88,6 +91,7 @@ class IndexCatalog:
         table.column(column_name)  # raises on unknown column
         index = HashIndex.build(table, column_name)
         self._indexes[key] = index
+        self.version += 1
         return index
 
     def drop(self, table_name: str, column_name: str) -> None:
@@ -96,6 +100,7 @@ class IndexCatalog:
             raise CatalogError(
                 f"no index on {table_name}.{column_name}")
         del self._indexes[key]
+        self.version += 1
 
     def find(self, table_name: str,
              column_name: str) -> Optional[HashIndex]:

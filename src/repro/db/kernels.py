@@ -1,0 +1,492 @@
+"""Vectorized execution kernels for MiniDB.
+
+This module is the loop-free half of the executor: every per-row Python
+loop in :mod:`repro.db.operators` has a NumPy twin here, in the
+MonetDB/X100 column-at-a-time style the tutorial's profiling slides
+contrast against tuple-at-a-time interpretation.
+
+Kernel inventory
+----------------
+- :func:`dict_encode` — dictionary-encode one or more key columns into
+  dense composite group ids (``np.unique(..., return_inverse=True)``);
+- :func:`encode_join_keys` — the same encoding applied jointly to both
+  sides of an equi-join, so equal keys get equal codes across sides;
+- :func:`join_match` — sort-based equi-join matching emitting
+  ``(left_idx, right_idx)`` gather arrays, left-major like the loop
+  executor (stable ``np.argsort`` + two ``np.searchsorted`` sweeps);
+- :func:`merge_match` — the already-sorted variant (no argsort pass);
+- :func:`grouped_reduce` — grouped SUM/MIN/MAX via ``np.argsort`` +
+  ``np.add.reduceat`` / ``np.minimum.reduceat`` / ``np.maximum.reduceat``;
+- :func:`group_count` / :func:`group_first_index` — grouped COUNT and
+  first-occurrence representative rows;
+- :func:`first_occurrence_order` — DISTINCT keeping loop-identical
+  first-occurrence row order;
+- :func:`compile_expr` — expression compilation with a process-wide
+  cache keyed by the (frozen, hashable) expression tree.
+
+Selection vectors
+-----------------
+:class:`SelBatch` wraps a base batch plus a ``sel`` index array: a
+filter that keeps 1% of rows produces a 1%-sized ``sel`` instead of
+copying every column.  Downstream non-breaking operators compose with
+``sel``; pipeline breakers (joins, aggregation, sort, distinct) and the
+engine's materialisation phase gather exactly once via
+:func:`materialize`.
+
+Every kernel runs under a ``maybe_span(..., category="kernel")`` so
+traces and flamegraphs attribute execution time to individual kernels
+(and the metrics registry counts ``spans.kernel``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.expressions import (
+    ARITH_OPS,
+    CMP_OPS,
+    Arithmetic,
+    Between,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Like,
+    Literal,
+    Not,
+)
+from repro.errors import PlanError
+from repro.obs import maybe_span
+
+__all__ = [
+    "SelBatch",
+    "compile_expr",
+    "dict_encode",
+    "encode_join_keys",
+    "expression_cache_clear",
+    "expression_cache_info",
+    "first_occurrence_order",
+    "gather",
+    "group_count",
+    "group_first_index",
+    "grouped_reduce",
+    "join_match",
+    "materialize",
+    "merge_match",
+    "split_batch",
+]
+
+
+# ---------------------------------------------------------------------------
+# Selection vectors
+# ---------------------------------------------------------------------------
+
+class SelBatch:
+    """A batch with a deferred selection: base columns plus a ``sel``
+    index array of the surviving row positions (sorted ascending).
+
+    Behaves enough like a ``Dict[str, np.ndarray]`` for the generic
+    plan machinery (``in``, iteration, row counting) while postponing
+    the per-column gather until a pipeline breaker calls
+    :func:`materialize`.
+    """
+
+    __slots__ = ("base", "sel")
+
+    def __init__(self, base: Dict[str, np.ndarray], sel: np.ndarray):
+        self.base = base
+        self.sel = np.asarray(sel, dtype=np.int64)
+
+    def rows(self) -> int:
+        return int(self.sel.size)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.base
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.base)
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column, gathered through the selection vector."""
+        try:
+            return self.base[name][self.sel]
+        except KeyError:
+            raise PlanError(
+                f"column {name!r} not in batch "
+                f"({sorted(self.base)})") from None
+
+    def view(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Gather only *names* (e.g. a predicate's referenced columns)."""
+        return {n: self.column(n) for n in names}
+
+    def bytes_used(self) -> int:
+        """Selected payload plus the selection vector itself."""
+        n = self.rows()
+        total = 8 * n  # the sel array
+        for arr in self.base.values():
+            total += n * (16 if arr.dtype == object else arr.itemsize)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SelBatch({sorted(self.base)}, "
+                f"sel={self.rows()}/{len(next(iter(self.base.values()), []))})")
+
+
+def split_batch(batch) -> Tuple[Dict[str, np.ndarray],
+                                Optional[np.ndarray]]:
+    """``(base, sel)`` of any batch; ``sel`` is None when materialised."""
+    if isinstance(batch, SelBatch):
+        return batch.base, batch.sel
+    return batch, None
+
+
+def gather(base: Dict[str, np.ndarray], sel: np.ndarray,
+           names: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
+    """Materialise *sel* rows of *base* (all columns by default)."""
+    if names is None:
+        names = list(base)
+    with maybe_span("kernel.gather", "kernel",
+                    rows=int(sel.size), columns=len(names)):
+        return {n: base[n][sel] for n in names}
+
+
+def materialize(batch):
+    """A plain dict batch: gathers once if *batch* carries a selection."""
+    if isinstance(batch, SelBatch):
+        return gather(batch.base, batch.sel)
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Dictionary encoding and join matching
+# ---------------------------------------------------------------------------
+
+def dict_encode(columns: Sequence[np.ndarray]
+                ) -> Tuple[np.ndarray, int]:
+    """Dense composite codes for equal-length key columns.
+
+    Returns ``(codes, n_codes)`` where ``codes[i]`` identifies the
+    composite key of row ``i`` and every id in ``[0, n_codes)`` occurs.
+    Ids are assigned in ascending composite-key order (NumPy's sort
+    order per column), so grouped output produced from these codes is
+    key-sorted — unlike the loop executor's first-occurrence order.
+    """
+    if not columns:
+        raise PlanError("dict_encode needs at least one key column")
+    n = len(columns[0])
+    with maybe_span("kernel.dict_encode", "kernel",
+                    rows=n, keys=len(columns)):
+        codes: Optional[np.ndarray] = None
+        for col in columns:
+            uniques, inverse = np.unique(np.asarray(col),
+                                         return_inverse=True)
+            inverse = inverse.astype(np.int64, copy=False)
+            if codes is None:
+                codes = inverse
+            else:
+                codes = codes * np.int64(len(uniques)) + inverse
+                # Re-compact before the mixed-radix product can overflow.
+                if len(uniques) and codes.size \
+                        and int(codes.max(initial=0)) > 2 ** 61:
+                    __, codes = np.unique(codes, return_inverse=True)
+                    codes = codes.astype(np.int64, copy=False)
+        uniques, compact = np.unique(codes, return_inverse=True)
+        return compact.astype(np.int64, copy=False), int(len(uniques))
+
+
+def encode_join_keys(left_cols: Sequence[np.ndarray],
+                     right_cols: Sequence[np.ndarray]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Comparable composite codes for the two sides of an equi-join.
+
+    Each key position's left and right columns are concatenated before
+    encoding, so a key value present on both sides maps to one code.
+    """
+    if len(left_cols) != len(right_cols) or not left_cols:
+        raise PlanError(
+            "join encoding needs equally many (>=1) keys on both sides")
+    n_left = len(left_cols[0])
+    combined = [np.concatenate([np.asarray(l), np.asarray(r)])
+                for l, r in zip(left_cols, right_cols)]
+    codes, __ = dict_encode(combined)
+    return codes[:n_left], codes[n_left:]
+
+
+def join_match(left_codes: np.ndarray, right_codes: np.ndarray
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """All (left, right) index pairs with equal codes, left-major.
+
+    Output order matches the loop executor's hash join exactly: left
+    indices ascending, and for one left row its matching right indices
+    ascending (the stable argsort keeps equal codes in input order).
+    """
+    with maybe_span("kernel.join_match", "kernel",
+                    left=int(left_codes.size),
+                    right=int(right_codes.size)):
+        order = np.argsort(right_codes, kind="stable")
+        sorted_right = right_codes[order]
+        starts = np.searchsorted(sorted_right, left_codes, side="left")
+        ends = np.searchsorted(sorted_right, left_codes, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        left_idx = np.repeat(np.arange(left_codes.size, dtype=np.int64),
+                             counts)
+        first = np.cumsum(counts) - counts
+        positions = np.repeat(starts - first, counts) \
+            + np.arange(total, dtype=np.int64)
+        right_idx = order[positions]
+        return left_idx, right_idx
+
+
+def merge_match(left_keys: np.ndarray, right_keys: np.ndarray
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`join_match` for inputs already sorted on their keys.
+
+    Skips the argsort pass: right-side runs are located directly with
+    two binary-search sweeps over the sorted right keys.
+    """
+    with maybe_span("kernel.merge_match", "kernel",
+                    left=int(len(left_keys)),
+                    right=int(len(right_keys))):
+        starts = np.searchsorted(right_keys, left_keys, side="left")
+        ends = np.searchsorted(right_keys, left_keys, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        left_idx = np.repeat(np.arange(len(left_keys), dtype=np.int64),
+                             counts)
+        first = np.cumsum(counts) - counts
+        right_idx = np.repeat(starts - first, counts) \
+            + np.arange(total, dtype=np.int64)
+        return left_idx, right_idx
+
+
+# ---------------------------------------------------------------------------
+# Grouped aggregation
+# ---------------------------------------------------------------------------
+
+_REDUCE_UFUNCS = {"sum": np.add, "min": np.minimum, "max": np.maximum}
+
+
+def grouped_reduce(values: np.ndarray, group_ids: np.ndarray,
+                   n_groups: int, op: str) -> np.ndarray:
+    """Per-group reduction via stable argsort + ``ufunc.reduceat``.
+
+    ``group_ids`` must be dense (:func:`dict_encode` output): every id
+    in ``[0, n_groups)`` occurs at least once.
+    """
+    try:
+        ufunc = _REDUCE_UFUNCS[op]
+    except KeyError:
+        raise PlanError(
+            f"unknown grouped reduction {op!r}; "
+            f"known: {sorted(_REDUCE_UFUNCS)}") from None
+    with maybe_span("kernel.grouped_reduce", "kernel",
+                    rows=int(len(values)), groups=n_groups, op=op):
+        if n_groups == 0:
+            return np.zeros(0, dtype=np.float64)
+        order = np.argsort(group_ids, kind="stable")
+        sorted_values = np.asarray(values, dtype=np.float64)[order]
+        sorted_ids = np.asarray(group_ids)[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(sorted_ids)) + 1))
+        if len(starts) != n_groups:
+            raise PlanError(
+                f"group ids are not dense: {len(starts)} distinct ids "
+                f"for {n_groups} declared groups")
+        return ufunc.reduceat(sorted_values, starts)
+
+
+def group_count(group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    """Per-group row counts (COUNT(*)) as int64."""
+    with maybe_span("kernel.group_count", "kernel",
+                    rows=int(group_ids.size), groups=n_groups):
+        return np.bincount(group_ids,
+                           minlength=n_groups).astype(np.int64)
+
+
+def group_first_index(group_ids: np.ndarray, n_groups: int) -> np.ndarray:
+    """The first input row index of each group (key materialisation)."""
+    with maybe_span("kernel.group_first_index", "kernel",
+                    rows=int(group_ids.size), groups=n_groups):
+        first = np.full(n_groups, group_ids.size, dtype=np.int64)
+        np.minimum.at(first, group_ids,
+                      np.arange(group_ids.size, dtype=np.int64))
+        return first
+
+
+def first_occurrence_order(columns: Sequence[np.ndarray]
+                           ) -> np.ndarray:
+    """Row indices of the first occurrence of each distinct row,
+    ascending — the loop executor's DISTINCT order, loop-free."""
+    n = len(columns[0]) if columns else 0
+    with maybe_span("kernel.first_occurrence", "kernel", rows=n):
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        codes, n_codes = dict_encode(columns)
+        return np.sort(group_first_index(codes, n_codes))
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+CompiledExpr = Callable[[Dict[str, np.ndarray]], np.ndarray]
+
+_EXPR_CACHE: Dict[Expr, CompiledExpr] = {}
+_expr_cache_hits = 0
+_expr_cache_misses = 0
+
+
+def expression_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide expression cache."""
+    return {"hits": _expr_cache_hits, "misses": _expr_cache_misses,
+            "size": len(_EXPR_CACHE)}
+
+
+def expression_cache_clear() -> None:
+    """Drop all compiled expressions and reset the counters (tests)."""
+    global _expr_cache_hits, _expr_cache_misses
+    _EXPR_CACHE.clear()
+    _expr_cache_hits = 0
+    _expr_cache_misses = 0
+
+
+def compile_expr(expr: Expr) -> CompiledExpr:
+    """A reusable ``batch -> ndarray`` evaluator for *expr*.
+
+    Compilation resolves operator dispatch, literal dtypes and LIKE
+    regexes once per distinct expression tree; repeated queries reuse
+    the cached closure (expressions are frozen dataclasses, hence
+    hashable and safe cache keys).  Semantics mirror
+    :meth:`~repro.db.expressions.Expr.evaluate` exactly.
+    """
+    global _expr_cache_hits, _expr_cache_misses
+    try:
+        cached = _EXPR_CACHE.get(expr)
+    except TypeError:  # unhashable literal payload: compile uncached
+        return _build_compiled(expr)
+    if cached is not None:
+        _expr_cache_hits += 1
+        return cached
+    _expr_cache_misses += 1
+    compiled = _build_compiled(expr)
+    _EXPR_CACHE[expr] = compiled
+    return compiled
+
+
+def _build_compiled(expr: Expr) -> CompiledExpr:
+    if isinstance(expr, ColumnRef):
+        name = expr.name
+
+        def read_column(batch, name=name):
+            try:
+                return batch[name]
+            except KeyError:
+                raise PlanError(
+                    f"column {name!r} not in batch "
+                    f"({sorted(batch)})") from None
+        return read_column
+    if isinstance(expr, Literal):
+        return expr.evaluate  # already cheap; dtype resolved inside
+    if isinstance(expr, Arithmetic):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        if expr.op == "/":
+            def divide(batch, left=left, right=right):
+                lv = left(batch)
+                rv = right(batch)
+                return np.divide(lv, rv,
+                                 out=np.zeros(len(lv), dtype=np.float64),
+                                 where=np.asarray(rv) != 0,
+                                 casting="unsafe")
+            return divide
+        ufunc = ARITH_OPS[expr.op]
+        return lambda batch: ufunc(left(batch), right(batch))
+    if isinstance(expr, Comparison):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        ufunc = CMP_OPS[expr.op]
+        return lambda batch: ufunc(left(batch), right(batch))
+    if isinstance(expr, BoolOp):
+        parts = [compile_expr(p) for p in expr.parts]
+        combine = np.logical_and if expr.op == "and" else np.logical_or
+
+        def boolean(batch, parts=parts, combine=combine):
+            out = np.asarray(parts[0](batch), dtype=bool)
+            for part in parts[1:]:
+                out = combine(out, np.asarray(part(batch), dtype=bool))
+            return out
+        return boolean
+    if isinstance(expr, Not):
+        child = compile_expr(expr.child)
+        return lambda batch: np.logical_not(
+            np.asarray(child(batch), dtype=bool))
+    if isinstance(expr, Between):
+        value = compile_expr(expr.expr)
+        low = compile_expr(expr.low)
+        high = compile_expr(expr.high)
+
+        def between(batch, value=value, low=low, high=high):
+            v = value(batch)
+            return np.logical_and(v >= low(batch), v <= high(batch))
+        return between
+    if isinstance(expr, InList):
+        value = compile_expr(expr.expr)
+        values = expr.values
+
+        def in_list(batch, value=value, values=values):
+            v = value(batch)
+            out = np.zeros(len(v), dtype=bool)
+            for candidate in values:
+                out |= (v == candidate)
+            return out
+        return in_list
+    if isinstance(expr, Like):
+        value = compile_expr(expr.expr)
+        pattern = expr._regex()  # compiled once, reused per batch
+
+        def like(batch, value=value, pattern=pattern):
+            v = value(batch)
+            out = np.empty(len(v), dtype=bool)
+            for i, s in enumerate(v):
+                out[i] = bool(pattern.match(s))
+            return out
+        return like
+    # Unknown node types fall back to interpreted evaluation.
+    return expr.evaluate
+
+
+# ---------------------------------------------------------------------------
+# Cost accounting helpers shared by the vectorized operator paths
+# ---------------------------------------------------------------------------
+
+def charge_gather(ctx, n_rows: int, n_columns: int) -> None:
+    """Charge the simulated cost of materialising a selection."""
+    if n_rows and n_columns:
+        ctx.charge_cpu("scan",
+                       ctx.costs.gather_ns_per_value * n_rows * n_columns)
+
+
+def materialize_charged(ctx, batch):
+    """:func:`materialize` plus its simulated gather cost."""
+    if isinstance(batch, SelBatch):
+        charge_gather(ctx, batch.rows(), len(batch.base))
+        return gather(batch.base, batch.sel)
+    return batch
+
+
+def normalize_keys(columns: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Key columns as ndarrays (defensive copy-free passthrough)."""
+    return [np.asarray(c) for c in columns]

@@ -21,11 +21,42 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.db import kernels
 from repro.db.context import ExecutionContext
 from repro.db.expressions import Expr
 from repro.db.plan import Batch, PlanNode, batch_rows, require_columns
 from repro.db.types import DataType
 from repro.errors import PlanError
+
+
+def _vectorized(ctx) -> bool:
+    """True when the context selects the kernel-based executor.
+
+    ``getattr`` keeps internal delegating contexts (e.g. the nested-loop
+    join's null-cost wrapper) transparent.
+    """
+    return getattr(ctx, "executor", "loop") == "vectorized"
+
+
+def _kernel_extras(ctx) -> List[str]:
+    """The ``kernel=`` EXPLAIN annotation for vectorizable operators."""
+    if ctx is None:
+        return []
+    return [f"kernel={'vectorized' if _vectorized(ctx) else 'loop'}"]
+
+
+def _predicate_view(batch, columns: Sequence[str], n: int,
+                    ctx) -> Batch:
+    """The columns an expression needs, gathered if *batch* carries a
+    selection vector.  Expressions over no columns (pure literals) get
+    a carrier column so their result still has *n* rows."""
+    base, sel = kernels.split_batch(batch)
+    if not columns:
+        return {"__rows__": np.zeros(n, dtype=np.int8)}
+    if sel is None:
+        return base
+    kernels.charge_gather(ctx, n, len(columns))
+    return kernels.gather(base, sel, list(columns))
 
 
 class SeqScan(PlanNode):
@@ -89,17 +120,48 @@ class Filter(PlanNode):
         return self.children[0].estimated_rows(ctx) * \
             estimate_selectivity(self.predicate)
 
+    def explain_extras(self, ctx) -> List[str]:
+        return _kernel_extras(ctx)
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
-        require_columns(batch, sorted(self.predicate.columns()), self.name())
+        needed = sorted(self.predicate.columns())
+        require_columns(batch, needed, self.name())
         n = batch_rows(batch)
+        if _vectorized(ctx):
+            return self._run_vectorized(ctx, batch, needed, n)
         ctx.charge_cpu(self.category,
                        ctx.costs.filter_ns_per_value * n
                        * self.predicate.node_count())
         ctx.charge_tuples(n)
         mask = np.asarray(self.predicate.evaluate(batch), dtype=bool)
+        if n and bool(mask.all()):
+            # All rows survive: the input batch is already the answer
+            # (tuple costs above were charged on all n rows either way).
+            return batch
         return {name: arr[mask] for name, arr in batch.items()}
+
+    def _run_vectorized(self, ctx: ExecutionContext, batch,
+                        needed: Sequence[str], n: int) -> Batch:
+        costs = ctx.costs
+        ctx.charge_cpu(self.category,
+                       costs.kernel_launch_ns
+                       + costs.vector_filter_ns_per_value * n
+                       * self.predicate.node_count())
+        ctx.charge_tuples(n)
+        self.span_extras["kernel"] = "filter.vector"
+        view = _predicate_view(batch, needed, n, ctx)
+        mask = np.asarray(kernels.compile_expr(self.predicate)(view),
+                          dtype=bool)
+        if n and bool(mask.all()):
+            return batch
+        base, sel = kernels.split_batch(batch)
+        new_sel = np.flatnonzero(mask) if sel is None else sel[mask]
+        if getattr(ctx, "selection_vectors", False):
+            return kernels.SelBatch(base, new_sel)
+        kernels.charge_gather(ctx, int(new_sel.size), len(base))
+        return kernels.gather(base, new_sel)
 
 
 class Project(PlanNode):
@@ -130,10 +192,15 @@ class Project(PlanNode):
     def estimated_rows(self, ctx: ExecutionContext) -> float:
         return self.children[0].estimated_rows(ctx)
 
+    def explain_extras(self, ctx) -> List[str]:
+        return _kernel_extras(ctx)
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
         n = batch_rows(batch)
+        if _vectorized(ctx):
+            return self._run_vectorized(ctx, batch, n)
         out: Batch = {}
         for expr, alias in self.items:
             ctx.charge_cpu(expr.cost_category(),
@@ -141,6 +208,25 @@ class Project(PlanNode):
                            * expr.node_count())
             out[alias] = np.asarray(expr.evaluate(batch))
         ctx.charge_tuples(n)
+        return out
+
+    def _run_vectorized(self, ctx: ExecutionContext, batch,
+                        n: int) -> Batch:
+        # Projection is a gather point: referenced columns materialise
+        # here, computed outputs are fresh arrays either way.
+        costs = ctx.costs
+        referenced = sorted(set().union(
+            *(expr.columns() for expr, __ in self.items)))
+        view = _predicate_view(batch, referenced, n, ctx)
+        ctx.charge_cpu("arithmetic", costs.kernel_launch_ns)
+        out: Batch = {}
+        for expr, alias in self.items:
+            ctx.charge_cpu(expr.cost_category(),
+                           costs.vector_project_ns_per_value * n
+                           * expr.node_count())
+            out[alias] = np.asarray(kernels.compile_expr(expr)(view))
+        ctx.charge_tuples(n)
+        self.span_extras["kernel"] = "project.vector"
         return out
 
 
@@ -182,36 +268,63 @@ class HashJoin(PlanNode):
         # Foreign-key-style estimate: output bounded by the probe side.
         return max(left, right) if min(left, right) else 0.0
 
+    def choose_build_side(self, ctx, n_left: int, n_right: int) -> str:
+        """Build the hash table on the estimated-smaller input.
+
+        Ties keep the classic build-right layout.  The internal
+        childless helper (see :class:`NestedLoopJoin`) falls back to
+        actual batch sizes.
+        """
+        if len(self.children) == 2 and ctx is not None:
+            est_left = self.children[0].estimated_rows(ctx)
+            est_right = self.children[1].estimated_rows(ctx)
+        else:
+            est_left, est_right = float(n_left), float(n_right)
+        return "left" if est_left < est_right else "right"
+
+    def explain_extras(self, ctx) -> List[str]:
+        extras = _kernel_extras(ctx)
+        build = self.span_extras.get("build_side")
+        if build is None and ctx is not None:
+            build = self.choose_build_side(ctx, 0, 0)
+        if build is not None:
+            extras.append(f"build={build}")
+        return extras
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         left, right = child_batches
         require_columns(left, self.left_keys, self.name() + " (left)")
         require_columns(right, self.right_keys, self.name() + " (right)")
+        if _vectorized(ctx):
+            left = kernels.materialize_charged(ctx, left)
+            right = kernels.materialize_charged(ctx, right)
         n_left, n_right = batch_rows(left), batch_rows(right)
-        ctx.charge_cpu("hash", ctx.costs.hash_build_ns_per_row * n_right)
-        ctx.charge_cpu("hash", ctx.costs.hash_probe_ns_per_row * n_left)
+        build_side = self.choose_build_side(ctx, n_left, n_right)
+        n_build = n_left if build_side == "left" else n_right
+        self.span_extras["build_side"] = build_side
+        # Hash table: roughly one 8-byte slot + entry per build row.
+        self.aux_bytes = 48 * n_build
         ctx.charge_tuples(n_left + n_right)
 
-        build: Dict[tuple, List[int]] = {}
-        right_key_cols = [right[k] for k in self.right_keys]
-        for i in range(n_right):
-            key = tuple(col[i] for col in right_key_cols)
-            build.setdefault(key, []).append(i)
-        # Hash table: roughly one 8-byte slot + entry per build row.
-        self.aux_bytes = 48 * n_right
+        if _vectorized(ctx):
+            ctx.charge_cpu("hash",
+                           ctx.costs.kernel_launch_ns
+                           + ctx.costs.vector_join_ns_per_row
+                           * (n_left + n_right))
+            self.span_extras["kernel"] = "join.vector"
+            left_codes, right_codes = kernels.encode_join_keys(
+                [left[k] for k in self.left_keys],
+                [right[k] for k in self.right_keys])
+            li, ri = kernels.join_match(left_codes, right_codes)
+        else:
+            ctx.charge_cpu("hash",
+                           ctx.costs.hash_build_ns_per_row * n_build)
+            ctx.charge_cpu("hash", ctx.costs.hash_probe_ns_per_row
+                           * (n_left + n_right - n_build))
+            li, ri = self._loop_match(left, right, n_left, n_right,
+                                      build_side)
 
-        left_key_cols = [left[k] for k in self.left_keys]
-        left_idx: List[int] = []
-        right_idx: List[int] = []
-        for i in range(n_left):
-            key = tuple(col[i] for col in left_key_cols)
-            matches = build.get(key)
-            if matches:
-                left_idx.extend([i] * len(matches))
-                right_idx.extend(matches)
-
-        li = np.asarray(left_idx, dtype=np.int64)
-        ri = np.asarray(right_idx, dtype=np.int64)
         out: Batch = {name: arr[li] for name, arr in left.items()}
         for name, arr in right.items():
             if name in out:
@@ -221,6 +334,46 @@ class HashJoin(PlanNode):
                     f"join would produce duplicate column {name!r}")
             out[name] = arr[ri]
         return out
+
+    def _loop_match(self, left: Batch, right: Batch, n_left: int,
+                    n_right: int, build_side: str
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row hash matching; output pairs are always left-major
+        (left index ascending, right matches ascending) regardless of
+        which side the hash table was built on."""
+        left_key_cols = [left[k] for k in self.left_keys]
+        right_key_cols = [right[k] for k in self.right_keys]
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        if build_side == "right":
+            build: Dict[tuple, List[int]] = {}
+            for i in range(n_right):
+                key = tuple(col[i] for col in right_key_cols)
+                build.setdefault(key, []).append(i)
+            for i in range(n_left):
+                key = tuple(col[i] for col in left_key_cols)
+                matches = build.get(key)
+                if matches:
+                    left_idx.extend([i] * len(matches))
+                    right_idx.extend(matches)
+            return (np.asarray(left_idx, dtype=np.int64),
+                    np.asarray(right_idx, dtype=np.int64))
+        build = {}
+        for i in range(n_left):
+            key = tuple(col[i] for col in left_key_cols)
+            build.setdefault(key, []).append(i)
+        for j in range(n_right):
+            key = tuple(col[j] for col in right_key_cols)
+            matches = build.get(key)
+            if matches:
+                left_idx.extend(matches)
+                right_idx.extend([j] * len(matches))
+        li = np.asarray(left_idx, dtype=np.int64)
+        ri = np.asarray(right_idx, dtype=np.int64)
+        # Probing with the right side emits right-major pairs; restore
+        # the executor's canonical left-major order.
+        order = np.lexsort((ri, li))
+        return li[order], ri[order]
 
 
 class NestedLoopJoin(PlanNode):
@@ -345,9 +498,15 @@ class Aggregate(PlanNode):
         child = self.children[0].estimated_rows(ctx)
         return max(1.0, child ** 0.5)  # square-root heuristic
 
+    def explain_extras(self, ctx) -> List[str]:
+        return _kernel_extras(ctx)
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
+        if _vectorized(ctx):
+            return self._run_vectorized(
+                ctx, kernels.materialize_charged(ctx, batch))
         n = batch_rows(batch)
         ctx.charge_cpu("hash", ctx.costs.group_ns_per_row * n)
         ctx.charge_cpu("arithmetic",
@@ -389,6 +548,73 @@ class Aggregate(PlanNode):
                 values = values.astype(np.int64)
             out[alias] = values
         return out
+
+    def _run_vectorized(self, ctx: ExecutionContext,
+                        batch: Batch) -> Batch:
+        n = batch_rows(batch)
+        costs = ctx.costs
+        ctx.charge_cpu("hash", costs.kernel_launch_ns
+                       + costs.vector_group_ns_per_row * n)
+        ctx.charge_cpu("arithmetic",
+                       costs.vector_agg_ns_per_value * n
+                       * max(1, len(self.aggregates)))
+        ctx.charge_tuples(n)
+        self.span_extras["kernel"] = "aggregate.vector"
+        child_schema = self.children[0].schema(ctx)
+
+        out: Batch = {}
+        if self.group_by:
+            group_ids, n_groups = kernels.dict_encode(
+                [batch[k] for k in self.group_by])
+            self.aux_bytes = 48 * n_groups + 8 * n
+            # Representative row per group: output is key-sorted (the
+            # dictionary codes ascend with the composite key), unlike
+            # the loop executor's first-occurrence order.
+            first = kernels.group_first_index(group_ids, n_groups)
+            for key_name in self.group_by:
+                out[key_name] = batch[key_name][first]
+        else:
+            group_ids = np.zeros(n, dtype=np.int64)
+            n_groups = 1
+
+        for func, expr, alias in self.aggregates:
+            values = self._aggregate_vectorized(func, expr, batch,
+                                                group_ids, n_groups)
+            if func is AggFunc.COUNT:
+                values = values.astype(np.int64)
+            elif func is not AggFunc.AVG and expr is not None \
+                    and expr.dtype(child_schema) is DataType.INT64:
+                values = values.astype(np.int64)
+            out[alias] = values
+        return out
+
+    @staticmethod
+    def _aggregate_vectorized(func: AggFunc, expr: Optional[Expr],
+                              batch: Batch, group_ids: np.ndarray,
+                              n_groups: int) -> np.ndarray:
+        if n_groups == 0:
+            return np.zeros(0, dtype=np.float64)
+        if func is AggFunc.COUNT:
+            return kernels.group_count(group_ids, n_groups)
+        values = np.asarray(kernels.compile_expr(expr)(batch),
+                            dtype=np.float64)
+        if values.size == 0:
+            # Only the global aggregate reaches here with zero rows
+            # (dense grouped ids imply populated groups); match the
+            # loop executor's SQL identities over empty input.
+            fill = {AggFunc.SUM: 0.0, AggFunc.AVG: 0.0,
+                    AggFunc.MIN: np.inf, AggFunc.MAX: -np.inf}[func]
+            return np.full(n_groups, fill, dtype=np.float64)
+        if func is AggFunc.SUM:
+            return kernels.grouped_reduce(values, group_ids,
+                                          n_groups, "sum")
+        if func is AggFunc.AVG:
+            sums = kernels.grouped_reduce(values, group_ids,
+                                          n_groups, "sum")
+            counts = kernels.group_count(group_ids, n_groups)
+            return sums / np.maximum(counts, 1)
+        op = "min" if func is AggFunc.MIN else "max"
+        return kernels.grouped_reduce(values, group_ids, n_groups, op)
 
     def _group(self, batch: Batch, n: int):
         key_cols = [batch[k] for k in self.group_by]
@@ -463,20 +689,43 @@ class MergeJoin(PlanNode):
             raise PlanError(
                 f"MergeJoin {side} input is not sorted on its join key")
 
+    def explain_extras(self, ctx) -> List[str]:
+        return _kernel_extras(ctx)
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         left, right = child_batches
         require_columns(left, [self.left_key], self.name() + " (left)")
         require_columns(right, [self.right_key], self.name() + " (right)")
+        if _vectorized(ctx):
+            left = kernels.materialize_charged(ctx, left)
+            right = kernels.materialize_charged(ctx, right)
         lk = left[self.left_key]
         rk = right[self.right_key]
         self._check_sorted(lk, "left")
         self._check_sorted(rk, "right")
         n_left, n_right = len(lk), len(rk)
-        ctx.charge_cpu("sort", ctx.costs.filter_ns_per_value
-                       * (n_left + n_right))
         ctx.charge_tuples(n_left + n_right)
 
+        if _vectorized(ctx):
+            ctx.charge_cpu("sort",
+                           ctx.costs.kernel_launch_ns
+                           + ctx.costs.vector_join_ns_per_row
+                           * (n_left + n_right))
+            self.span_extras["kernel"] = "merge.vector"
+            li, ri = kernels.merge_match(lk, rk)
+            out: Batch = {name: arr[li] for name, arr in left.items()}
+            for name, arr in right.items():
+                if name in out:
+                    if name == self.right_key:
+                        continue
+                    raise PlanError(
+                        f"join would produce duplicate column {name!r}")
+                out[name] = arr[ri]
+            return out
+
+        ctx.charge_cpu("sort", ctx.costs.filter_ns_per_value
+                       * (n_left + n_right))
         left_idx: List[int] = []
         right_idx: List[int] = []
         i = j = 0
@@ -531,9 +780,23 @@ class Distinct(PlanNode):
         child = self.children[0].estimated_rows(ctx)
         return max(1.0, child ** 0.5)
 
+    def explain_extras(self, ctx) -> List[str]:
+        return _kernel_extras(ctx)
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
+        if _vectorized(ctx):
+            batch = kernels.materialize_charged(ctx, batch)
+            n = batch_rows(batch)
+            ctx.charge_cpu("hash",
+                           ctx.costs.kernel_launch_ns
+                           + ctx.costs.vector_distinct_ns_per_row * n)
+            ctx.charge_tuples(n)
+            self.span_extras["kernel"] = "distinct.vector"
+            idx = kernels.first_occurrence_order(
+                [batch[c] for c in batch])
+            return {name: arr[idx] for name, arr in batch.items()}
         n = batch_rows(batch)
         ctx.charge_cpu("hash", ctx.costs.group_ns_per_row * n)
         ctx.charge_tuples(n)
@@ -576,6 +839,10 @@ class Sort(PlanNode):
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
         require_columns(batch, [k for k, __ in self.keys], self.name())
+        if _vectorized(ctx):
+            # Sort is a pipeline breaker: gather any pending selection
+            # once, then permute materialised columns.
+            batch = kernels.materialize_charged(ctx, batch)
         n = batch_rows(batch)
         if n > 1:
             ctx.charge_cpu("sort", ctx.costs.sort_ns_per_compare
@@ -616,4 +883,8 @@ class Limit(PlanNode):
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
-        return {name: arr[:self.n] for name, arr in batch.items()}
+        base, sel = kernels.split_batch(batch)
+        if sel is not None:
+            # Truncate the selection instead of materialising.
+            return kernels.SelBatch(base, sel[:self.n])
+        return {name: arr[:self.n] for name, arr in base.items()}

@@ -96,6 +96,19 @@ def tokenize(sql: str) -> List[Token]:
     return tokens
 
 
+def normalize_sql(sql: str) -> Tuple[Tuple[str, str], ...]:
+    """A whitespace/case-insensitive plan-cache key for *sql*.
+
+    Two statements normalise equal iff they tokenize to the same
+    sequence: keywords compare case-folded, identifiers and literals
+    verbatim (``WHERE city = 'Uppsala'`` must not match ``'uppsala'``).
+    Token positions are dropped so formatting never splits the cache.
+    """
+    return tuple(
+        (t.kind, t.text.lower() if t.kind == "keyword" else t.text)
+        for t in tokenize(sql))
+
+
 @dataclass(frozen=True)
 class SelectItem:
     """One output column: a plain expression or an aggregate."""

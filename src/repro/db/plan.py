@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.db.context import ExecutionContext
+from repro.db.kernels import SelBatch
 from repro.db.types import DataType
 from repro.errors import PlanError
 from repro.obs import maybe_span
@@ -21,14 +22,27 @@ Batch = Dict[str, np.ndarray]
 
 
 def batch_rows(batch: Batch) -> int:
-    """Row count of a batch (0 for an empty mapping)."""
+    """Row count of a batch (0 for an empty mapping).
+
+    A :class:`~repro.db.kernels.SelBatch` counts its *selected* rows —
+    the logical row count the pipeline sees, not the base size.
+    """
+    if isinstance(batch, SelBatch):
+        return batch.rows()
     for arr in batch.values():
         return len(arr)
     return 0
 
 
 def batch_bytes(batch: Batch) -> int:
-    """Approximate bytes a batch occupies (strings estimated at 16B)."""
+    """Approximate bytes a batch occupies (strings estimated at 16B).
+
+    A :class:`~repro.db.kernels.SelBatch` is charged for its selected
+    payload plus the selection vector — deferred materialisation is
+    exactly what keeps this number small for selective filters.
+    """
+    if isinstance(batch, SelBatch):
+        return batch.bytes_used()
     total = 0
     for arr in batch.values():
         if arr.dtype == object:
@@ -53,6 +67,9 @@ class PlanNode:
         #: Bytes of auxiliary structures (hash tables, sort buffers)
         #: the operator held while running; set by _run.
         self.aux_bytes: int = 0
+        #: Extra attributes _run may record for the operator's span and
+        #: EXPLAIN line (e.g. ``build_side``, ``kernel``); reset per run.
+        self.span_extras: Dict[str, object] = {}
 
     # -- static interface -------------------------------------------------
 
@@ -79,6 +96,7 @@ class PlanNode:
                              for child in self.children]
             children_seconds = sum(c.total_seconds
                                    for c in self.children)
+            self.span_extras = {}
             batch = self._run(ctx, child_batches)
             end = ctx.now()
             self.total_seconds = end - start
@@ -90,6 +108,8 @@ class PlanNode:
             if span is not None:
                 span.set(rows=self.rows_out,
                          self_ms=self.self_seconds * 1000.0)
+                if self.span_extras:
+                    span.set(**self.span_extras)
             return batch
 
     def _run(self, ctx: ExecutionContext,
@@ -104,6 +124,11 @@ class PlanNode:
         for child in self.children:
             yield from child.walk()
 
+    def explain_extras(self, ctx: Optional[ExecutionContext]
+                       ) -> List[str]:
+        """Extra EXPLAIN annotations (e.g. kernel choice, build side)."""
+        return []
+
     def explain(self, ctx: Optional[ExecutionContext] = None,
                 indent: int = 0) -> str:
         """EXPLAIN-style tree rendering; includes estimates when a
@@ -111,6 +136,7 @@ class PlanNode:
         parts = [self.name()]
         if ctx is not None:
             parts.append(f"est_rows={self.estimated_rows(ctx):.0f}")
+        parts.extend(self.explain_extras(ctx))
         if self.rows_out is not None:
             parts.append(f"rows={self.rows_out}")
             parts.append(f"self={self.self_seconds * 1000:.3f}ms")

@@ -133,16 +133,21 @@ class Database:
     def __init__(self, name: str = "minidb"):
         self.name = name
         self._tables: Dict[str, Table] = {}
+        #: Bumped on every DDL change; cached plans are keyed on it so a
+        #: CREATE/DROP TABLE invalidates them without a scan.
+        self.version = 0
 
     def create_table(self, table: Table) -> None:
         if table.name in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self.version += 1
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:

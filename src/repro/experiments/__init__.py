@@ -32,5 +32,6 @@ from repro.experiments.e19_metrics import run_e19
 from repro.experiments.e20_twostage import run_e20
 from repro.experiments.e21_fault_tolerance import run_e21
 from repro.experiments.e22_trace_contrast import run_e22
+from repro.experiments.e23_vectorized import run_e23
 
-__all__ = [f"run_e{i:02d}" for i in range(1, 23)]
+__all__ = [f"run_e{i:02d}" for i in range(1, 24)]

@@ -1,0 +1,320 @@
+"""E23 — vectorized kernels vs the tuple-at-a-time loop executor.
+
+The tutorial's profiling slides contrast MonetDB's column-at-a-time
+primitives against MySQL's per-tuple interpretation; PR 5 makes that
+contrast an executable factor of MiniDB itself.  This experiment runs a
+2^4 factorial over
+
+- ``executor``: ``loop`` (per-row Python, the differential-testing
+  oracle) vs ``vectorized`` (:mod:`repro.db.kernels`);
+- ``selvec``: selection vectors off/on (deferred filter
+  materialisation);
+- ``cache``: the engine plan cache off/on;
+- ``rows``: input size low/high,
+
+measuring a join + aggregation micro-workload on a virtual clock, and
+then applies the repo's own methodology: replicated effect estimation
+(:func:`~repro.core.replication.analyze_replicated`), allocation of
+variation (:func:`~repro.core.variation.allocate_variation_replicated`),
+and a distribution-free confidence interval around the median
+loop/vectorized speedup
+(:func:`~repro.measurement.stats.median_confidence_interval`).
+
+Like E07/E21 the campaign also exists in sharded form:
+:func:`run_e23_campaign` goes through :mod:`repro.parallel` and is
+byte-identical for every ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import (
+    FactorSpace,
+    TwoLevelFactorialDesign,
+    two_level,
+)
+from repro.core.replication import ReplicatedAnalysis, analyze_replicated
+from repro.core.variation import VariationReport, allocate_variation_replicated
+from repro.db import Engine, EngineConfig
+from repro.measurement import (
+    ConfidenceInterval,
+    NoiseModel,
+    PickRule,
+    RunProtocol,
+    State,
+    VirtualClock,
+    Workload,
+    median_confidence_interval,
+    run_harness,
+)
+from repro.measurement.harness import HarnessReport
+from repro.measurement.results import ResultSet
+from repro.parallel import CampaignSpec, CampaignStack, run_campaign
+from repro.parallel.merge import ParallelReport
+from repro.repeat.properties import Properties
+from repro.repeat.suite import ExperimentSuite
+from repro.workloads.microbench import (
+    aggregate_microbenchmark,
+    join_microbenchmark,
+    select_microbenchmark,
+)
+
+#: Measurement protocol: hot system, 3 measured repetitions per point.
+#: The warmup run also fills the buffer pool and (when enabled) the
+#: plan cache, so measured runs see steady-state behaviour.
+E23_PROTOCOL = RunProtocol(state=State.HOT, repetitions=3,
+                           pick=PickRule.LAST, warmups=1)
+
+#: Default low/high input sizes of the ``rows`` factor.
+DEFAULT_ROWS = (2_000, 16_000)
+
+
+def make_space(rows_low: int = DEFAULT_ROWS[0],
+               rows_high: int = DEFAULT_ROWS[1]) -> FactorSpace:
+    """The 2^4 factor space of the experiment."""
+    return FactorSpace([
+        two_level("executor", "loop", "vectorized"),
+        two_level("selvec", "off", "on"),
+        two_level("cache", "off", "on"),
+        two_level("rows", rows_low, rows_high),
+    ])
+
+
+class VectorizedWorkload(Workload):
+    """Join + aggregation micro-queries under one design configuration.
+
+    ``setup`` rebuilds both micro-benchmark engines on the campaign's
+    shared clock with the configured executor/selection-vector/plan-
+    cache settings; ``run`` executes both queries and adds a seeded
+    multiplicative perturbation so replicated analysis has a nonzero
+    experimental-error estimate (the simulated engine itself is exactly
+    deterministic).
+    """
+
+    def __init__(self, clock: VirtualClock, noise: NoiseModel,
+                 data_seed: int = 7):
+        self.clock = clock
+        self.noise = noise
+        self.data_seed = data_seed
+        self._engines: List[Engine] = []
+        self._sqls: List[str] = []
+
+    def setup(self, config: Mapping[str, Any]) -> None:
+        engine_config = EngineConfig(
+            executor=str(config["executor"]),
+            selection_vectors=config["selvec"] == "on",
+            plan_cache=config["cache"] == "on")
+        n = int(config["rows"])
+        join = join_microbenchmark(n_left=n, n_right=max(1, n // 8),
+                                   seed=self.data_seed,
+                                   config=engine_config)
+        agg = aggregate_microbenchmark(n_rows=n, n_groups=64,
+                                       seed=self.data_seed,
+                                       config=engine_config)
+        # A selective scan so the selection-vector factor has a Filter
+        # to act on (the join/aggregate queries carry no WHERE clause).
+        select = select_microbenchmark(n_rows=n, selectivity=0.05,
+                                       seed=self.data_seed,
+                                       config=engine_config)
+        # The builders give each engine a private clock; re-wire them
+        # onto the campaign clock so the harness measures them.
+        self._engines = [
+            Engine(m.engine.database, engine_config, clock=self.clock)
+            for m in (join, agg, select)]
+        self._sqls = [join.sql, agg.sql, select.sql]
+
+    def run(self) -> None:
+        before = self.clock.now
+        for engine, sql in zip(self._engines, self._sqls):
+            engine.execute(sql)
+        elapsed = self.clock.now - before
+        # Multiplicative measurement noise on top of the deterministic
+        # simulated time; only ever advances (clocks cannot rewind).
+        perturbed = self.noise.perturb(elapsed)
+        if perturbed > elapsed:
+            self.clock.advance(cpu_seconds=perturbed - elapsed)
+
+    def make_cold(self) -> None:
+        for engine in self._engines:
+            engine.make_cold()
+
+
+@dataclass(frozen=True)
+class E23Result:
+    """Everything the vectorization experiment produced."""
+
+    report: HarnessReport
+    analysis: ReplicatedAnalysis
+    variation: VariationReport
+    #: Median loop/vectorized speedup over matched design points
+    #: (same selvec/cache/rows), with an order-statistic CI.
+    speedup: ConfidenceInterval
+    #: Per-configuration median speedups, for the README table.
+    speedup_rows: Tuple[Tuple[str, float], ...]
+
+    def format(self) -> str:
+        lines = [
+            "E23: loop vs vectorized executor (2^4 factorial, "
+            "join + aggregation microbenchmark)",
+            "",
+            self.analysis.format(),
+            "",
+            "allocation of variation:",
+            self.variation.format(),
+            "",
+            "median loop/vectorized speedup per configuration:",
+        ]
+        for label, value in self.speedup_rows:
+            lines.append(f"  {label:<32} {value:5.2f}x")
+        lines.append(
+            f"overall median speedup: {self.speedup.mean:.2f}x "
+            f"[{self.speedup.low:.2f}, {self.speedup.high:.2f}] "
+            f"at {self.speedup.confidence:.0%} confidence")
+        lines.append("significant effects: "
+                     + (", ".join(self.analysis.significant_effects())
+                        or "(none)"))
+        return "\n".join(lines)
+
+
+def _speedups(report: HarnessReport,
+              design: TwoLevelFactorialDesign
+              ) -> Tuple[List[float], List[Tuple[str, float]]]:
+    """Pair loop/vectorized points sharing the other factor levels."""
+    by_key: Dict[Tuple[Any, ...], Dict[str, List[float]]] = {}
+    for point in design.points():
+        cfg = point.config
+        key = (cfg["selvec"], cfg["cache"], cfg["rows"])
+        outcome = report.raw.get(point.index)
+        if outcome is None:
+            continue
+        by_key.setdefault(key, {})[cfg["executor"]] = outcome.reals
+    ratios: List[float] = []
+    rows: List[Tuple[str, float]] = []
+    for key in sorted(by_key, key=str):
+        pair = by_key[key]
+        if "loop" not in pair or "vectorized" not in pair:
+            continue
+        pair_ratios = [l / v for l, v in zip(pair["loop"],
+                                             pair["vectorized"])]
+        ratios.extend(pair_ratios)
+        label = (f"selvec={key[0]} cache={key[1]} rows={key[2]}")
+        pair_ratios.sort()
+        rows.append((label, pair_ratios[len(pair_ratios) // 2]))
+    return ratios, rows
+
+
+def _analyze(report: HarnessReport, design: TwoLevelFactorialDesign,
+             confidence: float) -> E23Result:
+    replicated = [report.raw[point.index].reals
+                  for point in design.points()]
+    replicated_ms = [[r * 1000.0 for r in row] for row in replicated]
+    analysis = analyze_replicated(design, replicated_ms,
+                                  confidence=confidence)
+    variation = allocate_variation_replicated(design, replicated_ms)
+    ratios, rows = _speedups(report, design)
+    speedup = median_confidence_interval(ratios, confidence=confidence)
+    return E23Result(report=report, analysis=analysis,
+                     variation=variation, speedup=speedup,
+                     speedup_rows=tuple(rows))
+
+
+def run_e23(seed: int = 7, rows_low: int = DEFAULT_ROWS[0],
+            rows_high: int = DEFAULT_ROWS[1], noise: float = 0.02,
+            confidence: float = 0.90) -> E23Result:
+    """Run the sequential campaign and analyse it.
+
+    One shared virtual clock and one seeded noise stream across the
+    whole design, like the tutorial's single-machine campaigns.
+    """
+    design = TwoLevelFactorialDesign(make_space(rows_low, rows_high))
+    clock = VirtualClock()
+    workload = VectorizedWorkload(
+        clock, NoiseModel(seed=seed, relative_std=noise))
+    report = run_harness(design, workload, E23_PROTOCOL, clock=clock,
+                         name="e23")
+    return _analyze(report.require_complete(), design, confidence)
+
+
+# ---------------------------------------------------------------------------
+# Sharded form: the campaign through repro.parallel.
+# ---------------------------------------------------------------------------
+
+def build_e23_campaign(params: Mapping[str, Any],
+                       seed: int) -> CampaignStack:
+    """Campaign factory: one design point's private stack.
+
+    ``params``: ``rows_low``/``rows_high`` (the ``rows`` factor
+    levels), ``noise`` (relative std of the perturbation),
+    ``data_seed`` (microbenchmark data generation — shared across
+    points so every point queries identical data).  The per-point
+    ``seed`` only feeds the noise stream.
+    """
+    clock = VirtualClock()
+    workload = VectorizedWorkload(
+        clock,
+        NoiseModel(seed=seed,
+                   relative_std=float(params.get("noise", 0.02))),
+        data_seed=int(params.get("data_seed", 7)))
+    design = TwoLevelFactorialDesign(make_space(
+        int(params.get("rows_low", DEFAULT_ROWS[0])),
+        int(params.get("rows_high", DEFAULT_ROWS[1]))))
+    return CampaignStack(design=design, workload=workload,
+                         protocol=E23_PROTOCOL, clock=clock)
+
+
+def run_e23_campaign(seed: int = 7, jobs: int = 1,
+                     rows_low: int = DEFAULT_ROWS[0],
+                     rows_high: int = DEFAULT_ROWS[1],
+                     noise: float = 0.02,
+                     checkpoint: Optional[str] = None,
+                     trace: bool = False) -> ParallelReport:
+    """The E23 campaign through the sharded executor.
+
+    Byte-identical for every ``jobs`` value (per-point seeds and
+    clocks; see :mod:`repro.parallel`).
+    """
+    spec = CampaignSpec(
+        factory="repro.experiments.e23_vectorized:build_e23_campaign",
+        params={"rows_low": rows_low, "rows_high": rows_high,
+                "noise": noise},
+        seed=seed, name="e23")
+    return run_campaign(spec, jobs=jobs, checkpoint=checkpoint,
+                        trace=trace)
+
+
+def analyze_campaign(report: HarnessReport, seed: int = 7,
+                     rows_low: int = DEFAULT_ROWS[0],
+                     rows_high: int = DEFAULT_ROWS[1],
+                     confidence: float = 0.90) -> E23Result:
+    """:func:`run_e23`-style analysis of a (possibly sharded) report."""
+    design = TwoLevelFactorialDesign(make_space(rows_low, rows_high))
+    return _analyze(report.require_complete(), design, confidence)
+
+
+# ---------------------------------------------------------------------------
+# repro.repeat entry point: PYTHONPATH=src python -m repro.repeat.run \
+#     repro.experiments.e23_vectorized
+# ---------------------------------------------------------------------------
+
+def _experiment(properties: Properties) -> ResultSet:
+    jobs = properties.get_int("jobs", 1)
+    trace = properties.get_bool("trace", False)
+    checkpoint = properties.get("checkpoint", "") or None
+    report = run_e23_campaign(jobs=jobs, trace=trace,
+                              checkpoint=checkpoint)
+    return report.results
+
+
+def build_suite(root: str = "suite_e23") -> ExperimentSuite:
+    """The one-command suite wrapper around the sharded campaign."""
+    suite = ExperimentSuite(root, name="e23")
+    suite.add("e23-vectorized", _experiment,
+              description="loop vs vectorized executor, 2^4 factorial",
+              expected_minutes=2.0, plot_x="rows", plot_y="real_ms")
+    return suite
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run_e23().format())

@@ -43,6 +43,7 @@ from repro.measurement.stats import (
     confidence_interval,
     detect_outliers,
     geometric_mean,
+    median_confidence_interval,
     statistically_different,
     summarize,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "Workload",
     "coefficient_of_variation",
     "confidence_interval",
+    "median_confidence_interval",
     "detect_outliers",
     "geometric_mean",
     "run_harness",

@@ -89,6 +89,40 @@ def confidence_interval(values: Sequence[float],
                               high=s.mean + half, confidence=confidence)
 
 
+def median_confidence_interval(values: Sequence[float],
+                               confidence: float = 0.95
+                               ) -> ConfidenceInterval:
+    """Distribution-free confidence interval for the sample *median*.
+
+    Uses the classical order-statistic (sign-test) construction: if X
+    counts observations below the true median, ``X ~ Binomial(n, 1/2)``,
+    so ``[x_(k), x_(n-k+1)]`` (1-indexed order statistics, ``k`` the
+    ``alpha/2`` binomial quantile) covers the median with at least the
+    requested confidence.  Deterministic — no resampling — so campaign
+    reports stay byte-identical.  ``mean`` carries the sample median.
+    Fewer than 3 observations degrade to the sample range.
+    """
+    if not 0 < confidence < 1:
+        raise MeasurementError(
+            f"confidence must be in (0,1), got {confidence}")
+    arr = np.sort(np.asarray(values, dtype=float))
+    n = int(arr.size)
+    if n == 0:
+        raise MeasurementError(
+            "cannot build a median interval from an empty sample")
+    med = float(np.median(arr))
+    if n < 3:
+        return ConfidenceInterval(mean=med, low=float(arr[0]),
+                                  high=float(arr[-1]),
+                                  confidence=confidence)
+    alpha = 1.0 - confidence
+    k = int(_scipy_stats.binom.ppf(alpha / 2.0, n, 0.5))
+    k = max(1, min(k, (n + 1) // 2))
+    return ConfidenceInterval(mean=med, low=float(arr[k - 1]),
+                              high=float(arr[n - k]),
+                              confidence=confidence)
+
+
 def statistically_different(a: Sequence[float], b: Sequence[float],
                             confidence: float = 0.95) -> bool:
     """Decide whether two samples differ, by CI overlap (slide 142).

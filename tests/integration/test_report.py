@@ -15,7 +15,7 @@ class TestRegenerate:
     def test_all_experiments_present(self, outcome):
         __, sections = outcome
         assert [s.experiment for s in sections] == \
-            [f"E{i:02d}" for i in range(1, 23)]
+            [f"E{i:02d}" for i in range(1, 24)]
 
     def test_report_file_written(self, outcome):
         out, sections = outcome
