@@ -1,0 +1,114 @@
+"""E25 bench — cost-based optimizer v2 plan quality and overhead.
+
+Two kinds of check live here:
+
+* pytest-benchmark cases (picked up by ``scripts/bench_gate.py``) that
+  time the *host* wall-clock of ANALYZE, cost-based planning (with the
+  plan cache off, so every call pays statistics lookups, join-order
+  enumeration and operator selection), and hot heuristic/cost-based
+  executions, so a regression in the optimizer's own overhead is
+  caught by the benchmark gate like any other slowdown; and
+* a plain assertion test (``test_optimizer_plan_quality_floor``) that
+  runs in the ordinary pytest pass and fails CI if the optimizer's
+  unhinted plan is more than 1.5x (median across queries) slower than
+  the best enumerated join order, or stops beating the v1 heuristic's
+  textual order by at least 2x median simulated time.
+  ``--benchmark-only`` runs skip it, so the gate's numbers stay pure
+  timings.
+
+The quality floor runs entirely on the virtual clock, so it is exactly
+deterministic — no host noise, no flaky thresholds.
+"""
+
+from repro.db import Engine, EngineConfig
+from repro.experiments.e25_optimizer import (
+    calibrated_model,
+    explore_plan_space,
+    star_database,
+    star_queries,
+)
+from repro.measurement import VirtualClock
+
+_N_FACT = 4_000
+
+
+def _engine(optimizer, plan_cache=True):
+    engine = Engine(
+        star_database(n_fact=_N_FACT),
+        EngineConfig(executor="vectorized", optimizer=optimizer,
+                     plan_cache=plan_cache,
+                     cost_model=(calibrated_model()
+                                 if optimizer == "cost" else None)),
+        clock=VirtualClock())
+    if optimizer == "cost":
+        engine.analyze()
+    return engine
+
+
+def _hot(engine):
+    for query in star_queries():
+        engine.execute(query.sql)  # warm: buffer pool + plan cache
+    return engine
+
+
+def test_e25_analyze(benchmark, report):
+    engine = _engine("cost")
+    names = benchmark(engine.analyze)
+    report(f"analyze tables={len(names)}")
+    assert set(names) == {"fact", "cust", "part"}
+
+
+def test_e25_plan_cost_based(benchmark, report):
+    # Plan cache off: every call replans — statistics lookups, DP
+    # join-order enumeration, physical-operator selection.
+    engine = _engine("cost", plan_cache=False)
+    sql = star_queries()[0].sql
+    plan = benchmark(engine.plan, sql)
+    info = plan.optimizer_info
+    report(f"plans considered={info['plans_considered']} "
+           f"order={'-'.join(info['join_order'])}")
+    assert info["join_order"][0] != "fact"
+
+
+def test_e25_execute_heuristic(benchmark, report):
+    engine = _hot(_engine("heuristic"))
+    sql = star_queries()[0].sql
+    result = benchmark(engine.execute, sql)
+    report(f"heuristic rows={len(result.rows)}")
+    assert result.rows
+
+
+def test_e25_execute_cost_based(benchmark, report):
+    engine = _hot(_engine("cost"))
+    sql = star_queries()[0].sql
+    result = benchmark(engine.execute, sql)
+    report(f"cost-based rows={len(result.rows)}")
+    assert result.rows
+
+
+def test_optimizer_plan_quality_floor(report):
+    """CI floor: across the E25 queries the cost-based optimizer must
+    (median) stay within 1.5x of the best enumerated join order and
+    beat the v1 heuristic's textual order by at least 2x simulated
+    time.  Deterministic — measured on the virtual clock."""
+    spaces = explore_plan_space()
+    lines = []
+    for space in spaces:
+        lines.append(
+            f"{space.query}: naive {1e3 * space.naive_s:.3f}ms "
+            f"chosen {1e3 * space.chosen_s:.3f}ms "
+            f"best {1e3 * space.best_s:.3f}ms "
+            f"quality {space.quality:.2f}x speedup {space.speedup:.2f}x")
+    report("\n".join(lines))
+
+    qualities = sorted(s.quality for s in spaces)
+    median_quality = qualities[len(qualities) // 2]
+    assert median_quality <= 1.5, (
+        f"optimizer's chosen plan is {median_quality:.2f}x slower than "
+        f"the best enumerated join order (median; gate is 1.5x)")
+
+    speedups = sorted(s.speedup for s in spaces)
+    median_speedup = speedups[len(speedups) // 2]
+    assert median_speedup >= 2.0, (
+        f"cost-based optimizer only {median_speedup:.2f}x faster than "
+        f"the heuristic textual order (median; floor is 2x)")

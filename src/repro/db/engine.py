@@ -30,10 +30,12 @@ from repro.db.context import (
 )
 from repro.db.disk import DiskModel
 from repro.db.indexes import HashIndex, IndexCatalog
+from repro.db.costmodel import CostModel
 from repro.db.optimizer import PlannerOptions, count_plan_nodes, plan_statement
 from repro.db.parser import normalize_sql, parse_select
 from repro.db.plan import PlanNode
 from repro.db.profiler import ProfileReport, operator_timings
+from repro.db.statistics import DEFAULT_BUCKETS, StatisticsCatalog
 from repro.db.storage import Database
 from repro.errors import DatabaseError
 from repro.hardware.compiler import BuildMode, BuildModel
@@ -71,16 +73,32 @@ class EngineConfig:
     #: (keyed on normalised SQL + catalog versions).  Off by default so
     #: profiling still observes parse/optimize phases.
     plan_cache: bool = False
+    #: Planner generation: "heuristic" (v1, textual join order) or
+    #: "cost" (v2, join-order enumeration + calibrated operator costs;
+    #: run :meth:`Engine.analyze` first for histogram-backed estimates).
+    optimizer: str = "heuristic"
+    #: Cost coefficients for the v2 planner; None uses the analytic
+    #: :data:`~repro.db.costmodel.DEFAULT_COST_MODEL`.  Pass the result
+    #: of :func:`~repro.db.costmodel.calibrate_cost_model` for measured
+    #: coefficients.
+    cost_model: Optional[CostModel] = None
 
     VALID_EXECUTORS = ("loop", "vectorized")
+    VALID_OPTIMIZERS = ("heuristic", "cost")
 
     def __post_init__(self):
         if self.executor not in self.VALID_EXECUTORS:
             raise DatabaseError(
                 f"unknown executor {self.executor!r}; valid options: "
                 + ", ".join(repr(e) for e in self.VALID_EXECUTORS))
+        if self.optimizer not in self.VALID_OPTIMIZERS:
+            raise DatabaseError(
+                f"unknown optimizer {self.optimizer!r}; valid options: "
+                + ", ".join(repr(o) for o in self.VALID_OPTIMIZERS))
 
     def planner_options(self) -> PlannerOptions:
+        if self.optimizer == "cost":
+            return PlannerOptions.cost()
         if self.naive_joins:
             return PlannerOptions.naive()
         return PlannerOptions() if self.tuned else PlannerOptions.untuned()
@@ -185,8 +203,11 @@ class Engine:
                                       disk, self.clock,
                                       self.counters, faults=faults)
         self.indexes = IndexCatalog()
+        #: Optimizer statistics (ANALYZE output); versioned so the plan
+        #: cache invalidates when estimates change.
+        self.table_stats = StatisticsCatalog()
         # Plan cache: normalised SQL + catalog versions -> physical plan.
-        self._plan_cache: Dict[Tuple[Any, int, int], PlanNode] = {}
+        self._plan_cache: Dict[Tuple[Any, int, int, int], PlanNode] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -205,6 +226,29 @@ class Engine:
     def drop_index(self, table_name: str, column_name: str) -> None:
         self.indexes.drop(table_name, column_name)
 
+    def analyze(self, tables: Optional[List[str]] = None,
+                n_buckets: int = DEFAULT_BUCKETS) -> List[str]:
+        """ANALYZE: collect optimizer statistics (row counts, NDVs,
+        min/max, equi-width histograms) for *tables* (default: all).
+
+        Charges the scan work through the buffer pool and clock like
+        any other full-table pass, bumps the statistics version (which
+        invalidates cached plans), and returns the analyzed names.
+        """
+        ctx = self._context()
+        with maybe_span("engine.analyze", "engine") as span:
+            names = self.table_stats.analyze(self.database, tables,
+                                             n_buckets=n_buckets)
+            for name in names:
+                table = self.database.table(name)
+                self.buffer_pool.read_table(name, table.bytes_used)
+                ctx.charge_cpu("scan", ctx.costs.scan_ns_per_value
+                               * table.n_rows * len(table.column_names))
+            if span is not None:
+                span.set(tables=",".join(names),
+                         stats_version=self.table_stats.version)
+        return names
+
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
             database=self.database, buffer_pool=self.buffer_pool,
@@ -216,17 +260,20 @@ class Engine:
 
     # -- query interface ---------------------------------------------------
 
-    def _cache_key(self, sql: str) -> Tuple[Any, int, int]:
-        """Cache key: normalised tokens + catalog versions, so any DDL
-        or index change invalidates every dependent plan."""
+    def _cache_key(self, sql: str) -> Tuple[Any, int, int, int]:
+        """Cache key: normalised tokens + catalog versions, so any DDL,
+        index change or statistics refresh (ANALYZE) invalidates every
+        dependent plan."""
         return (normalize_sql(sql), self.database.version,
-                self.indexes.version)
+                self.indexes.version, self.table_stats.version)
 
     def _build_plan(self, sql: str) -> PlanNode:
         statement = parse_select(sql)
         return plan_statement(statement, self.database,
                               self.config.planner_options(),
-                              indexes=self.indexes)
+                              indexes=self.indexes,
+                              stats=self.table_stats,
+                              cost_model=self.config.cost_model)
 
     def _plan_cached(self, sql: str) -> Tuple[PlanNode, Optional[bool]]:
         """``(plan, cache_hit)``; hit is None when caching is off."""
@@ -308,10 +355,18 @@ class Engine:
             with maybe_span("engine.optimize", "engine"):
                 plan = plan_statement(statement, self.database,
                                       self.config.planner_options(),
-                                      indexes=self.indexes)
+                                      indexes=self.indexes,
+                                      stats=self.table_stats,
+                                      cost_model=self.config.cost_model)
+                # The cost-based planner pays per plan it enumerated on
+                # top of the per-node construction cost; heuristic plans
+                # carry no optimizer_info, so their charge is unchanged.
+                info = getattr(plan, "optimizer_info", None)
+                considered = info["plans_considered"] if info else 0
                 ctx.charge_cpu(
                     "arithmetic",
-                    costs.optimize_ns_per_node * count_plan_nodes(plan))
+                    costs.optimize_ns_per_node
+                    * (count_plan_nodes(plan) + considered))
             after_optimize = self.clock.sample()
             if cache_key is not None:
                 self._plan_cache[cache_key] = plan
@@ -376,6 +431,8 @@ class Engine:
             "plan_cache_hits": float(self.plan_cache_hits),
             "plan_cache_misses": float(self.plan_cache_misses),
             "plan_cache_size": float(len(self._plan_cache)),
+            "stats_version": float(self.table_stats.version),
+            "stats_tables_analyzed": float(len(self.table_stats)),
         }
 
     # QueryResult carries per-query peak memory; engine-wide peaks are

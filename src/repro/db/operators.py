@@ -243,6 +243,9 @@ class HashJoin(PlanNode):
                 "join needs equally many (>=1) keys on both sides")
         self.left_keys = tuple(left_keys)
         self.right_keys = tuple(right_keys)
+        #: Optional physical-operator-selection override (plan hints /
+        #: cost-based build-side choice); None keeps the estimate rule.
+        self.forced_build_side: Optional[str] = None
 
     def name(self) -> str:
         pairs = ", ".join(f"{l}={r}" for l, r in
@@ -275,9 +278,11 @@ class HashJoin(PlanNode):
         childless helper (see :class:`NestedLoopJoin`) falls back to
         actual batch sizes.
         """
+        if self.forced_build_side is not None:
+            return self.forced_build_side
         if len(self.children) == 2 and ctx is not None:
-            est_left = self.children[0].estimated_rows(ctx)
-            est_right = self.children[1].estimated_rows(ctx)
+            est_left = self.children[0].estimated_rows_safe(ctx)
+            est_right = self.children[1].estimated_rows_safe(ctx)
         else:
             est_left, est_right = float(n_left), float(n_right)
         return "left" if est_left < est_right else "right"
@@ -418,6 +423,7 @@ class NestedLoopJoin(PlanNode):
         PlanNode.__init__(helper, [])
         helper.left_keys = self.left_keys
         helper.right_keys = self.right_keys
+        helper.forced_build_side = None
         return HashJoin._run(helper, _NullCostContext(ctx), [left, right])
 
 

@@ -51,7 +51,9 @@ _KEYWORDS = {
 
 _TOKEN_RE = re.compile(r"""
     \s*(?:
-        (?P<number>\d+\.\d+|\.\d+|\d+)
+        (?P<hint>/\*\+(?:[^*]|\*(?!/))*\*/)
+      | (?P<comment>/\*(?:[^*]|\*(?!/))*\*/)
+      | (?P<number>\d+\.\d+|\.\d+|\d+)
       | (?P<string>'(?:[^']|'')*')
       | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
       | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|\(|\)|,)
@@ -78,7 +80,16 @@ def tokenize(sql: str) -> List[Token]:
             raise SqlSyntaxError(
                 f"unexpected character {remainder[0]!r} at position {pos}")
         pos = match.end()
-        if match.group("number") is not None:
+        if match.group("hint") is not None:
+            # /*+ ... */ plan hints survive tokenization (and thus the
+            # normalised plan-cache key); the canonical text collapses
+            # whitespace so formatting never splits the cache.
+            body = match.group("hint")[3:-2]
+            tokens.append(Token("hint", " ".join(body.split()),
+                                match.start()))
+        elif match.group("comment") is not None:
+            pass  # plain /* ... */ comments are skipped entirely
+        elif match.group("number") is not None:
             tokens.append(Token("number", match.group("number"),
                                 match.start()))
         elif match.group("string") is not None:
@@ -107,6 +118,103 @@ def normalize_sql(sql: str) -> Tuple[Tuple[str, str], ...]:
     return tuple(
         (t.kind, t.text.lower() if t.kind == "keyword" else t.text)
         for t in tokenize(sql))
+
+
+#: Recognised join operators / scan kinds / build sides in hints.
+_HINT_JOIN_OPS = ("hash", "merge", "loop")
+_HINT_SCANS = ("seq", "index")
+_HINT_BUILDS = ("left", "right")
+
+_HINT_CLAUSE_RE = re.compile(r"([A-Za-z_]+)\s*\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class PlanHints:
+    """Optimizer hints from ``/*+ ... */`` comments.
+
+    Supported clauses (PostBOUND-style, one or more per comment)::
+
+        JOIN_ORDER(t1 t2 t3)   -- force this left-deep join order
+        JOIN_OP(t hash|merge|loop)  -- operator for the join adding t
+        SCAN(t seq|index)      -- access path for table t
+        BUILD(t left|right)    -- hash-join build side for the join
+                                  that introduces t
+
+    Association tuples are sorted so hints hash/compare structurally.
+    """
+
+    join_order: Tuple[str, ...] = ()
+    join_ops: Tuple[Tuple[str, str], ...] = ()
+    scans: Tuple[Tuple[str, str], ...] = ()
+    build_sides: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.join_order or self.join_ops or self.scans
+                    or self.build_sides)
+
+    def join_op_for(self, table: str) -> Optional[str]:
+        return dict(self.join_ops).get(table)
+
+    def scan_for(self, table: str) -> Optional[str]:
+        return dict(self.scans).get(table)
+
+    def build_side_for(self, table: str) -> Optional[str]:
+        return dict(self.build_sides).get(table)
+
+
+EMPTY_HINTS = PlanHints()
+
+
+def parse_hints(text: str) -> PlanHints:
+    """Parse the body of one or more ``/*+ ... */`` comments."""
+    leftover = _HINT_CLAUSE_RE.sub("", text).strip()
+    if leftover:
+        raise SqlSyntaxError(
+            f"unrecognised hint text {leftover!r}; expected "
+            f"NAME(args) clauses")
+    join_order: Tuple[str, ...] = ()
+    join_ops: List[Tuple[str, str]] = []
+    scans: List[Tuple[str, str]] = []
+    builds: List[Tuple[str, str]] = []
+
+    def pair(name: str, args: List[str],
+             valid: Tuple[str, ...]) -> Tuple[str, str]:
+        if len(args) != 2 or args[1].lower() not in valid:
+            raise SqlSyntaxError(
+                f"{name} hint expects (table {'|'.join(valid)}), "
+                f"got {args}")
+        return (args[0], args[1].lower())
+
+    for match in _HINT_CLAUSE_RE.finditer(text):
+        name = match.group(1).upper()
+        args = match.group(2).replace(",", " ").split()
+        if name == "JOIN_ORDER":
+            if join_order:
+                raise SqlSyntaxError("duplicate JOIN_ORDER hint")
+            if len(args) < 2 or len(set(args)) != len(args):
+                raise SqlSyntaxError(
+                    f"JOIN_ORDER needs >= 2 distinct tables, got {args}")
+            join_order = tuple(args)
+        elif name == "JOIN_OP":
+            join_ops.append(pair("JOIN_OP", args, _HINT_JOIN_OPS))
+        elif name == "SCAN":
+            scans.append(pair("SCAN", args, _HINT_SCANS))
+        elif name == "BUILD":
+            builds.append(pair("BUILD", args, _HINT_BUILDS))
+        else:
+            raise SqlSyntaxError(
+                f"unknown hint {name!r}; supported: JOIN_ORDER, "
+                f"JOIN_OP, SCAN, BUILD")
+    for name, pairs in (("JOIN_OP", join_ops), ("SCAN", scans),
+                        ("BUILD", builds)):
+        tables = [t for t, __ in pairs]
+        if len(set(tables)) != len(tables):
+            raise SqlSyntaxError(f"duplicate {name} hint for one table")
+    return PlanHints(join_order=join_order,
+                     join_ops=tuple(sorted(join_ops)),
+                     scans=tuple(sorted(scans)),
+                     build_sides=tuple(sorted(builds)))
 
 
 @dataclass(frozen=True)
@@ -142,6 +250,7 @@ class SelectStatement:
     limit: Optional[int] = None
     distinct: bool = False
     having: Optional[Expr] = None
+    hints: PlanHints = EMPTY_HINTS
 
     @property
     def tables(self) -> Tuple[str, ...]:
@@ -157,7 +266,12 @@ class _Parser:
 
     def __init__(self, sql: str):
         self.sql = sql
-        self.tokens = tokenize(sql)
+        tokens = tokenize(sql)
+        # Hints may appear anywhere a comment may; gather them all and
+        # parse the grammar over the remaining token stream.
+        hint_text = " ".join(t.text for t in tokens if t.kind == "hint")
+        self.hints = parse_hints(hint_text) if hint_text else EMPTY_HINTS
+        self.tokens = [t for t in tokens if t.kind != "hint"]
         self.index = 0
 
     # -- token helpers -----------------------------------------------------
@@ -240,7 +354,8 @@ class _Parser:
         return SelectStatement(
             items=tuple(items), table=table, joins=tuple(joins),
             where=where, group_by=group_by, order_by=tuple(order_by),
-            limit=limit, distinct=distinct, having=having)
+            limit=limit, distinct=distinct, having=having,
+            hints=self.hints)
 
     def _select_list(self) -> List[SelectItem]:
         items = [self._select_item(0)]

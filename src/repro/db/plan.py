@@ -52,6 +52,30 @@ def batch_bytes(batch: Batch) -> int:
     return total
 
 
+#: Ceiling for sanitised cardinality/cost estimates: large enough to
+#: order any real plan, finite so EXPLAIN never prints ``inf``.
+EST_CAP = 1e15
+
+
+def sanitize_estimate(value: float, fallback: float = 0.0) -> float:
+    """Clamp a cardinality/cost estimate to a finite, non-negative float.
+
+    Estimate arithmetic (selectivity products, ``n*log(n)``, square
+    roots) can produce NaN or infinities on degenerate inputs; those
+    must never reach EXPLAIN output or cost comparisons, where NaN
+    poisons every ``min()``.  NaN maps to *fallback*, ``+inf`` to the
+    finite :data:`EST_CAP`, and anything negative to 0.
+    """
+    value = float(value)
+    if value != value:  # NaN
+        return float(fallback)
+    if value == float("inf"):
+        return EST_CAP
+    if value < 0.0:  # includes -inf
+        return 0.0
+    return min(value, EST_CAP)
+
+
 class PlanNode:
     """Base physical operator."""
 
@@ -60,6 +84,11 @@ class PlanNode:
 
     def __init__(self, children: Sequence["PlanNode"] = ()):
         self.children: Tuple["PlanNode", ...] = tuple(children)
+        #: Optimizer annotations: the cost-based planner stamps its
+        #: cardinality estimate and cumulative subtree cost (ns) here;
+        #: EXPLAIN prefers these over the heuristic estimate.
+        self.est_rows: Optional[float] = None
+        self.est_cost_ns: Optional[float] = None
         # Statistics filled in by execute():
         self.rows_out: Optional[int] = None
         self.self_seconds: float = 0.0
@@ -84,6 +113,17 @@ class PlanNode:
     def estimated_rows(self, ctx: ExecutionContext) -> float:
         """Optimizer cardinality estimate."""
         raise NotImplementedError
+
+    def estimated_rows_safe(self, ctx: ExecutionContext) -> float:
+        """The cardinality estimate, guaranteed finite and >= 0.
+
+        Prefers the cost-based planner's :attr:`est_rows` annotation;
+        falls back to the heuristic :meth:`estimated_rows`, sanitised
+        so NaN/inf can never leak into EXPLAIN or cost comparisons.
+        """
+        if self.est_rows is not None:
+            return sanitize_estimate(self.est_rows)
+        return sanitize_estimate(self.estimated_rows(ctx))
 
     # -- execution ---------------------------------------------------------
 
@@ -135,7 +175,10 @@ class PlanNode:
         context is given and actuals after execution."""
         parts = [self.name()]
         if ctx is not None:
-            parts.append(f"est_rows={self.estimated_rows(ctx):.0f}")
+            parts.append(f"est_rows={self.estimated_rows_safe(ctx):.0f}")
+        if self.est_cost_ns is not None:
+            cost_ms = sanitize_estimate(self.est_cost_ns) / 1e6
+            parts.append(f"est_cost={cost_ms:.3f}ms")
         parts.extend(self.explain_extras(ctx))
         if self.rows_out is not None:
             parts.append(f"rows={self.rows_out}")
