@@ -1,0 +1,125 @@
+"""E24 bench — the serving simulator's host-side cost.
+
+The serving layer is pure simulation: its numbers are virtual-time and
+deterministic, so the only thing that can regress is how much *host*
+time one simulated second costs.  These cases time the moving parts —
+the event loop's scheduling churn, the percentile computation, and two
+end-to-end serving cells (one under load, one past the knee with
+shedding and a fault burst) — so a slowdown in the serving stack trips
+``scripts/bench_gate.py`` like any other regression.
+
+A plain assertion case (skipped by ``--benchmark-only`` runs) keeps the
+headline robustness claim executable: under a fault burst at 3x
+capacity, the protected configuration's goodput must stay at least 3x
+the unprotected one's.
+"""
+
+from repro.experiments.e24_serving import make_cell_config, make_injector
+from repro.measurement.stats import percentiles
+from repro.serve import (
+    ClosedLoopTraffic,
+    EventLoop,
+    OpenLoopTraffic,
+    ServingSimulation,
+)
+from repro.workloads.microbench import select_microbenchmark
+
+_ROWS = 1_000
+_DURATION_S = 0.05
+
+
+def _engine():
+    micro = select_microbenchmark(_ROWS, 0.2, seed=7)
+    return micro.engine, micro.sql
+
+
+def _capacity():
+    engine, sql = _engine()
+    engine.execute(sql)
+    engine.execute(sql)
+    before = engine.clock.now
+    engine.execute(sql)
+    return engine.clock.now - before
+
+
+_SERVICE_S = _capacity()
+_CAPACITY = 2 / _SERVICE_S
+
+
+def _run_cell(load: float, policy: str, faults: str = "none"):
+    injector = make_injector(faults, 7)
+    engine, sql = _engine()
+    if injector is not None:
+        from repro.db import Engine
+        engine = Engine(engine.database, engine.config, faults=injector)
+    traffic = OpenLoopTraffic(arrival_rate=_CAPACITY * load,
+                              duration_s=_DURATION_S, sessions=4,
+                              seed=11)
+    config = make_cell_config(policy, _SERVICE_S)
+    return ServingSimulation(engine, [sql], traffic, config,
+                             faults=injector, name="bench").run()
+
+
+def test_e24_event_loop_churn(benchmark, report):
+    """Schedule-and-drain 2000 timers (pure scheduler overhead)."""
+
+    def churn():
+        loop = EventLoop()
+        for i in range(2000):
+            loop.at((i % 50) * 1e-4, lambda: None)
+        loop.run()
+        return loop.processed
+
+    processed = benchmark(churn)
+    report(f"event loop drained {processed} events")
+    assert processed == 2000
+
+
+def test_e24_percentiles(benchmark, report):
+    """p50/p95/p99 + max over 5000 latencies."""
+    values = [((i * 2654435761) % 10_000) / 1000.0
+              for i in range(5000)]
+    result = benchmark(percentiles, values)
+    report(f"percentiles n={result.n}: " + result.format())
+    assert result.n == 5000
+
+
+def test_e24_serving_underload(benchmark, report):
+    """A closed-loop cell comfortably below the knee."""
+
+    def run():
+        engine, sql = _engine()
+        traffic = ClosedLoopTraffic(n_clients=4, think_time_s=0.002,
+                                    duration_s=_DURATION_S, seed=11)
+        config = make_cell_config("reject", _SERVICE_S)
+        return ServingSimulation(engine, [sql], traffic, config,
+                                 name="bench").run()
+
+    result = benchmark(run)
+    report(f"underload: {result.offered} offered, goodput "
+           f"{result.goodput_per_s:.0f}/s, verdict {result.verdict()}")
+    assert result.verdict() in ("healthy", "degraded")
+
+
+def test_e24_serving_overload_shedding(benchmark, report):
+    """An open-loop cell at 3x capacity with shed-oldest + burst."""
+    result = benchmark(_run_cell, 3.0, "shed-oldest", "burst")
+    report(f"overload: {result.offered} offered, throughput "
+           f"{result.throughput_per_s:.0f}/s, goodput "
+           f"{result.goodput_per_s:.0f}/s, verdict {result.verdict()}")
+    assert result.offered > 0
+
+
+def test_serving_protection_floor(report):
+    """CI floor: under a fault burst at 3x capacity, protection must
+    keep goodput at least 3x the unprotected configuration's."""
+    protected = _run_cell(3.0, "reject", "burst")
+    unprotected = _run_cell(3.0, "none", "burst")
+    ratio = protected.goodput_per_s / max(unprotected.goodput_per_s, 1.0)
+    report(f"goodput protected {protected.goodput_per_s:.0f}/s vs "
+           f"unprotected {unprotected.goodput_per_s:.0f}/s "
+           f"({ratio:.1f}x)")
+    assert ratio >= 3.0, (
+        f"protection only held {ratio:.2f}x goodput under the burst "
+        f"(floor is 3x): protected {protected.goodput_per_s:.0f}/s, "
+        f"unprotected {unprotected.goodput_per_s:.0f}/s")

@@ -51,6 +51,7 @@ SMOKE_BENCHMARKS = (
     "benchmarks/bench_e13_guidelines.py",
     "benchmarks/bench_e19_metrics.py",
     "benchmarks/bench_e23_vectorized.py",
+    "benchmarks/bench_e24_serving.py",
     "benchmarks/bench_e25_optimizer.py",
 )
 

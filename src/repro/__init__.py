@@ -35,7 +35,7 @@ Quickstart::
 """
 
 from repro import core, db, faults, hardware, measurement, parallel, \
-    repeat, viz, workloads
+    repeat, serve, viz, workloads
 from repro.errors import (
     ChartError,
     ClientDisconnectError,
@@ -54,6 +54,7 @@ from repro.errors import (
     QueryTimeoutError,
     ReproError,
     RetryExhaustedError,
+    ServeError,
     SqlSyntaxError,
     SuiteError,
     TimeoutExceededError,
@@ -83,6 +84,7 @@ __all__ = [
     "QueryTimeoutError",
     "ReproError",
     "RetryExhaustedError",
+    "ServeError",
     "SqlSyntaxError",
     "SuiteError",
     "TimeoutExceededError",
@@ -98,6 +100,7 @@ __all__ = [
     "measurement",
     "parallel",
     "repeat",
+    "serve",
     "viz",
     "workloads",
 ]

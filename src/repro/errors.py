@@ -100,6 +100,18 @@ class ParallelError(MeasurementError):
     """
 
 
+class ServeError(ReproError):
+    """The concurrent serving layer was configured or driven wrongly.
+
+    Raised by :mod:`repro.serve` for structural mistakes — a
+    closed-loop traffic generator given an arrival rate, a bounded run
+    queue with a non-positive limit, an unknown load-shedding policy —
+    never for an individual request that merely fails under load or
+    faults: those become explicit per-request outcomes in the
+    :class:`~repro.serve.ServeReport`.
+    """
+
+
 class FaultError(ReproError):
     """Base class for injected faults and fault-handling failures.
 

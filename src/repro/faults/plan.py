@@ -16,8 +16,19 @@ checkpointed campaign resumes with a byte-identical fault stream.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 import numpy as np
 
@@ -63,6 +74,14 @@ class FaultRule:
         unconditionally (in addition to any probabilistic firings).
     message:
         Optional custom exception message.
+    scope:
+        Optional client/session label.  ``None`` (the default) keeps
+        the historical behaviour: the rule sees *every* operation at
+        its site.  A scoped rule only sees operations performed while
+        the injector is inside :meth:`FaultInjector.scoped` with the
+        same label, and counts them on a private per-scope counter —
+        so a fault plan can target one client's traffic without
+        perturbing anyone else's fault stream.
     """
 
     site: str
@@ -70,6 +89,7 @@ class FaultRule:
     probability: float = 0.0
     schedule: Tuple[int, ...] = ()
     message: str = ""
+    scope: Optional[str] = None
 
     def __post_init__(self):
         if not self.site:
@@ -93,6 +113,10 @@ class FaultRule:
             raise FaultError(
                 f"fault rule for site {self.site!r} can never fire: "
                 "give it a probability or a schedule")
+        if self.scope is not None and not self.scope:
+            raise FaultError(
+                f"fault rule for site {self.site!r} has an empty scope "
+                "label; use None for an unscoped rule")
 
     def describe(self) -> str:
         parts = []
@@ -100,7 +124,9 @@ class FaultRule:
             parts.append(f"p={self.probability:g}/op")
         if self.schedule:
             parts.append(f"at ops {list(self.schedule)}")
-        return f"{self.site}: {self.error.__name__} ({', '.join(parts)})"
+        where = self.site if self.scope is None \
+            else f"{self.site}@{self.scope}"
+        return f"{where}: {self.error.__name__} ({', '.join(parts)})"
 
 
 @dataclass(frozen=True)
@@ -120,9 +146,12 @@ class FaultPlan:
 
     @classmethod
     def uniform(cls, probability: float, seed: int = 0,
-                sites: Sequence[str] = TRANSIENT_SITES) -> "FaultPlan":
+                sites: Sequence[str] = TRANSIENT_SITES,
+                scope: Optional[str] = None) -> "FaultPlan":
         """Same per-operation probability at each *site* (default: the
-        transient ones, so a retry policy can recover)."""
+        transient ones, so a retry policy can recover).  With *scope*,
+        the faults only hit operations performed for that
+        client/session (see :meth:`FaultInjector.scoped`)."""
         rules = []
         for site in sites:
             error = DEFAULT_SITE_ERRORS.get(site)
@@ -131,14 +160,17 @@ class FaultPlan:
                     f"unknown fault site {site!r}; known sites: "
                     f"{list(KNOWN_SITES)}")
             rules.append(FaultRule(site=site, error=error,
-                                   probability=probability))
+                                   probability=probability, scope=scope))
         return cls(rules=tuple(rules), seed=seed)
 
     @classmethod
     def scheduled(cls, site: str, operations: Sequence[int],
                   seed: int = 0,
-                  error: Optional[Type[FaultError]] = None) -> "FaultPlan":
-        """Fire deterministically at the given operation numbers."""
+                  error: Optional[Type[FaultError]] = None,
+                  scope: Optional[str] = None) -> "FaultPlan":
+        """Fire deterministically at the given operation numbers.  With
+        *scope*, the operation numbers count only that client's
+        operations at the site."""
         if error is None:
             error = DEFAULT_SITE_ERRORS.get(site)
             if error is None:
@@ -146,7 +178,7 @@ class FaultPlan:
                     f"unknown fault site {site!r} and no error class "
                     f"given; known sites: {list(KNOWN_SITES)}")
         rule = FaultRule(site=site, error=error,
-                         schedule=tuple(operations))
+                         schedule=tuple(operations), scope=scope)
         return cls(rules=(rule,), seed=seed)
 
     def injector(self) -> "FaultInjector":
@@ -162,11 +194,17 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One injected fault, for the injector's audit log."""
+    """One injected fault, for the injector's audit log.
+
+    ``scope`` names the client/session a scoped rule hit (None for the
+    classic unscoped rules), and ``operation`` is then the operation
+    number *within that scope*.
+    """
 
     site: str
     operation: int
     error: str
+    scope: Optional[str] = None
 
 
 class FaultInjector:
@@ -182,6 +220,10 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self._counts: Dict[str, int] = {}
+        #: Per-(site, scope) operation counters for scoped rules; a
+        #: scoped rule's schedule counts only its own client's traffic.
+        self._scope_counts: Dict[Tuple[str, str], int] = {}
+        self._active_scope: Optional[str] = None
         self._rngs: List[np.random.Generator] = [
             np.random.default_rng([plan.seed & 0x7FFFFFFF, index])
             for index in range(len(plan.rules))]
@@ -190,33 +232,72 @@ class FaultInjector:
 
     # -- runtime ----------------------------------------------------------
 
+    @contextmanager
+    def scoped(self, scope: Optional[str]) -> Iterator["FaultInjector"]:
+        """Attribute the enclosed operations to one client/session.
+
+        Scoped rules (a :class:`FaultRule` with ``scope=...``) only see
+        operations performed inside a matching ``scoped`` block, on
+        their own per-scope counters and RNG streams.  Unscoped rules
+        are completely unaffected — their counters, draws, and firings
+        are byte-identical whether or not any scope is active, which is
+        what keeps legacy campaigns (e.g. E21) unchanged.
+        """
+        previous = self._active_scope
+        self._active_scope = scope
+        try:
+            yield self
+        finally:
+            self._active_scope = previous
+
     def tick(self, site: str) -> None:
         """Register one operation at *site*; raises if a rule fires."""
         count = self._counts.get(site, 0) + 1
         self._counts[site] = count
+        scope = self._active_scope
+        scope_count = 0
+        if scope is not None:
+            scope_count = self._scope_counts.get((site, scope), 0) + 1
+            self._scope_counts[(site, scope)] = scope_count
         if not self._enabled:
             return
         for index, rule in enumerate(self.plan.rules):
             if rule.site != site:
                 continue
+            if rule.scope is not None:
+                # Scoped rule: only operations of the matching client
+                # exist for it; its RNG stream advances only on them.
+                if rule.scope != scope:
+                    continue
+                rule_count = scope_count
+            else:
+                rule_count = count
             # Exactly one RNG draw per (rule, operation) — even when a
             # schedule hit already decided — keeps the probabilistic
             # stream aligned across runs regardless of schedule contents.
             drew = (self._rngs[index].random() < rule.probability
                     if rule.probability else False)
-            if count in rule.schedule or drew:
+            if rule_count in rule.schedule or drew:
                 self.events.append(FaultEvent(
-                    site=site, operation=count,
-                    error=rule.error.__name__))
-                emit_event("fault.injected", site=site, operation=count,
-                           error=rule.error.__name__)
+                    site=site, operation=rule_count,
+                    error=rule.error.__name__, scope=rule.scope))
+                emit_event("fault.injected", site=site,
+                           operation=rule_count,
+                           error=rule.error.__name__,
+                           scope=rule.scope or "")
+                at = site if rule.scope is None \
+                    else f"{site}@{rule.scope}"
                 message = rule.message or (
-                    f"injected {rule.error.__name__} at {site} "
-                    f"operation #{count}")
+                    f"injected {rule.error.__name__} at {at} "
+                    f"operation #{rule_count}")
                 raise rule.error(message)
 
-    def operations(self, site: str) -> int:
-        """How many operations have been registered at *site*."""
+    def operations(self, site: str,
+                   scope: Optional[str] = None) -> int:
+        """How many operations have been registered at *site* (with
+        *scope*: only those attributed to that client/session)."""
+        if scope is not None:
+            return self._scope_counts.get((site, scope), 0)
         return self._counts.get(site, 0)
 
     @property
@@ -233,6 +314,7 @@ class FaultInjector:
     def reset(self) -> None:
         """Back to the pristine plan state: exact fault replay."""
         self._counts.clear()
+        self._scope_counts.clear()
         self._rngs = [
             np.random.default_rng([self.plan.seed & 0x7FFFFFFF, index])
             for index in range(len(self.plan.rules))]
@@ -243,13 +325,20 @@ class FaultInjector:
 
     def state_dict(self) -> Dict[str, Any]:
         """JSON-serialisable snapshot of counters, RNGs, and events."""
-        return {
+        state: Dict[str, Any] = {
             "counts": dict(self._counts),
             "rng_states": [_jsonable(rng.bit_generator.state)
                            for rng in self._rngs],
-            "events": [[e.site, e.operation, e.error]
+            "events": [[e.site, e.operation, e.error, e.scope]
                        for e in self.events],
         }
+        # Only written when scoped rules were actually exercised, so
+        # unscoped plans keep their historical checkpoint layout.
+        if self._scope_counts:
+            state["scope_counts"] = [[site, scope, count]
+                                     for (site, scope), count
+                                     in sorted(self._scope_counts.items())]
+        return state
 
     def load_state_dict(self, state: Mapping[str, Any]) -> None:
         """Restore a :meth:`state_dict` snapshot (same plan required)."""
@@ -261,17 +350,25 @@ class FaultInjector:
                 "from a different fault plan?")
         self._counts = {str(k): int(v)
                         for k, v in state.get("counts", {}).items()}
+        self._scope_counts = {
+            (str(site), str(scope)): int(count)
+            for site, scope, count in state.get("scope_counts", [])}
         for rng, saved in zip(self._rngs, rng_states):
             rng.bit_generator.state = saved
-        self.events = [FaultEvent(site=s, operation=int(op), error=err)
-                       for s, op, err in state.get("events", [])]
+        self.events = [
+            FaultEvent(site=entry[0], operation=int(entry[1]),
+                       error=entry[2],
+                       scope=entry[3] if len(entry) > 3 else None)
+            for entry in state.get("events", [])]
 
     def format_events(self) -> str:
         if not self.events:
             return "no faults fired"
         lines = [f"{len(self.events)} fault(s) fired:"]
         for event in self.events:
-            lines.append(f"  {event.site} op#{event.operation}: "
+            at = event.site if event.scope is None \
+                else f"{event.site}@{event.scope}"
+            lines.append(f"  {at} op#{event.operation}: "
                          f"{event.error}")
         return "\n".join(lines)
 

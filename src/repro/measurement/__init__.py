@@ -38,12 +38,15 @@ from repro.measurement.protocol import (
 from repro.measurement.results import Record, ResultSet
 from repro.measurement.stats import (
     ConfidenceInterval,
+    DEFAULT_PERCENTILES,
+    Percentiles,
     Summary,
     coefficient_of_variation,
     confidence_interval,
     detect_outliers,
     geometric_mean,
     median_confidence_interval,
+    percentiles,
     statistically_different,
     summarize,
 )
@@ -54,6 +57,7 @@ __all__ = [
     "CheckpointEntry",
     "CheckpointJournal",
     "ClockCalibration",
+    "DEFAULT_PERCENTILES",
     "DEFAULT_RETRYABLE",
     "FailedPoint",
     "RetryPolicy",
@@ -68,6 +72,7 @@ __all__ = [
     "LAST_OF_THREE_HOT",
     "NoiseModel",
     "NoisyWorkload",
+    "Percentiles",
     "PickRule",
     "ProcessClock",
     "ProtocolResult",
@@ -84,6 +89,7 @@ __all__ = [
     "coefficient_of_variation",
     "confidence_interval",
     "median_confidence_interval",
+    "percentiles",
     "detect_outliers",
     "geometric_mean",
     "run_harness",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as _scipy_stats
@@ -121,6 +121,95 @@ def median_confidence_interval(values: Sequence[float],
     return ConfidenceInterval(mean=med, low=float(arr[k - 1]),
                               high=float(arr[n - k]),
                               confidence=confidence)
+
+
+#: The latency percentiles every serving report leads with (p50/p95/p99
+#: per Krishnamachari's statistical-evaluation playbook).
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """Latency-style percentile summary of one sample.
+
+    ``levels`` maps the requested percentile (e.g. ``99.0``) to its
+    interpolated value; ``maximum`` is always carried alongside because
+    tail-latency reporting without the worst case hides outliers.
+    """
+
+    n: int
+    levels: Mapping[float, float]
+    maximum: float
+
+    def __getitem__(self, percentile: float) -> float:
+        try:
+            return self.levels[float(percentile)]
+        except KeyError:
+            raise MeasurementError(
+                f"percentile {percentile} was not computed; available: "
+                f"{sorted(self.levels)}") from None
+
+    @property
+    def p50(self) -> float:
+        return self[50.0]
+
+    @property
+    def p95(self) -> float:
+        return self[95.0]
+
+    @property
+    def p99(self) -> float:
+        return self[99.0]
+
+    def format(self, unit: str = "ms", scale: float = 1.0) -> str:
+        parts = [f"p{pct:g}={value * scale:.2f}{unit}"
+                 for pct, value in sorted(self.levels.items())]
+        parts.append(f"max={self.maximum * scale:.2f}{unit}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        payload = {f"p{pct:g}": value
+                   for pct, value in sorted(self.levels.items())}
+        payload["max"] = self.maximum
+        payload["n"] = self.n
+        return payload
+
+
+def percentiles(values: Sequence[float],
+                levels: Sequence[float] = DEFAULT_PERCENTILES
+                ) -> Percentiles:
+    """Interpolated percentiles (plus the maximum) of a sample.
+
+    Uses the classical linear interpolation between closest ranks
+    (numpy's default), so tiny samples degrade gracefully: with ``n=1``
+    every percentile is the single observation, with ``n=2`` the p50
+    is the midpoint.  Ties are handled naturally by the sorted ranks.
+    NaN observations are *rejected*, not propagated — a NaN latency is
+    a measurement bug, and quietly producing NaN tails would let it
+    survive into a published table.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError(
+            "cannot compute percentiles of an empty sample")
+    if np.isnan(arr).any():
+        bad = int(np.isnan(arr).sum())
+        raise MeasurementError(
+            f"sample contains {bad} NaN value(s); refuse to compute "
+            "percentiles over them")
+    level_list = [float(lv) for lv in levels]
+    if not level_list:
+        raise MeasurementError("need at least one percentile level")
+    for level in level_list:
+        if not 0.0 <= level <= 100.0:
+            raise MeasurementError(
+                f"percentile levels must be in [0, 100], got {level}")
+    computed = np.percentile(arr, level_list)
+    return Percentiles(
+        n=int(arr.size),
+        levels={level: float(value)
+                for level, value in zip(level_list, computed)},
+        maximum=float(arr.max()))
 
 
 def statistically_different(a: Sequence[float], b: Sequence[float],

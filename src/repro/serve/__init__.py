@@ -1,0 +1,82 @@
+"""Concurrent serving simulation: load, overload, and self-defence.
+
+The paper's methodology chapters end where most database papers begin:
+a server under concurrent load, past its saturation knee, with faults
+arriving at the worst time.  This package closes that gap without
+giving up determinism — N simulated clients drive one MiniDB engine
+through a discrete-event loop on the virtual clock, so every
+interleaving is a pure function of the seed:
+
+- :mod:`repro.serve.loop` — the deterministic event loop;
+- :mod:`repro.serve.traffic` — open-loop (Poisson arrival-rate) and
+  closed-loop (think-time) generators, with fail-fast validation of
+  contradictory specs;
+- :mod:`repro.serve.admission` — the bounded run queue and its
+  shedding policies (reject / shed-oldest / degrade-to-cached);
+- :mod:`repro.serve.breaker` — the error-rate/latency-SLO circuit
+  breaker with half-open probing;
+- :mod:`repro.serve.server` — the simulation tying them together and
+  the :class:`~repro.serve.server.ServeReport` it produces.
+
+Experiment E24 (:mod:`repro.experiments.e24_serving`) uses this package
+to measure throughput-vs-offered-load and tail-latency knee curves,
+with and without the protection mechanisms, under injected faults.
+"""
+
+from repro.serve.admission import (
+    ADMITTED,
+    DEGRADED,
+    POLICIES,
+    REJECTED,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.serve.loop import EventLoop
+from repro.serve.server import (
+    ALL_STATUSES,
+    RequestRecord,
+    ServeConfig,
+    ServeReport,
+    ServingSimulation,
+)
+from repro.serve.traffic import (
+    CLOSED_LOOP,
+    OPEN_LOOP,
+    ClosedLoopTraffic,
+    OpenLoopTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "ADMITTED",
+    "ALL_STATUSES",
+    "CLOSED",
+    "CLOSED_LOOP",
+    "DEGRADED",
+    "HALF_OPEN",
+    "OPEN",
+    "OPEN_LOOP",
+    "POLICIES",
+    "REJECTED",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "ClosedLoopTraffic",
+    "EventLoop",
+    "OpenLoopTraffic",
+    "RequestRecord",
+    "ServeConfig",
+    "ServeReport",
+    "ServingSimulation",
+    "make_traffic",
+]

@@ -1,0 +1,138 @@
+"""Admission control: a bounded run queue with explicit shedding policies.
+
+The tutorial's overload lesson is that *what a system does past its knee
+is a design decision, not an accident* — and the decision must be
+declared with the results.  :class:`AdmissionController` makes the three
+classic decisions executable over one bounded FIFO run queue:
+
+- ``reject`` — a full queue turns new arrivals away immediately
+  (bounded waiting time for everyone admitted);
+- ``shed-oldest`` — a full queue evicts its oldest waiter in favour of
+  the newcomer (bounds staleness: the requests still queued are the
+  most recent ones);
+- ``degrade`` — a full queue answers the newcomer from the result
+  cache when possible (stale-but-instant), rejecting only cache misses;
+- ``none`` — the unbounded control condition: everything queues, and
+  the latency curve is allowed to show why that is a bad idea.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+POLICIES: Tuple[str, ...] = ("none", "reject", "shed-oldest", "degrade")
+
+#: Admission outcomes returned by :meth:`AdmissionController.admit`.
+ADMITTED = "admitted"
+REJECTED = "rejected"
+DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Run-queue bound and the policy applied when it is hit."""
+
+    policy: str = "reject"
+    queue_limit: int = 16
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ServeError(
+                f"unknown admission policy {self.policy!r}; valid: "
+                + ", ".join(repr(p) for p in POLICIES))
+        if self.policy != "none" and self.queue_limit < 1:
+            raise ServeError(
+                f"a bounded run queue needs queue_limit >= 1, got "
+                f"{self.queue_limit}")
+
+    def describe(self) -> str:
+        if self.policy == "none":
+            return "admission: unbounded queue (no protection)"
+        return (f"admission: {self.policy}, queue limit "
+                f"{self.queue_limit}")
+
+
+class AdmissionController:
+    """The bounded FIFO run queue plus its shedding decision.
+
+    The controller only *decides*; the server applies the decision
+    (failing shed requests, serving degraded ones from its cache).
+    ``admit`` returns ``(outcome, evicted)`` where ``evicted`` is the
+    queue entry displaced by a ``shed-oldest`` admission, if any.
+    """
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self._queue: Deque[object] = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.degraded = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def _full(self) -> bool:
+        return (self.config.policy != "none"
+                and len(self._queue) >= self.config.queue_limit)
+
+    def admit(self, request: object,
+              cacheable: bool = False
+              ) -> Tuple[str, Optional[object]]:
+        """Decide one arrival's fate; queue it when admitted.
+
+        ``cacheable`` says whether a degraded (cached) response exists
+        for this request, which is what the ``degrade`` policy sheds
+        to.
+        """
+        if not self._full():
+            self._queue.append(request)
+            self.admitted += 1
+            self.peak_depth = max(self.peak_depth, len(self._queue))
+            return ADMITTED, None
+        policy = self.config.policy
+        if policy == "reject":
+            self.rejected += 1
+            return REJECTED, None
+        if policy == "shed-oldest":
+            evicted = self._queue.popleft()
+            self.shed += 1
+            self._queue.append(request)
+            self.admitted += 1
+            self.peak_depth = max(self.peak_depth, len(self._queue))
+            return ADMITTED, evicted
+        # degrade: answer from cache when possible, reject otherwise.
+        if cacheable:
+            self.degraded += 1
+            return DEGRADED, None
+        self.rejected += 1
+        return REJECTED, None
+
+    def pop_next(self) -> Optional[object]:
+        """The next queued request in FIFO order, or None."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def remove(self, request: object) -> bool:
+        """Withdraw a queued request (deadline cancellation)."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def drain(self) -> List[object]:
+        """Empty the queue, returning the abandoned requests."""
+        remaining = list(self._queue)
+        self._queue.clear()
+        return remaining

@@ -1,0 +1,200 @@
+"""A circuit breaker in front of the engine: fail fast, probe, recover.
+
+When the engine is *broken* — a fault burst, a latency collapse — the
+worst thing a serving layer can do is keep feeding it: every queued
+request burns a worker slot to produce another error, and the queue
+behind it blows every deadline.  The breaker watches a sliding window
+of recent outcomes and trips **open** when the error rate or the
+latency-SLO breach rate crosses its threshold; open, it fails requests
+immediately (they never reach the engine).  After a cooldown it goes
+**half-open** and lets a bounded number of probe requests through: all
+probes succeeding closes the circuit, any probe failing re-opens it
+with a fresh cooldown.  All transitions happen in simulated time and
+are recorded, so a campaign report can show exactly when and why the
+breaker acted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.obs import emit_event
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds and timing of the circuit breaker.
+
+    ``latency_slo_s`` is optional: without it the breaker trips on
+    error rate only.  ``min_samples`` keeps a cold window from tripping
+    on its first unlucky request.
+    """
+
+    window: int = 20
+    min_samples: int = 8
+    error_rate_threshold: float = 0.5
+    latency_slo_s: Optional[float] = None
+    slo_breach_threshold: float = 0.75
+    cooldown_s: float = 0.5
+    half_open_probes: int = 2
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ServeError(
+                f"breaker window must be >= 1, got {self.window}")
+        if not 1 <= self.min_samples <= self.window:
+            raise ServeError(
+                f"min_samples must be in [1, window={self.window}], "
+                f"got {self.min_samples}")
+        for name in ("error_rate_threshold", "slo_breach_threshold"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ServeError(
+                    f"{name} must be in (0, 1], got {value}")
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ServeError(
+                f"latency SLO must be positive, got "
+                f"{self.latency_slo_s}")
+        if self.cooldown_s <= 0:
+            raise ServeError(
+                f"breaker cooldown must be positive, got "
+                f"{self.cooldown_s}")
+        if self.half_open_probes < 1:
+            raise ServeError(
+                f"half-open probe budget must be >= 1, got "
+                f"{self.half_open_probes}")
+
+    def describe(self) -> str:
+        slo = "" if self.latency_slo_s is None else (
+            f", SLO {self.latency_slo_s * 1000:g}ms breach > "
+            f"{self.slo_breach_threshold:.0%}")
+        return (f"breaker: window {self.window}, error rate > "
+                f"{self.error_rate_threshold:.0%}{slo}, cooldown "
+                f"{self.cooldown_s:g}s, {self.half_open_probes} "
+                "half-open probe(s)")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change, stamped in simulated seconds."""
+
+    at_s: float
+    from_state: str
+    to_state: str
+    reason: str
+
+    def format(self) -> str:
+        return (f"t={self.at_s:.3f}s {self.from_state} -> "
+                f"{self.to_state} ({self.reason})")
+
+
+class CircuitBreaker:
+    """The mutable breaker runtime (see module docstring)."""
+
+    def __init__(self, config: Optional[BreakerConfig] = None):
+        self.config = config if config is not None else BreakerConfig()
+        self.state = CLOSED
+        self.transitions: List[BreakerTransition] = []
+        #: (ok, latency_s) of recent completed requests.
+        self._window: Deque[Tuple[bool, float]] = deque(
+            maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probes_succeeded = 0
+        self.fast_failures = 0
+
+    # -- state machine -----------------------------------------------------
+
+    def _transition(self, to_state: str, now: float,
+                    reason: str) -> None:
+        self.transitions.append(BreakerTransition(
+            at_s=now, from_state=self.state, to_state=to_state,
+            reason=reason))
+        emit_event("breaker.transition", at_s=now,
+                   from_state=self.state, to_state=to_state,
+                   reason=reason)
+        self.state = to_state
+
+    def _trip_reason(self) -> Optional[str]:
+        """Why the window says to open, or None if it does not."""
+        if len(self._window) < self.config.min_samples:
+            return None
+        failures = sum(1 for ok, __ in self._window if not ok)
+        error_rate = failures / len(self._window)
+        if error_rate > self.config.error_rate_threshold:
+            return (f"error rate {error_rate:.0%} > "
+                    f"{self.config.error_rate_threshold:.0%}")
+        slo = self.config.latency_slo_s
+        if slo is not None:
+            breaches = sum(1 for ok, latency in self._window
+                           if ok and latency > slo)
+            breach_rate = breaches / len(self._window)
+            if breach_rate > self.config.slo_breach_threshold:
+                return (f"latency SLO breach rate {breach_rate:.0%} > "
+                        f"{self.config.slo_breach_threshold:.0%}")
+        return None
+
+    def allow(self, now: float) -> bool:
+        """May a request reach the engine at *now*?
+
+        Open circuits fail fast (and count it); an expired cooldown
+        moves the breaker to half-open, where only the probe budget
+        passes.
+        """
+        if self.state == OPEN:
+            if now - self._opened_at >= self.config.cooldown_s:
+                self._transition(HALF_OPEN, now, "cooldown expired")
+                self._probes_in_flight = 0
+                self._probes_succeeded = 0
+            else:
+                self.fast_failures += 1
+                return False
+        if self.state == HALF_OPEN:
+            if self._probes_in_flight >= self.config.half_open_probes:
+                self.fast_failures += 1
+                return False
+            self._probes_in_flight += 1
+            return True
+        return True
+
+    def record_success(self, latency_s: float, now: float) -> None:
+        """A request completed successfully with *latency_s*."""
+        if self.state == HALF_OPEN:
+            self._probes_succeeded += 1
+            if self._probes_succeeded >= self.config.half_open_probes:
+                self._transition(CLOSED, now,
+                                 f"{self._probes_succeeded} probe(s) "
+                                 "succeeded")
+                self._window.clear()
+            return
+        self._window.append((True, latency_s))
+        reason = self._trip_reason()
+        if reason is not None and self.state == CLOSED:
+            self._open(now, reason)
+
+    def record_failure(self, now: float) -> None:
+        """A request reached the engine and failed."""
+        if self.state == HALF_OPEN:
+            self._open(now, "half-open probe failed")
+            return
+        self._window.append((False, 0.0))
+        reason = self._trip_reason()
+        if reason is not None and self.state == CLOSED:
+            self._open(now, reason)
+
+    def _open(self, now: float, reason: str) -> None:
+        self._transition(OPEN, now, reason)
+        self._opened_at = now
+        self._window.clear()
+
+    def format_transitions(self) -> str:
+        if not self.transitions:
+            return "breaker never tripped"
+        return "\n".join(t.format() for t in self.transitions)

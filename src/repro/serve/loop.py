@@ -1,0 +1,93 @@
+"""A deterministic discrete-event loop on the virtual clock.
+
+The serving simulator needs *interleaving* — N clients whose requests
+overlap in time — without giving up the repo's determinism guarantee.
+:class:`EventLoop` provides it the classical way: a priority queue of
+``(time, sequence, callback)`` entries, popped in time order with the
+insertion sequence breaking ties, driving one
+:class:`~repro.measurement.clocks.VirtualClock` forward to each event's
+timestamp.  Two runs that schedule the same events in the same order
+replay the same interleaving byte for byte; there are no threads, no
+host-time reads, and nothing for the OS scheduler to perturb.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.measurement.clocks import VirtualClock
+
+#: An event loop callback; invoked with no arguments at its timestamp.
+Callback = Callable[[], None]
+
+
+class EventLoop:
+    """A monotone, seeded-tie-break discrete-event scheduler.
+
+    Parameters
+    ----------
+    clock:
+        The simulation timeline.  Pass a shared
+        :class:`~repro.measurement.clocks.VirtualClock` to keep the
+        serving layer on the same timeline as other simulated
+        components; by default the loop owns a fresh one.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events fired so far."""
+        return self._processed
+
+    def at(self, when: float, callback: Callback) -> None:
+        """Schedule *callback* at absolute simulated time *when*."""
+        if when < self.now - 1e-12:
+            raise ServeError(
+                f"cannot schedule an event in the past: t={when:.6f}s "
+                f"but the loop is at t={self.now:.6f}s")
+        heapq.heappush(self._heap, (when, self._sequence, callback))
+        self._sequence += 1
+
+    def after(self, delay: float, callback: Callback) -> None:
+        """Schedule *callback* ``delay`` seconds from now."""
+        if delay < 0:
+            raise ServeError(f"event delay must be >= 0, got {delay}")
+        self.at(self.now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Fire events in timestamp order.
+
+        Runs until the queue drains, or — with *until* — until every
+        event stamped at or before that time has fired (later events
+        stay queued and the clock stops at *until*).
+        """
+        while self._heap:
+            when, __, callback = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            delta = when - self.now
+            if delta > 0:
+                # Simulation idle/queueing time is I/O-style waiting.
+                self.clock.advance(io_seconds=delta)
+            self._processed += 1
+            callback()
+        if until is not None and until > self.now:
+            self.clock.advance(io_seconds=until - self.now)

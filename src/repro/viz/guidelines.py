@@ -18,6 +18,15 @@ Rules implemented (slide numbers in parentheses):
 - ``style-consistency`` (via :class:`StyleRegistry`): a given curve keeps
   the same layout from one figure to the next (135);
 - ``mixed-units``: one chart should not mix many result variables (129).
+
+Serving-curve rules (added with experiment E24):
+
+- ``tail-percentiles``: a latency-vs-offered-load chart must include at
+  least one tail series (p95/p99/max) — a mean hides exactly the tail
+  behaviour an overload study exists to show;
+- ``saturation-coverage``: a throughput-vs-offered-load curve should
+  extend past the saturation knee; a curve still climbing at its last
+  point says nothing about where the system breaks.
 """
 
 from __future__ import annotations
@@ -39,6 +48,16 @@ ASPECT_TOLERANCE = 0.15
 _UNIT_PATTERN = re.compile(r"\(.+\)|\bper\b|%|/")
 _SYMBOL_PATTERN = re.compile(
     r"[λμσθαβγδ]|\\(lambda|mu|sigma|theta|alpha|beta)")
+_LATENCY_PATTERN = re.compile(r"latency|response time", re.IGNORECASE)
+_TAIL_PATTERN = re.compile(
+    r"\bp\s?(9[05-9])(\.\d+)?\b|\b(9[05-9])(\.\d+)?th\b|\bmax(imum)?\b"
+    r"|\btail\b", re.IGNORECASE)
+_THROUGHPUT_PATTERN = re.compile(r"throughput|goodput", re.IGNORECASE)
+_LOAD_PATTERN = re.compile(
+    r"offered|arrival|load|clients|req(uest)?s?[ /]", re.IGNORECASE)
+#: A final segment still climbing at more than this fraction of the
+#: initial slope means the throughput curve never reached its knee.
+SATURATION_SLOPE_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
@@ -138,6 +157,41 @@ def lint_chart(chart: ChartSpec, strict: bool = False) -> Tuple[Finding, ...]:
                 f"one chart mixes result variables with units "
                 f"{sorted(units)} (slide 129: response time, throughput "
                 "and utilization on one y axis — 'Huh?')"))
+
+    if chart.kind in (ChartKind.LINE, ChartKind.BAR) \
+            and chart.y_label and chart.x_label \
+            and _LATENCY_PATTERN.search(chart.y_label) \
+            and _LOAD_PATTERN.search(chart.x_label):
+        has_tail = any(_TAIL_PATTERN.search(s.label)
+                       for s in chart.series)
+        if chart.series and not has_tail:
+            findings.append(Finding(
+                "tail-percentiles", "warning",
+                f"latency chart {chart.title!r} plots no tail series "
+                "(p95/p99/max); a mean or median hides exactly the "
+                "tail behaviour an overload study exists to show"))
+
+    if chart.kind is ChartKind.LINE \
+            and chart.x_label and chart.y_label \
+            and _LOAD_PATTERN.search(chart.x_label) \
+            and _THROUGHPUT_PATTERN.search(chart.y_label):
+        for series in chart.series:
+            if len(series.xs) < 3:
+                continue
+            pairs = sorted(zip(series.xs, series.ys))
+            (x0, y0), (x1, y1) = pairs[0], pairs[1]
+            (xa, ya), (xb, yb) = pairs[-2], pairs[-1]
+            if x1 <= x0 or xb <= xa:
+                continue
+            first_slope = (y1 - y0) / (x1 - x0)
+            last_slope = (yb - ya) / (xb - xa)
+            if first_slope > 0 and \
+                    last_slope > SATURATION_SLOPE_FRACTION * first_slope:
+                findings.append(Finding(
+                    "saturation-coverage", "warning",
+                    f"throughput curve {series.label!r} is still "
+                    "climbing at its highest offered load; extend the "
+                    "load axis past the saturation knee"))
 
     if abs(chart.aspect_ratio - RECOMMENDED_ASPECT) > ASPECT_TOLERANCE:
         findings.append(Finding(

@@ -193,3 +193,134 @@ class TestStateRoundTrip:
         other = FaultPlan.scheduled("disk.read", (1,)).injector()
         with pytest.raises(FaultError, match="different fault plan"):
             other.load_state_dict(state)
+
+
+class TestScopedRules:
+    def test_scoped_rule_fires_only_inside_matching_scope(self):
+        plan = FaultPlan.scheduled("disk.read", (1, 3), scope="c1")
+        injector = plan.injector()
+        # unscoped ticks and other scopes are invisible to the rule
+        assert fire_pattern(injector, "disk.read", 5) == [False] * 5
+        with injector.scoped("c2"):
+            assert fire_pattern(injector, "disk.read", 5) == [False] * 5
+        with injector.scoped("c1"):
+            assert fire_pattern(injector, "disk.read", 4) == \
+                [True, False, True, False]
+
+    def test_scope_counters_are_private(self):
+        plan = FaultPlan.scheduled("disk.read", (2,), scope="a")
+        injector = plan.injector()
+        with injector.scoped("b"):
+            fire_pattern(injector, "disk.read", 10)
+        with injector.scoped("a"):
+            # first op in scope "a" despite 10 ops elsewhere
+            assert fire_pattern(injector, "disk.read", 2) == \
+                [False, True]
+        assert injector.operations("disk.read") == 12
+        assert injector.operations("disk.read", scope="a") == 2
+        assert injector.operations("disk.read", scope="b") == 10
+
+    def test_scoped_events_carry_the_scope(self):
+        injector = FaultPlan.scheduled("disk.read", (1,),
+                                       scope="c7").injector()
+        with injector.scoped("c7"):
+            fire_pattern(injector, "disk.read", 1)
+        event = injector.events[0]
+        assert event.scope == "c7"
+        assert event.operation == 1
+        assert "disk.read@c7" in injector.format_events()
+
+    def test_scoped_uniform_draws_no_rng_out_of_scope(self):
+        plan = FaultPlan.uniform(0.5, seed=9, sites=("disk.read",),
+                                 scope="c1")
+        in_scope_only = plan.injector()
+        with in_scope_only.scoped("c1"):
+            expected = fire_pattern(in_scope_only, "disk.read", 40)
+
+        mixed = plan.injector()
+        fire_pattern(mixed, "disk.read", 25)  # out of scope: no draws
+        with mixed.scoped("other"):
+            fire_pattern(mixed, "disk.read", 25)
+        observed = []
+        for __ in range(40):
+            with mixed.scoped("c1"):
+                observed.extend(fire_pattern(mixed, "disk.read", 1))
+        assert observed == expected
+
+    def test_nested_scopes_restore_the_outer_one(self):
+        injector = FaultPlan.scheduled("disk.read", (1,),
+                                       scope="outer").injector()
+        with injector.scoped("outer"):
+            with injector.scoped("inner"):
+                assert fire_pattern(injector, "disk.read", 3) == \
+                    [False] * 3
+            assert fire_pattern(injector, "disk.read", 1) == [True]
+
+    def test_empty_scope_label_is_rejected(self):
+        with pytest.raises(FaultError, match="empty scope"):
+            FaultRule(site="disk.read", error=TransientDiskError,
+                      probability=0.1, scope="")
+
+    def test_scope_appears_in_describe(self):
+        plan = FaultPlan.uniform(0.1, sites=("disk.read",), scope="c3")
+        assert "disk.read@c3" in plan.describe()
+
+
+class TestUnscopedPlansUnchangedByScoping:
+    """Regression: scope contexts must not perturb unscoped rules."""
+
+    def test_unscoped_stream_identical_under_scoped_contexts(self):
+        plan = FaultPlan.uniform(0.3, seed=5)
+        plain = plan.injector()
+        baseline = fire_pattern(plain, "disk.read", 100)
+
+        wrapped = plan.injector()
+        observed = []
+        for i in range(100):
+            scope = (None, "c0", "c1", "c2")[i % 4]
+            with wrapped.scoped(scope):
+                observed.extend(fire_pattern(wrapped, "disk.read", 1))
+        assert observed == baseline
+        assert [(e.site, e.operation, e.error, e.scope)
+                for e in wrapped.events] == \
+            [(e.site, e.operation, e.error, e.scope)
+             for e in plain.events]
+
+    def test_unscoped_state_dict_keeps_legacy_layout(self):
+        plan = FaultPlan.uniform(0.3, seed=5)
+        plain = plan.injector()
+        fire_pattern(plain, "disk.read", 50)
+        wrapped = plan.injector()
+        for __ in range(50):
+            with wrapped.scoped(None):
+                try:
+                    wrapped.tick("disk.read")
+                except FaultError:
+                    pass
+        assert "scope_counts" not in plain.state_dict()
+        assert "scope_counts" not in wrapped.state_dict()
+        assert json.dumps(plain.state_dict(), sort_keys=True) == \
+            json.dumps(wrapped.state_dict(), sort_keys=True)
+
+    def test_scoped_state_round_trips(self):
+        plan = FaultPlan.scheduled("disk.read", (3,), scope="c1")
+        first = plan.injector()
+        with first.scoped("c1"):
+            fire_pattern(first, "disk.read", 2)
+        state = json.loads(json.dumps(first.state_dict()))
+
+        resumed = plan.injector()
+        resumed.load_state_dict(state)
+        with resumed.scoped("c1"):
+            assert fire_pattern(resumed, "disk.read", 1) == [True]
+
+    def test_legacy_three_element_events_load_as_unscoped(self):
+        plan = FaultPlan.scheduled("disk.read", (1,))
+        injector = plan.injector()
+        fire_pattern(injector, "disk.read", 1)
+        state = injector.state_dict()
+        state["events"] = [entry[:3] for entry in state["events"]]
+        fresh = plan.injector()
+        fresh.load_state_dict(json.loads(json.dumps(state)))
+        assert fresh.events[0].scope is None
+        assert fresh.events[0].site == "disk.read"

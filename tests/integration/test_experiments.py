@@ -359,3 +359,12 @@ class TestE21FaultTolerance:
         text = result.format()
         assert "survival" in text
         assert "methodology paragraph" in text
+
+    def test_output_byte_identical_after_fault_scoping(self, result):
+        """Pin E21's exact output: adding per-session fault scoping
+        (for the serving layer) must not perturb unscoped campaigns'
+        fault streams by a single byte."""
+        import hashlib
+        digest = hashlib.sha256(result.format().encode()).hexdigest()
+        assert digest == ("57b4f031791fb94dfe788e129efd2363"
+                          "801094c333a5501db0a85678191a14a4")

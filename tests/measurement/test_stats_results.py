@@ -12,6 +12,7 @@ from repro.measurement import (
     confidence_interval,
     detect_outliers,
     geometric_mean,
+    percentiles,
     statistically_different,
     summarize,
 )
@@ -177,3 +178,81 @@ class TestResultSet:
         rs.add({"a": 1}, {"m": 1.0})
         with pytest.raises(MeasurementError):
             ResultSet.from_csv(rs.to_csv(), metric_names=["nope"])
+
+
+class TestPercentiles:
+    def test_interpolated_levels(self):
+        p = percentiles([1.0, 2.0, 3.0, 4.0])
+        assert p.n == 4
+        assert p.p50 == pytest.approx(2.5)
+        assert p.p95 == pytest.approx(3.85)
+        assert p.p99 == pytest.approx(3.97)
+        assert p.maximum == 4.0
+
+    def test_single_observation(self):
+        p = percentiles([7.0])
+        assert p.p50 == p.p95 == p.p99 == p.maximum == 7.0
+
+    def test_two_observations_interpolate_the_median(self):
+        p = percentiles([1.0, 3.0])
+        assert p.p50 == pytest.approx(2.0)
+        assert p.p99 == pytest.approx(2.98)
+
+    def test_three_observations(self):
+        p = percentiles([3.0, 1.0, 2.0])
+        assert p.p50 == pytest.approx(2.0)
+        assert p.maximum == 3.0
+
+    def test_ties(self):
+        p = percentiles([2.0, 2.0, 2.0, 2.0, 2.0])
+        assert p.p50 == p.p95 == p.p99 == 2.0
+        assert p.maximum == 2.0
+
+    def test_unsorted_input(self):
+        p = percentiles([9.0, 1.0, 5.0, 3.0, 7.0])
+        assert p.p50 == pytest.approx(5.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(MeasurementError, match="NaN"):
+            percentiles([1.0, float("nan"), 3.0])
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(MeasurementError, match="empty"):
+            percentiles([])
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(MeasurementError, match="0, 100"):
+            percentiles([1.0], levels=(50.0, 101.0))
+        with pytest.raises(MeasurementError, match="one percentile"):
+            percentiles([1.0], levels=())
+
+    def test_custom_levels(self):
+        p = percentiles([float(i) for i in range(1, 101)],
+                        levels=(25.0, 75.0))
+        assert p[25.0] == pytest.approx(25.75)
+        assert p[75.0] == pytest.approx(75.25)
+
+    def test_missing_level_raises(self):
+        p = percentiles([1.0, 2.0])
+        with pytest.raises(MeasurementError, match="not computed"):
+            p[42.0]
+
+    def test_format_and_to_dict(self):
+        p = percentiles([1.0, 2.0, 3.0, 4.0])
+        text = p.format(unit="ms", scale=1000.0)
+        assert "p50=2500.00ms" in text
+        assert "max=4000.00ms" in text
+        d = p.to_dict()
+        assert d["n"] == 4
+        assert d["p50"] == pytest.approx(2.5)
+        assert d["max"] == 4.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_invariants(self, values):
+        p = percentiles(values)
+        assert p.p50 <= p.p95 <= p.p99 <= p.maximum
+        assert min(values) <= p.p50
+        assert p.maximum == max(values)

@@ -195,3 +195,106 @@ class TestResilientCli:
     def test_unknown_option_is_an_error(self, suite_module, capsys):
         assert main(["--frobnicate", "fake_suite_module"]) == 1
         assert "unknown option" in capsys.readouterr().err
+
+
+def build_serving_suite_in(tmp_path):
+    """A suite whose experiment records the serving properties it saw."""
+    suite = ExperimentSuite(tmp_path, name="serve-demo",
+                            properties=Properties({}))
+
+    def experiment(properties):
+        rs = ResultSet()
+        rs.add({"clients": properties.get("clients", ""),
+                "arrival_rate": properties.get("arrival_rate", "")},
+               {"y": 1.0})
+        return rs
+
+    suite.add("serve", experiment)
+    return suite
+
+
+@pytest.fixture
+def serving_module(tmp_path, monkeypatch):
+    module = types.ModuleType("serving_suite_module")
+    module.SUITE = build_serving_suite_in(tmp_path)
+    monkeypatch.setitem(sys.modules, "serving_suite_module", module)
+    return module
+
+
+class TestServingFlags:
+    def test_clients_flag_sets_property(self, serving_module):
+        assert main(["--clients", "8", "serving_suite_module",
+                     "serve"]) == 0
+        assert serving_module.SUITE.properties.get("clients") == "8"
+
+    def test_clients_equals_form(self, serving_module):
+        assert main(["--clients=3", "serving_suite_module",
+                     "serve"]) == 0
+        assert serving_module.SUITE.properties.get("clients") == "3"
+
+    def test_arrival_rate_flag_sets_property(self, serving_module):
+        assert main(["--arrival-rate", "250.5",
+                     "serving_suite_module", "serve"]) == 0
+        assert serving_module.SUITE.properties.get("arrival_rate") == \
+            "250.5"
+
+    def test_arrival_rate_equals_form(self, serving_module):
+        assert main(["--arrival-rate=100", "serving_suite_module",
+                     "serve"]) == 0
+        assert serving_module.SUITE.properties.get("arrival_rate") == \
+            "100.0"
+
+    def test_both_flags_together_are_fine(self, serving_module):
+        # open-loop traffic with N sessions: a valid combination
+        assert main(["--clients", "4", "--arrival-rate", "800",
+                     "serving_suite_module", "serve"]) == 0
+
+    def test_clients_rejects_non_integer(self, serving_module, capsys):
+        assert main(["--clients", "many", "serving_suite_module"]) == 1
+        assert "needs an integer" in capsys.readouterr().err
+
+    def test_clients_rejects_negative(self, serving_module, capsys):
+        assert main(["--clients", "-2", "serving_suite_module"]) == 1
+        assert ">= 0" in capsys.readouterr().err
+
+    def test_clients_without_value_is_an_error(self, serving_module,
+                                               capsys):
+        assert main(["serving_suite_module", "--clients"]) == 1
+        assert "client count" in capsys.readouterr().err
+
+    def test_arrival_rate_rejects_non_number(self, serving_module,
+                                             capsys):
+        assert main(["--arrival-rate", "fast",
+                     "serving_suite_module"]) == 1
+        assert "req/s" in capsys.readouterr().err
+
+    def test_arrival_rate_rejects_zero(self, serving_module, capsys):
+        assert main(["--arrival-rate=0", "serving_suite_module"]) == 1
+        assert "> 0" in capsys.readouterr().err
+
+    def test_closed_loop_with_arrival_rate_fails_fast(
+            self, serving_module, capsys):
+        assert main(["--arrival-rate", "500", "serving_suite_module",
+                     "serve", "-Dloop=closed"]) == 1
+        err = capsys.readouterr().err
+        assert "open-loop knob" in err
+        # fail-fast: nothing ran
+        assert not serving_module.SUITE.res_path("serve").exists()
+
+    def test_open_loop_with_think_time_fails_fast(self, serving_module,
+                                                  capsys):
+        assert main(["serving_suite_module", "serve", "-Dloop=open",
+                     "-Dthink_time=0.01"]) == 1
+        assert "closed-loop clients" in capsys.readouterr().err
+
+    def test_arrival_rate_plus_think_time_without_loop_fails(
+            self, serving_module, capsys):
+        assert main(["--arrival-rate", "500", "serving_suite_module",
+                     "serve", "-Dthink_time=0.01"]) == 1
+        assert "two different workloads" in capsys.readouterr().err
+
+    def test_usage_documents_the_flags(self, capsys):
+        main(["--help"])
+        out = capsys.readouterr().out
+        assert "--clients" in out
+        assert "--arrival-rate" in out

@@ -1,0 +1,124 @@
+"""Tests for the bounded run queue and its shedding policies."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    ADMITTED,
+    DEGRADED,
+    REJECTED,
+    AdmissionConfig,
+    AdmissionController,
+)
+
+
+def make(policy, limit=2):
+    return AdmissionController(AdmissionConfig(policy=policy,
+                                               queue_limit=limit))
+
+
+class TestAdmissionConfig:
+    def test_unknown_policy(self):
+        with pytest.raises(ServeError, match="unknown admission policy"):
+            AdmissionConfig(policy="drop-newest")
+
+    def test_bounded_policy_needs_positive_limit(self):
+        with pytest.raises(ServeError, match="queue_limit"):
+            AdmissionConfig(policy="reject", queue_limit=0)
+
+    def test_none_policy_ignores_limit(self):
+        config = AdmissionConfig(policy="none", queue_limit=0)
+        assert "unbounded" in config.describe()
+
+    def test_describe_names_policy_and_limit(self):
+        text = AdmissionConfig(policy="shed-oldest",
+                               queue_limit=5).describe()
+        assert "shed-oldest" in text
+        assert "5" in text
+
+
+class TestRejectPolicy:
+    def test_admits_until_full_then_rejects(self):
+        ctl = make("reject", limit=2)
+        assert ctl.admit("a") == (ADMITTED, None)
+        assert ctl.admit("b") == (ADMITTED, None)
+        assert ctl.admit("c") == (REJECTED, None)
+        assert ctl.admitted == 2
+        assert ctl.rejected == 1
+        assert ctl.depth == 2
+
+    def test_pop_frees_a_slot(self):
+        ctl = make("reject", limit=1)
+        ctl.admit("a")
+        assert ctl.admit("b") == (REJECTED, None)
+        assert ctl.pop_next() == "a"
+        assert ctl.admit("b") == (ADMITTED, None)
+
+
+class TestShedOldestPolicy:
+    def test_evicts_the_oldest_waiter(self):
+        ctl = make("shed-oldest", limit=2)
+        ctl.admit("old")
+        ctl.admit("mid")
+        outcome, evicted = ctl.admit("new")
+        assert outcome == ADMITTED
+        assert evicted == "old"
+        assert ctl.shed == 1
+        assert list(ctl.drain()) == ["mid", "new"]
+
+
+class TestDegradePolicy:
+    def test_full_queue_degrades_cacheable_requests(self):
+        ctl = make("degrade", limit=1)
+        ctl.admit("a")
+        assert ctl.admit("b", cacheable=True) == (DEGRADED, None)
+        assert ctl.degraded == 1
+
+    def test_full_queue_rejects_cache_misses(self):
+        ctl = make("degrade", limit=1)
+        ctl.admit("a")
+        assert ctl.admit("b", cacheable=False) == (REJECTED, None)
+        assert ctl.rejected == 1
+
+
+class TestNonePolicy:
+    def test_never_sheds(self):
+        ctl = make("none", limit=1)
+        for i in range(50):
+            assert ctl.admit(i) == (ADMITTED, None)
+        assert ctl.depth == 50
+        assert ctl.rejected == ctl.shed == ctl.degraded == 0
+
+
+class TestQueueMechanics:
+    def test_fifo_order(self):
+        ctl = make("none")
+        for name in ("a", "b", "c"):
+            ctl.admit(name)
+        assert [ctl.pop_next() for __ in range(3)] == ["a", "b", "c"]
+        assert ctl.pop_next() is None
+
+    def test_peak_depth_tracks_high_water_mark(self):
+        ctl = make("none")
+        ctl.admit("a")
+        ctl.admit("b")
+        ctl.pop_next()
+        ctl.admit("c")
+        assert ctl.peak_depth == 2
+        assert ctl.depth == 2
+
+    def test_remove_withdraws_a_queued_request(self):
+        ctl = make("none")
+        ctl.admit("a")
+        ctl.admit("b")
+        assert ctl.remove("a") is True
+        assert ctl.remove("a") is False
+        assert ctl.pop_next() == "b"
+
+    def test_drain_empties_the_queue(self):
+        ctl = make("none")
+        ctl.admit("a")
+        ctl.admit("b")
+        assert ctl.drain() == ["a", "b"]
+        assert ctl.depth == 0
+        assert ctl.drain() == []

@@ -1,0 +1,156 @@
+"""Tests for the circuit breaker's state machine."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+def make(window=4, min_samples=2, error_rate=0.5, cooldown=1.0,
+         probes=1, slo=None, slo_breach=0.75):
+    return CircuitBreaker(BreakerConfig(
+        window=window, min_samples=min_samples,
+        error_rate_threshold=error_rate, latency_slo_s=slo,
+        slo_breach_threshold=slo_breach, cooldown_s=cooldown,
+        half_open_probes=probes))
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ServeError, match="window"):
+            BreakerConfig(window=0)
+        with pytest.raises(ServeError, match="min_samples"):
+            BreakerConfig(window=4, min_samples=5)
+        with pytest.raises(ServeError, match="error_rate_threshold"):
+            BreakerConfig(error_rate_threshold=0.0)
+        with pytest.raises(ServeError, match="latency SLO"):
+            BreakerConfig(latency_slo_s=0.0)
+        with pytest.raises(ServeError, match="cooldown"):
+            BreakerConfig(cooldown_s=0.0)
+        with pytest.raises(ServeError, match="probe budget"):
+            BreakerConfig(half_open_probes=0)
+
+    def test_describe_mentions_slo_only_when_set(self):
+        assert "SLO" not in BreakerConfig().describe()
+        assert "SLO" in BreakerConfig(latency_slo_s=0.1).describe()
+
+
+class TestErrorRateTrip:
+    def test_trips_past_the_error_threshold(self):
+        breaker = make(window=4, min_samples=2)
+        breaker.record_failure(now=0.1)
+        assert breaker.state == CLOSED  # min_samples guard
+        breaker.record_failure(now=0.2)
+        assert breaker.state == OPEN
+        assert "error rate" in breaker.transitions[-1].reason
+
+    def test_min_samples_guard_blocks_cold_trips(self):
+        breaker = make(window=10, min_samples=5)
+        for i in range(4):
+            breaker.record_failure(now=0.1 * i)
+        assert breaker.state == CLOSED
+
+    def test_successes_keep_it_closed(self):
+        breaker = make(window=4, min_samples=2)
+        for i in range(10):
+            breaker.record_success(0.001, now=0.1 * i)
+        assert breaker.state == CLOSED
+        assert breaker.transitions == []
+
+    def test_mixed_window_below_threshold_stays_closed(self):
+        breaker = make(window=4, min_samples=4, error_rate=0.5)
+        breaker.record_failure(now=0.1)
+        breaker.record_success(0.001, now=0.2)
+        breaker.record_failure(now=0.3)
+        breaker.record_success(0.001, now=0.4)
+        assert breaker.state == CLOSED  # 50% is not > 50%
+
+
+class TestLatencySloTrip:
+    def test_trips_on_slo_breach_rate(self):
+        breaker = make(window=4, min_samples=4, slo=0.01,
+                       slo_breach=0.5)
+        for i in range(4):
+            breaker.record_success(0.05, now=0.1 * i)  # all breach
+        assert breaker.state == OPEN
+        assert "SLO" in breaker.transitions[-1].reason
+
+    def test_fast_successes_do_not_trip(self):
+        breaker = make(window=4, min_samples=4, slo=0.01,
+                       slo_breach=0.5)
+        for i in range(8):
+            breaker.record_success(0.001, now=0.1 * i)
+        assert breaker.state == CLOSED
+
+
+class TestOpenBehaviour:
+    def trip(self, breaker, at=0.0):
+        breaker.record_failure(now=at)
+        breaker.record_failure(now=at)
+        assert breaker.state == OPEN
+
+    def test_open_fails_fast_and_counts(self):
+        breaker = make(cooldown=1.0)
+        self.trip(breaker, at=0.5)
+        assert breaker.allow(now=0.6) is False
+        assert breaker.allow(now=1.4) is False
+        assert breaker.fast_failures == 2
+
+    def test_cooldown_moves_to_half_open(self):
+        breaker = make(cooldown=1.0)
+        self.trip(breaker, at=0.5)
+        assert breaker.allow(now=1.5) is True  # probe admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_caps_probes(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker, at=0.0)
+        assert breaker.allow(now=1.0) is True
+        assert breaker.allow(now=1.0) is True
+        assert breaker.allow(now=1.0) is False
+        assert breaker.fast_failures == 1
+
+    def test_successful_probes_close_the_circuit(self):
+        breaker = make(cooldown=1.0, probes=2)
+        self.trip(breaker, at=0.0)
+        breaker.allow(now=1.0)
+        breaker.allow(now=1.0)
+        breaker.record_success(0.001, now=1.1)
+        assert breaker.state == HALF_OPEN  # one of two probes back
+        breaker.record_success(0.001, now=1.2)
+        assert breaker.state == CLOSED
+        states = [(t.from_state, t.to_state)
+                  for t in breaker.transitions]
+        assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                          (HALF_OPEN, CLOSED)]
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker = make(cooldown=1.0, probes=1)
+        self.trip(breaker, at=0.0)
+        breaker.allow(now=1.0)
+        breaker.record_failure(now=1.1)
+        assert breaker.state == OPEN
+        assert breaker.allow(now=1.5) is False  # cooldown restarted
+        assert breaker.allow(now=2.2) is True
+
+    def test_window_clears_after_recovery(self):
+        breaker = make(window=4, min_samples=2, cooldown=1.0, probes=1)
+        self.trip(breaker, at=0.0)
+        breaker.allow(now=1.0)
+        breaker.record_success(0.001, now=1.1)
+        assert breaker.state == CLOSED
+        # one post-recovery failure must not re-trip on stale history
+        breaker.record_failure(now=1.2)
+        assert breaker.state == CLOSED
+
+    def test_format_transitions(self):
+        breaker = make()
+        assert breaker.format_transitions() == "breaker never tripped"
+        self.trip(breaker, at=0.25)
+        assert "closed -> open" in breaker.format_transitions()

@@ -1,0 +1,105 @@
+"""Tests for the deterministic discrete-event loop."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.measurement.clocks import VirtualClock
+from repro.serve import EventLoop
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(0.3, lambda: fired.append("c"))
+        loop.at(0.1, lambda: fired.append("a"))
+        loop.at(0.2, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in ("first", "second", "third"):
+            loop.at(0.5, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_times(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(0.25, lambda: seen.append(loop.now))
+        loop.at(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [pytest.approx(0.25), pytest.approx(1.5)]
+        assert loop.now == pytest.approx(1.5)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                loop.after(0.1, chain)
+
+        loop.after(0.1, chain)
+        loop.run()
+        assert fired == [pytest.approx(0.1), pytest.approx(0.2),
+                         pytest.approx(0.3)]
+
+    def test_run_until_leaves_later_events_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(0.1, lambda: fired.append("early"))
+        loop.at(0.9, lambda: fired.append("late"))
+        loop.run(until=0.5)
+        assert fired == ["early"]
+        assert loop.pending == 1
+        assert loop.now == pytest.approx(0.5)
+
+    def test_run_until_fires_events_exactly_at_horizon(self):
+        loop = EventLoop()
+        fired = []
+        loop.at(0.5, lambda: fired.append("at"))
+        loop.run(until=0.5)
+        assert fired == ["at"]
+
+    def test_refuses_past_events(self):
+        loop = EventLoop()
+        loop.at(0.5, lambda: None)
+        loop.run()
+        with pytest.raises(ServeError, match="past"):
+            loop.at(0.1, lambda: None)
+
+    def test_refuses_negative_delay(self):
+        loop = EventLoop()
+        with pytest.raises(ServeError, match="delay"):
+            loop.after(-0.1, lambda: None)
+
+    def test_shared_clock(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        loop.at(0.7, lambda: None)
+        loop.run()
+        assert clock.now == pytest.approx(0.7)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.at(i * 0.1, lambda: None)
+        loop.run()
+        assert loop.processed == 5
+        assert loop.pending == 0
+
+    def test_identical_schedules_replay_identically(self):
+        def trace():
+            loop = EventLoop()
+            fired = []
+            for i in range(20):
+                loop.at((i * 7 % 5) * 0.01,
+                        lambda i=i: fired.append((loop.now, i)))
+            loop.run()
+            return fired
+
+        assert trace() == trace()

@@ -1,0 +1,268 @@
+"""End-to-end tests of the serving simulator, including the saturation
+edge cases: queue-full rejection, deadlines expiring while queued, the
+breaker opening mid-burst and recovering through half-open probes, and
+the degenerate zero-client and single-client configurations."""
+
+import pytest
+
+from repro.db import Engine
+from repro.errors import ServeError
+from repro.faults import FaultPlan
+from repro.serve import (
+    ALL_STATUSES,
+    AdmissionConfig,
+    BreakerConfig,
+    ClosedLoopTraffic,
+    OpenLoopTraffic,
+    ServeConfig,
+    ServingSimulation,
+)
+from repro.workloads.microbench import select_microbenchmark
+
+_ROWS = 400
+
+
+def make_engine(faults=None):
+    micro = select_microbenchmark(_ROWS, 0.2, seed=7)
+    engine = micro.engine
+    if faults is not None:
+        engine = Engine(engine.database, engine.config, faults=faults)
+    # Warm parse/plan caches so every simulated request costs the
+    # steady-state service time, not the cold first-execution one.
+    engine.execute(micro.sql)
+    engine.execute(micro.sql)
+    return engine, micro.sql
+
+
+def calibrate():
+    engine, sql = make_engine()
+    engine.execute(sql)
+    engine.execute(sql)
+    before = engine.clock.now
+    engine.execute(sql)
+    return engine.clock.now - before
+
+
+SERVICE_S = calibrate()
+
+
+def capacity(workers):
+    return workers / SERVICE_S
+
+
+def simulate(config, rate=None, duration=None, faults=None, seed=11,
+             traffic=None):
+    engine, sql = make_engine(faults=faults)
+    if traffic is None:
+        traffic = OpenLoopTraffic(
+            arrival_rate=rate,
+            duration_s=duration if duration is not None
+            else 200 * SERVICE_S,
+            sessions=4, seed=seed)
+    return ServingSimulation(engine, [sql], traffic, config,
+                             faults=faults, name="test").run()
+
+
+class TestLightLoad:
+    def test_underloaded_open_loop_is_healthy(self):
+        config = ServeConfig(workers=2, deadline_s=50 * SERVICE_S,
+                             breaker=BreakerConfig(
+                                 cooldown_s=20 * SERVICE_S))
+        report = simulate(config, rate=0.3 * capacity(2))
+        assert report.verdict() == "healthy"
+        assert report.counts.get("ok", 0) >= 0.95 * report.offered
+        assert report.offered == len(report.records)
+        assert set(report.counts) <= set(ALL_STATUSES)
+        assert report.goodput_per_s <= report.throughput_per_s
+
+    def test_latency_and_wait_percentiles_are_reported(self):
+        config = ServeConfig(workers=2, deadline_s=50 * SERVICE_S)
+        report = simulate(config, rate=0.5 * capacity(2))
+        assert report.latency is not None
+        assert report.latency.p50 <= report.latency.p99
+        assert report.latency.p99 <= report.latency.maximum
+        assert report.queue_wait is not None
+        # queue wait is part of, never more than, the response time
+        assert report.queue_wait.p99 <= report.latency.p99 + 1e-12
+
+
+class TestQueueFullRejection:
+    def test_bounded_queue_rejects_past_the_limit(self):
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(policy="reject", queue_limit=2),
+            breaker=None, deadline_s=None, cancel_expired=False)
+        report = simulate(config, rate=6 * capacity(1))
+        assert report.counts.get("rejected", 0) > 0
+        assert report.peak_queue_depth <= 2
+        # rejected requests get an instant response
+        rejected = [r for r in report.records if r.status == "rejected"]
+        assert all(r.latency_s == 0.0 for r in rejected)
+        assert all(r.service_s == 0.0 for r in rejected)
+
+
+class TestDeadlines:
+    def test_deadline_expires_while_queued(self):
+        deadline = 3 * SERVICE_S
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(policy="none", queue_limit=0),
+            breaker=None, deadline_s=deadline, cancel_expired=True)
+        report = simulate(config, rate=5 * capacity(1))
+        expired = [r for r in report.records if r.status == "expired"]
+        assert expired
+        for record in expired:
+            # cancelled exactly at the deadline, having never run
+            assert record.latency_s == pytest.approx(deadline)
+            assert record.service_s == 0.0
+
+    def test_without_cancellation_slow_responses_are_late(self):
+        deadline = 3 * SERVICE_S
+        config = ServeConfig.unprotected(workers=1,
+                                         deadline_s=deadline)
+        report = simulate(config, rate=3 * capacity(1))
+        late = [r for r in report.records if r.status == "late"]
+        assert late
+        for record in late:
+            assert record.latency_s > deadline
+        assert report.counts.get("expired", 0) == 0
+
+
+class TestBreakerMidBurst:
+    def test_breaker_opens_on_burst_and_recovers_via_probes(self):
+        faults = FaultPlan.scheduled(
+            "engine.execute", range(3, 11), seed=5).injector()
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(policy="reject", queue_limit=8),
+            breaker=BreakerConfig(window=4, min_samples=2,
+                                  error_rate_threshold=0.5,
+                                  cooldown_s=20 * SERVICE_S,
+                                  half_open_probes=1),
+            deadline_s=None, cancel_expired=False)
+        report = simulate(config, rate=2 * capacity(1),
+                          duration=600 * SERVICE_S, faults=faults)
+        states = [(t.from_state, t.to_state)
+                  for t in report.breaker_transitions]
+        assert ("closed", "open") in states
+        assert ("open", "half-open") in states
+        assert ("half-open", "closed") in states
+        assert states[-1][1] == "closed"  # recovered by the end
+        assert report.counts.get("breaker-open", 0) > 0
+        assert report.counts.get("failed", 0) >= 2
+        assert report.counts.get("ok", 0) > 0
+        assert report.faults_injected >= 2
+        # good service resumed after the last recovery
+        recovered_at = max(t.at_s for t in report.breaker_transitions)
+        assert any(r.status == "ok" and r.arrival_s > recovered_at
+                   for r in report.records)
+
+
+class TestDegenerateConfigs:
+    def test_zero_clients_is_an_idle_system(self):
+        traffic = ClosedLoopTraffic(n_clients=0, think_time_s=0.001,
+                                    duration_s=0.01)
+        report = simulate(ServeConfig(), traffic=traffic)
+        assert report.offered == 0
+        assert report.verdict() == "idle"
+        assert report.latency is None
+        assert report.throughput_per_s == 0.0
+
+    def test_single_client_never_queues(self):
+        traffic = ClosedLoopTraffic(n_clients=1, think_time_s=0.0,
+                                    duration_s=100 * SERVICE_S,
+                                    seed=3)
+        config = ServeConfig(workers=1, deadline_s=50 * SERVICE_S)
+        report = simulate(config, traffic=traffic)
+        assert report.offered > 10
+        assert report.peak_queue_depth <= 1
+        assert report.queue_wait is not None
+        assert report.queue_wait.maximum == 0.0
+        # a lone closed-loop client cannot overload anything
+        unfinished = report.counts.get("unfinished", 0)
+        assert unfinished <= 1
+        assert report.counts.get("ok", 0) == report.offered - unfinished
+
+
+class TestSheddingPolicies:
+    def test_shed_oldest_evicts_the_oldest_waiter(self):
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(policy="shed-oldest",
+                                      queue_limit=2),
+            breaker=None, deadline_s=None, cancel_expired=False)
+        report = simulate(config, rate=6 * capacity(1))
+        shed = [r for r in report.records if r.status == "shed"]
+        assert shed
+        assert report.peak_queue_depth <= 2
+        # an evicted request was displaced by a newer arrival
+        for record in shed:
+            assert record.latency_s is not None
+            assert record.latency_s >= 0.0
+
+    def test_degrade_serves_stale_from_the_cache(self):
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(policy="degrade", queue_limit=1),
+            breaker=None, deadline_s=None, cancel_expired=False,
+            degraded_cost_s=0.0002)
+        report = simulate(config, rate=8 * capacity(1))
+        degraded = [r for r in report.records
+                    if r.status == "degraded"]
+        assert degraded
+        for record in degraded:
+            assert record.latency_s == pytest.approx(0.0002)
+        # before the first completion primed the cache, the full
+        # queue had nothing stale to serve: those were rejected
+        first_degraded = min(r.arrival_s for r in degraded)
+        early_rejects = [r for r in report.records
+                         if r.status == "rejected"
+                         and r.arrival_s < first_degraded]
+        assert early_rejects
+
+
+class TestHorizonHonesty:
+    def test_unbounded_overload_leaves_unfinished_work(self):
+        config = ServeConfig.unprotected(workers=1, deadline_s=None)
+        report = simulate(config, rate=4 * capacity(1))
+        assert report.counts.get("unfinished", 0) > 0
+        assert sum(report.counts.values()) == report.offered
+
+    def test_unfinished_requests_have_no_latency(self):
+        config = ServeConfig.unprotected(workers=1, deadline_s=None)
+        report = simulate(config, rate=4 * capacity(1))
+        for record in report.records:
+            if record.status == "unfinished":
+                assert record.latency_s is None
+
+
+class TestGuards:
+    def test_simulation_is_single_use(self):
+        engine, sql = make_engine()
+        traffic = OpenLoopTraffic(arrival_rate=100.0, duration_s=0.01)
+        sim = ServingSimulation(engine, [sql], traffic, ServeConfig())
+        sim.run()
+        with pytest.raises(ServeError, match="single-use"):
+            sim.run()
+
+    def test_empty_query_mix_is_refused(self):
+        engine, __ = make_engine()
+        traffic = OpenLoopTraffic(arrival_rate=100.0, duration_s=0.01)
+        with pytest.raises(ServeError, match="at least one query"):
+            ServingSimulation(engine, [], traffic, ServeConfig())
+
+
+class TestDeterminism:
+    def run_once(self):
+        config = ServeConfig(
+            workers=2,
+            admission=AdmissionConfig(policy="shed-oldest",
+                                      queue_limit=4),
+            breaker=BreakerConfig(cooldown_s=20 * SERVICE_S),
+            deadline_s=20 * SERVICE_S, cancel_expired=True)
+        return simulate(config, rate=1.5 * capacity(2), seed=42)
+
+    def test_repeated_runs_are_identical(self):
+        a, b = self.run_once(), self.run_once()
+        assert a.to_dict() == b.to_dict()
+        assert a.records == b.records

@@ -1,0 +1,139 @@
+"""Tests for the seeded traffic generators and their fail-fast factory."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ClosedLoopTraffic, OpenLoopTraffic, make_traffic
+
+
+class TestOpenLoopTraffic:
+    def test_arrivals_are_sorted_and_bounded(self):
+        traffic = OpenLoopTraffic(arrival_rate=500.0, duration_s=0.2,
+                                  seed=3)
+        arrivals = list(traffic.arrivals())
+        assert arrivals
+        times = [t for t, __ in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 0.2 for t in times)
+
+    def test_arrivals_are_deterministic(self):
+        def schedule():
+            return list(OpenLoopTraffic(arrival_rate=800.0,
+                                        duration_s=0.1,
+                                        seed=11).arrivals())
+
+        assert schedule() == schedule()
+
+    def test_seed_changes_the_schedule(self):
+        a = list(OpenLoopTraffic(arrival_rate=800.0, duration_s=0.1,
+                                 seed=1).arrivals())
+        b = list(OpenLoopTraffic(arrival_rate=800.0, duration_s=0.1,
+                                 seed=2).arrivals())
+        assert a != b
+
+    def test_rate_matches_poisson_expectation(self):
+        traffic = OpenLoopTraffic(arrival_rate=2000.0, duration_s=1.0,
+                                  seed=7)
+        n = len(list(traffic.arrivals()))
+        assert 1800 < n < 2200  # ~2000 +- a few sigma
+
+    def test_sessions_round_robin(self):
+        traffic = OpenLoopTraffic(arrival_rate=1000.0, duration_s=0.05,
+                                  sessions=3, seed=5)
+        sessions = [s for __, s in traffic.arrivals()]
+        assert sessions[:6] == ["s0", "s1", "s2", "s0", "s1", "s2"]
+        assert set(sessions) == {"s0", "s1", "s2"}
+
+    def test_zero_rate_yields_nothing(self):
+        traffic = OpenLoopTraffic(arrival_rate=0.0, duration_s=0.1)
+        assert list(traffic.arrivals()) == []
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="arrival rate"):
+            OpenLoopTraffic(arrival_rate=-1.0, duration_s=0.1)
+        with pytest.raises(ServeError, match="duration"):
+            OpenLoopTraffic(arrival_rate=10.0, duration_s=0.0)
+        with pytest.raises(ServeError, match="session"):
+            OpenLoopTraffic(arrival_rate=10.0, duration_s=0.1,
+                            sessions=0)
+
+
+class TestClosedLoopTraffic:
+    def test_think_draws_are_per_client_deterministic(self):
+        traffic = ClosedLoopTraffic(n_clients=3, think_time_s=0.01,
+                                    duration_s=1.0, seed=9)
+        first = [traffic.think_seconds(c, rng)
+                 for c, rng in enumerate(traffic.client_rngs())]
+        second = [traffic.think_seconds(c, rng)
+                  for c, rng in enumerate(traffic.client_rngs())]
+        assert first == second
+        assert len(set(first)) == 3  # distinct per-client streams
+
+    def test_zero_think_time_is_constant(self):
+        traffic = ClosedLoopTraffic(n_clients=2, think_time_s=0.0,
+                                    duration_s=1.0)
+        rngs = traffic.client_rngs()
+        assert traffic.think_seconds(0, rngs[0]) == 0.0
+
+    def test_zero_clients_is_valid(self):
+        traffic = ClosedLoopTraffic(n_clients=0, think_time_s=0.01,
+                                    duration_s=1.0)
+        assert traffic.client_rngs() == ()
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="client count"):
+            ClosedLoopTraffic(n_clients=-1, think_time_s=0.01,
+                              duration_s=1.0)
+        with pytest.raises(ServeError, match="think time"):
+            ClosedLoopTraffic(n_clients=2, think_time_s=-0.01,
+                              duration_s=1.0)
+        with pytest.raises(ServeError, match="duration"):
+            ClosedLoopTraffic(n_clients=2, think_time_s=0.01,
+                              duration_s=0.0)
+
+
+class TestMakeTraffic:
+    def test_open_loop(self):
+        traffic = make_traffic("open", duration_s=0.5, seed=3,
+                               arrival_rate=200.0)
+        assert isinstance(traffic, OpenLoopTraffic)
+        assert traffic.arrival_rate == 200.0
+        assert traffic.seed == 3
+
+    def test_open_loop_clients_become_sessions(self):
+        traffic = make_traffic("open", duration_s=0.5, clients=7,
+                               arrival_rate=200.0)
+        assert traffic.sessions == 7
+
+    def test_closed_loop(self):
+        traffic = make_traffic("closed", duration_s=0.5, clients=4,
+                               think_time_s=0.002)
+        assert isinstance(traffic, ClosedLoopTraffic)
+        assert traffic.n_clients == 4
+        assert traffic.think_time_s == 0.002
+
+    def test_closed_loop_defaults_to_zero_think(self):
+        traffic = make_traffic("closed", duration_s=0.5, clients=4)
+        assert traffic.think_time_s == 0.0
+
+    def test_closed_loop_with_arrival_rate_fails_fast(self):
+        with pytest.raises(ServeError, match="open-loop concept"):
+            make_traffic("closed", duration_s=0.5, clients=4,
+                         arrival_rate=100.0)
+
+    def test_open_loop_with_think_time_fails_fast(self):
+        with pytest.raises(ServeError, match="closed-loop clients"):
+            make_traffic("open", duration_s=0.5, arrival_rate=100.0,
+                         think_time_s=0.01)
+
+    def test_open_loop_without_rate_fails(self):
+        with pytest.raises(ServeError, match="arrival rate"):
+            make_traffic("open", duration_s=0.5)
+
+    def test_closed_loop_without_clients_fails(self):
+        with pytest.raises(ServeError, match="client count"):
+            make_traffic("closed", duration_s=0.5)
+
+    def test_unknown_loop_fails(self):
+        with pytest.raises(ServeError, match="unknown traffic loop"):
+            make_traffic("half-open-loop", duration_s=0.5, clients=2)

@@ -201,3 +201,111 @@ class TestStyleRegistry:
         registry = StyleRegistry()
         chart = line_chart("f", [ok_series("x")], "Users", "Time (ms)")
         assert registry.register(chart) == ()
+
+
+class TestTailPercentilesRule:
+    def latency_chart(self, labels, x_label="Offered load (req/s)"):
+        series = [Series(label, (1, 2, 3), (1.0, 2.0, 3.0))
+                  for label in labels]
+        return line_chart("Tail", series, x_label,
+                          "Response time (ms)")
+
+    def rules(self, chart):
+        return {f.rule for f in lint_chart(chart)}
+
+    def test_mean_only_latency_load_chart_is_flagged(self):
+        chart = self.latency_chart(["mean latency"])
+        findings = [f for f in lint_chart(chart)
+                    if f.rule == "tail-percentiles"]
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "p95/p99/max" in findings[0].message
+
+    def test_p99_series_satisfies_the_rule(self):
+        assert "tail-percentiles" not in self.rules(
+            self.latency_chart(["p50", "p99"]))
+
+    def test_max_series_satisfies_the_rule(self):
+        assert "tail-percentiles" not in self.rules(
+            self.latency_chart(["mean", "maximum"]))
+
+    def test_nth_percentile_spelling_counts(self):
+        assert "tail-percentiles" not in self.rules(
+            self.latency_chart(["99th percentile"]))
+
+    def test_p90_counts_as_tail(self):
+        assert "tail-percentiles" not in self.rules(
+            self.latency_chart(["p90"]))
+
+    def test_p75_does_not_count_as_tail(self):
+        assert "tail-percentiles" in self.rules(
+            self.latency_chart(["p75"]))
+
+    def test_rule_needs_a_load_style_x_axis(self):
+        # latency vs. e.g. scale factor is not an overload study
+        chart = self.latency_chart(["mean"],
+                                   x_label="Scale factor (x)")
+        assert "tail-percentiles" not in self.rules(chart)
+
+    def test_latency_vs_users_mean_chart_stays_clean(self):
+        # the E13 exemplar chart: "users" alone is not an offered-load
+        # axis, so a classic mean response-time curve is untouched
+        chart = self.latency_chart(["System A"],
+                                   x_label="Number of users")
+        assert "tail-percentiles" not in self.rules(chart)
+
+    def test_non_latency_y_axis_is_ignored(self):
+        series = [Series("mean", (1, 2, 3), (1.0, 2.0, 3.0))]
+        chart = line_chart("T", series, "Offered load (req/s)",
+                           "Cache hits (%)")
+        assert "tail-percentiles" not in self.rules(chart)
+
+
+class TestSaturationCoverageRule:
+    def throughput_chart(self, ys, xs=None):
+        xs = tuple(xs if xs is not None else range(1, len(ys) + 1))
+        series = [Series("delivered", xs, tuple(ys))]
+        return line_chart("Knee", series, "Offered load (req/s)",
+                          "Throughput (req/s)")
+
+    def rules(self, chart):
+        return {f.rule for f in lint_chart(chart)}
+
+    def test_still_climbing_curve_is_flagged(self):
+        chart = self.throughput_chart([10.0, 20.0, 30.0, 40.0])
+        findings = [f for f in lint_chart(chart)
+                    if f.rule == "saturation-coverage"]
+        assert len(findings) == 1
+        assert "knee" in findings[0].message
+
+    def test_saturated_curve_passes(self):
+        assert "saturation-coverage" not in self.rules(
+            self.throughput_chart([10.0, 20.0, 25.0, 25.5]))
+
+    def test_two_point_curve_is_not_judged(self):
+        assert "saturation-coverage" not in self.rules(
+            self.throughput_chart([10.0, 20.0]))
+
+    def test_flat_curve_passes(self):
+        # first slope is zero: nothing to compare against
+        assert "saturation-coverage" not in self.rules(
+            self.throughput_chart([10.0, 10.0, 10.0, 10.0]))
+
+    def test_unsorted_points_are_sorted_before_the_slope_check(self):
+        chart = self.throughput_chart([25.5, 20.0, 10.0, 25.0],
+                                      xs=(4, 2, 1, 3))
+        assert "saturation-coverage" not in self.rules(chart)
+
+    def test_non_throughput_y_axis_is_ignored(self):
+        series = [Series("climbing", (1, 2, 3, 4),
+                         (10.0, 20.0, 30.0, 40.0))]
+        chart = line_chart("T", series, "Offered load (req/s)",
+                           "Cache hits (%)")
+        assert "saturation-coverage" not in self.rules(chart)
+
+    def test_goodput_y_axis_is_covered(self):
+        series = [Series("good", (1, 2, 3, 4),
+                         (10.0, 20.0, 30.0, 40.0))]
+        chart = line_chart("G", series, "Arrival rate (req/s)",
+                           "Goodput (req/s)")
+        assert "saturation-coverage" in self.rules(chart)
