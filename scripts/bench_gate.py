@@ -2,26 +2,42 @@
 """Benchmark-regression gate: smoke benches vs a committed baseline.
 
 Runs a curated subset of fast benchmarks under ``pytest-benchmark``,
-exports their stats with ``--benchmark-json``, and compares each
-benchmark's *median* against the committed ``BENCH_BASELINE.json``.  A
-median more than ``--tolerance`` (default 25%) slower than baseline
-fails the gate — CI turns red before a performance regression lands,
-per the tutorial's "measure, don't guess" discipline.
+exports their stats with ``--benchmark-json``, and gates them against
+the committed ``BENCH_BASELINE.json`` in one of two modes:
+
+**Threshold mode** (default, legacy): each benchmark's *median* must
+stay within ``--tolerance`` (default 25%) of the baseline median.
+Simple, but it compares two single numbers — on a noisy machine it
+flakes on flat trajectories and can wave a real regression through.
+
+**Statistical mode** (``--stat``): the full per-benchmark sample
+arrays are compared with the noise-aware verdict of
+:func:`repro.measurement.speedup.significant_regression` — a two-sided
+Mann-Whitney U test at ``--alpha`` plus a practical-significance floor
+of ``--min-effect``.  A benchmark fails only when its samples are
+*statistically* distinguishable from baseline AND the median moved by
+more than the effect floor.  Each run also appends its sample arrays
+to ``BENCH_HISTORY.jsonl`` and prints an ASCII trend per benchmark, so
+a slow drift is visible before it trips any gate.
 
 Usage::
 
-    python scripts/bench_gate.py              # gate against baseline
-    python scripts/bench_gate.py --update     # re-record the baseline
-    python scripts/bench_gate.py --tolerance 0.4 --json out.json
+    python scripts/bench_gate.py                 # threshold gate
+    python scripts/bench_gate.py --stat          # noise-aware gate
+    python scripts/bench_gate.py --update        # re-record baseline
+    python scripts/bench_gate.py --advisory      # report, never fail
+    python scripts/bench_gate.py --compare-only --json results.json
+                                                 # re-judge a saved run
 
-Exit codes: 0 gate passed (or baseline updated), 1 regression
-detected, 2 infrastructure error (bench run failed, baseline missing
-or unreadable).
+Exit codes: 0 gate passed (or baseline updated, or --advisory), 1
+regression detected, 2 infrastructure error (bench run failed,
+baseline missing or unreadable).
 
-The baseline records medians from one machine; keep the smoke subset
-to benchmarks dominated by deterministic simulated-time arithmetic and
-re-record with ``--update`` (committing the new file) whenever an
-intentional performance change or a hardware change shifts them.
+The baseline records medians *and sample arrays* from one machine;
+keep the smoke subset to benchmarks dominated by deterministic
+simulated-time arithmetic and re-record with ``--update`` (committing
+the new file) whenever an intentional performance change or a hardware
+change shifts them.
 """
 
 from __future__ import annotations
@@ -34,11 +50,21 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The statistical mode reuses the library's speedup analysis; the
+# script must work from a raw checkout, so put src/ on the path.
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.measurement.speedup import significant_regression  # noqa: E402
+
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_BASELINE.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_HISTORY.jsonl"
 DEFAULT_TOLERANCE = 0.25
+DEFAULT_ALPHA = 0.05
+DEFAULT_MIN_EFFECT = 0.10
 
 #: The smoke subset: fast benchmarks (µs-to-ms medians, thousands of
 #: calibration rounds) spanning the design, analysis, guideline and
@@ -82,34 +108,74 @@ def load_medians(json_path: Path) -> Dict[str, float]:
     return medians
 
 
-def write_baseline(baseline_path: Path, medians: Dict[str, float]) -> None:
+def load_samples(json_path: Path) -> Dict[str, List[float]]:
+    """``{fullname: [seconds, ...]}`` from a pytest-benchmark export.
+
+    ``stats.data`` holds every measured round — the raw material the
+    statistical gate needs.
+    """
+    payload = json.loads(json_path.read_text())
+    samples: Dict[str, List[float]] = {}
+    for bench in payload.get("benchmarks", []):
+        data = bench.get("stats", {}).get("data")
+        if data:
+            samples[bench["fullname"]] = [float(v) for v in data]
+    if not samples:
+        raise RuntimeError(f"no benchmark samples in {json_path}")
+    return samples
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def write_baseline(baseline_path: Path,
+                   samples: Dict[str, List[float]]) -> None:
+    """Record medians and full sample arrays for both gate modes."""
     payload = {
-        "comment": "Medians (seconds) from scripts/bench_gate.py "
-                   "--update; the gate fails any benchmark whose "
-                   "median regresses beyond the tolerance.",
+        "comment": "Per-benchmark medians and sample arrays (seconds) "
+                   "from scripts/bench_gate.py --update; the threshold "
+                   "gate compares medians, the --stat gate compares "
+                   "sample distributions.",
         "tolerance": DEFAULT_TOLERANCE,
         "machine": {"python": platform.python_version(),
                     "platform": platform.platform()},
-        "benchmarks": {name: {"median_s": median}
-                       for name, median in sorted(medians.items())},
+        "benchmarks": {name: {"median_s": _median(values),
+                              "samples": values}
+                       for name, values in sorted(samples.items())},
     }
     baseline_path.write_text(json.dumps(payload, indent=2,
                                         sort_keys=True) + "\n")
 
 
-def compare(current: Dict[str, float], baseline_path: Path,
-            tolerance: float) -> int:
-    """Print the comparison table; return the gate's exit code."""
+def _read_baseline(baseline_path: Path) -> Optional[dict]:
+    """The parsed baseline payload, or None after printing an error."""
     if not baseline_path.exists():
         print(f"error: baseline {baseline_path} not found; record one "
               "with: python scripts/bench_gate.py --update",
               file=sys.stderr)
-        return 2
+        return None
     try:
         payload = json.loads(baseline_path.read_text())
+        payload["benchmarks"]  # noqa: B018 — shape check
+        return payload
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: baseline {baseline_path} is unreadable: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def compare(current: Dict[str, float], baseline_path: Path,
+            tolerance: float) -> int:
+    """Threshold mode: print the comparison table, return exit code."""
+    payload = _read_baseline(baseline_path)
+    if payload is None:
+        return 2
+    try:
         baseline = {name: float(entry["median_s"]) for name, entry
                     in payload["benchmarks"].items()}
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         print(f"error: baseline {baseline_path} is unreadable: {exc}",
               file=sys.stderr)
         return 2
@@ -150,6 +216,153 @@ def compare(current: Dict[str, float], baseline_path: Path,
     return 0
 
 
+def stat_compare(current: Dict[str, List[float]], baseline_path: Path,
+                 alpha: float = DEFAULT_ALPHA,
+                 min_effect: float = DEFAULT_MIN_EFFECT) -> int:
+    """Statistical mode: noise-aware verdict per benchmark.
+
+    A benchmark regresses only when its sample distribution differs
+    from baseline at level *alpha* (Mann-Whitney U) AND its median is
+    more than *min_effect* slower — a flat-but-noisy trajectory whose
+    single medians wander past a raw threshold passes here.
+    """
+    payload = _read_baseline(baseline_path)
+    if payload is None:
+        return 2
+    baseline: Dict[str, List[float]] = {}
+    for name, entry in payload["benchmarks"].items():
+        values = entry.get("samples")
+        baseline[name] = [float(v) for v in values] if values else []
+
+    regressions = []
+    print(f"benchmark gate (--stat): Mann-Whitney alpha={alpha}, "
+          f"min effect +{100 * min_effect:.0f}% on the median, "
+          f"baseline {baseline_path.name}")
+    print(f"{'benchmark':<58} {'baseline':>10} {'current':>10} "
+          f"{'delta':>8} {'p':>8}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"error: benchmark {name!r} is in the baseline but "
+                  "was not run — smoke subset and baseline have "
+                  "diverged; re-record with --update", file=sys.stderr)
+            return 2
+        if name not in baseline:
+            print(f"{name:<58} {'--':>10} "
+                  f"{1000 * _median(current[name]):>8.3f}ms "
+                  f"{'new':>8} {'--':>8}  (not gated; record with "
+                  "--update)")
+            continue
+        if not baseline[name]:
+            print(f"{name:<58} (baseline has no samples; re-record "
+                  "with --update)  -- not stat-gated")
+            continue
+        verdict = significant_regression(baseline[name], current[name],
+                                         alpha=alpha,
+                                         min_effect=min_effect)
+        base_med = _median(baseline[name])
+        cur_med = _median(current[name])
+        delta = f"{100 * (cur_med / base_med - 1):+.1f}%"
+        flag = "  << REGRESSION" if verdict.regression else ""
+        print(f"{name:<58} {1000 * base_med:>8.3f}ms "
+              f"{1000 * cur_med:>8.3f}ms {delta:>8} "
+              f"{verdict.p_value:>8.4f}{flag}")
+        if verdict.regression:
+            regressions.append((name, verdict))
+    if regressions:
+        worst = max(regressions,
+                    key=lambda item: 1.0 / item[1].speedup)
+        print(f"\ngate FAILED: {len(regressions)} benchmark(s) with a "
+              f"statistically significant regression "
+              f"(worst: {worst[0]} — {worst[1].format()})",
+              file=sys.stderr)
+        return 1
+    print("\ngate passed: no statistically significant regression "
+          f"(alpha={alpha}, min effect +{100 * min_effect:.0f}%)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# History and trends
+# ---------------------------------------------------------------------------
+
+def append_history(history_path: Path,
+                   samples: Dict[str, List[float]]) -> dict:
+    """Append one run's sample arrays to the JSONL history.
+
+    Returns the record written.  The run index continues from the last
+    recorded entry, so the history orders runs without wall-clock
+    timestamps.
+    """
+    entries = read_history(history_path)
+    record = {
+        "run": (entries[-1]["run"] + 1) if entries else 1,
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+        "benchmarks": {name: {"median_s": _median(values),
+                              "samples": values}
+                       for name, values in sorted(samples.items())},
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_history(history_path: Path) -> List[dict]:
+    """Every parseable record of the JSONL history, oldest first."""
+    if not history_path.exists():
+        return []
+    entries = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a torn write must not kill the gate
+    return entries
+
+
+#: Trend glyphs, slowest (top bucket) to fastest; pure ASCII so the
+#: report renders identically in CI logs and terminals.
+TREND_LEVELS = " .:-=+*#"
+
+
+def trend_report(entries: List[dict], width: int = 30) -> str:
+    """ASCII per-benchmark trend of medians across history entries.
+
+    Each column is one run (most recent *width* runs), scaled per
+    benchmark between its min and max median; a flat line means a flat
+    trajectory no matter the absolute noise level.
+    """
+    if not entries:
+        return "bench history: (empty)"
+    by_bench: Dict[str, List[float]] = {}
+    for entry in entries[-width:]:
+        for name, stats in entry.get("benchmarks", {}).items():
+            by_bench.setdefault(name, []).append(float(stats["median_s"]))
+    lines = [f"bench history: {len(entries)} run(s), showing last "
+             f"{min(width, len(entries))}"]
+    for name in sorted(by_bench):
+        medians = by_bench[name]
+        lo, hi = min(medians), max(medians)
+        span = hi - lo
+        if span <= 0.0:
+            bar = TREND_LEVELS[0] * len(medians)
+        else:
+            top = len(TREND_LEVELS) - 1
+            bar = "".join(
+                TREND_LEVELS[round((m - lo) / span * top)]
+                for m in medians)
+        drift = (medians[-1] / medians[0] - 1.0) * 100.0 \
+            if medians[0] > 0 else 0.0
+        lines.append(f"{name:<58} [{bar:<{min(width, len(medians))}}] "
+                     f"{1000 * medians[-1]:>8.3f}ms ({drift:+.1f}% "
+                     f"over {len(medians)} run(s))")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark-regression gate (see module docstring).")
@@ -165,9 +378,37 @@ def main(argv=None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed median slowdown as a fraction "
                              "(default: 0.25 = +25%%)")
+    parser.add_argument("--stat", action="store_true",
+                        help="gate on sample distributions "
+                             "(Mann-Whitney + min effect) instead of "
+                             "the raw median threshold")
+    parser.add_argument("--alpha", type=float, default=DEFAULT_ALPHA,
+                        help="significance level for --stat "
+                             "(default: 0.05)")
+    parser.add_argument("--min-effect", type=float,
+                        default=DEFAULT_MIN_EFFECT,
+                        help="practical-significance floor for --stat "
+                             "as a fraction (default: 0.10 = +10%%)")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help="JSONL sample history (default: "
+                             "BENCH_HISTORY.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history")
+    parser.add_argument("--advisory", action="store_true",
+                        help="print the comparison but always exit 0")
+    parser.add_argument("--compare-only", action="store_true",
+                        help="reuse the existing --json results file "
+                             "instead of re-running the benchmarks")
     args = parser.parse_args(argv)
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
+    if not 0.0 < args.alpha < 1.0:
+        parser.error("--alpha must be in (0, 1)")
+    if args.min_effect < 0:
+        parser.error("--min-effect must be non-negative")
+    if args.compare_only and args.json is None:
+        parser.error("--compare-only requires --json pointing at an "
+                     "existing results file")
 
     if args.json is not None:
         json_path = args.json
@@ -179,17 +420,33 @@ def main(argv=None) -> int:
         json_path = Path(name)
     try:
         try:
-            run_benchmarks(json_path)
+            if not args.compare_only:
+                run_benchmarks(json_path)
             medians = load_medians(json_path)
+            samples = load_samples(json_path)
         except (RuntimeError, OSError, json.JSONDecodeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         if args.update:
-            write_baseline(args.baseline, medians)
+            write_baseline(args.baseline, samples)
             print(f"baseline updated: {args.baseline} "
-                  f"({len(medians)} benchmark(s))")
+                  f"({len(samples)} benchmark(s))")
             return 0
-        return compare(medians, args.baseline, args.tolerance)
+        if not args.no_history:
+            append_history(args.history, samples)
+            print(trend_report(read_history(args.history)))
+            print()
+        if args.stat:
+            code = stat_compare(samples, args.baseline,
+                                alpha=args.alpha,
+                                min_effect=args.min_effect)
+        else:
+            code = compare(medians, args.baseline, args.tolerance)
+        if args.advisory and code == 1:
+            print("(advisory mode: regression reported but not "
+                  "failing the build)")
+            return 0
+        return code
     finally:
         if args.json is None:
             json_path.unlink(missing_ok=True)

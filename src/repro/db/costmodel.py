@@ -38,7 +38,9 @@ from repro.db.expressions import Expr
 from repro.db.statistics import (
     StatisticsCatalog,
     combine_conjuncts,
+    join_signature,
     predicate_selectivity,
+    scan_signature,
 )
 from repro.db.storage import Database
 from repro.errors import PlanError
@@ -174,15 +176,25 @@ def samples_from_trace(trace) -> List[CalibrationSample]:
     in :meth:`repro.db.plan.PlanNode.execute`); input rows come from the
     child operator spans, and bytes touched from the span's absorbed
     ``hw.io_reads`` counter delta (pages → bytes).
+
+    Pages are attributed *exclusively*: the span's inclusive delta
+    minus each direct child **operator** span's inclusive delta.
+    ``self_ms`` is self time, so billing every nested operator's pages
+    to all of its ancestors (the raw inclusive number) would smear one
+    scan's cold I/O across the whole pipeline above it and inflate
+    every fitted per-byte coefficient.  Non-operator descendants
+    (buffer/kernel spans) stay with the operator that caused them —
+    a scan's pages live on its ``buffer.read_table`` child span.
     """
     samples: List[CalibrationSample] = []
     for span in trace.category_spans("operator"):
         attrs = span.attributes
         if "kind" not in attrs or "rows" not in attrs:
             continue  # span died before stats were attached
-        children = [c for c in trace.children(span)
-                    if c.category == "operator"
-                    and "rows" in c.attributes]
+        operator_children = [c for c in trace.children(span)
+                             if c.category == "operator"]
+        children = [c for c in operator_children
+                    if "rows" in c.attributes]
         child_rows = [float(c.attributes["rows"]) for c in children]
         rows_out = float(attrs["rows"])
         if child_rows:
@@ -191,6 +203,9 @@ def samples_from_trace(trace) -> List[CalibrationSample]:
         else:
             rows_in, rows_right = rows_out, 0.0
         pages = float(attrs.get("hw.io_reads", 0))
+        pages -= sum(float(c.attributes.get("hw.io_reads", 0))
+                     for c in operator_children)
+        pages = max(0.0, pages)
         samples.append(CalibrationSample(
             kind=str(attrs["kind"]),
             rows_in=rows_in, rows_out=rows_out,
@@ -354,7 +369,24 @@ class CardinalityEstimator:
 
     def scan_rows(self, table: str,
                   conjuncts: Sequence[Expr]) -> float:
+        """Estimated rows surviving *conjuncts* over a base table.
+
+        An observed cardinality recorded for exactly this
+        table/conjunct shape (q-error feedback,
+        :mod:`repro.db.feedback`) overrides the model-based estimate.
+        """
+        if self.stats is not None and conjuncts:
+            hint = self.stats.hint(scan_signature(table, conjuncts))
+            if hint is not None:
+                return hint
         return self.base_rows(table) * self.selectivity(table, conjuncts)
+
+    def join_observed(self, tables) -> Optional[float]:
+        """The observed cardinality for a join over *tables*, if one
+        was recorded by a feedback round; ``None`` otherwise."""
+        if self.stats is None:
+            return None
+        return self.stats.hint(join_signature(tables))
 
     def ndv(self, table: str, column: str) -> float:
         """Distinct values of a column; defaults to the row count (the

@@ -31,8 +31,9 @@ from repro.db.context import (
 from repro.db.disk import DiskModel
 from repro.db.indexes import HashIndex, IndexCatalog
 from repro.db.costmodel import CostModel
+from repro.db.actuals import PlanActuals
 from repro.db.optimizer import PlannerOptions, count_plan_nodes, plan_statement
-from repro.db.parser import normalize_sql, parse_select
+from repro.db.parser import normalize_sql, parse_select, strip_explain
 from repro.db.plan import PlanNode
 from repro.db.profiler import ProfileReport, operator_timings
 from repro.db.statistics import DEFAULT_BUCKETS, StatisticsCatalog
@@ -210,6 +211,9 @@ class Engine:
         self._plan_cache: Dict[Tuple[Any, int, int, int], PlanNode] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: Per-operator actuals of the most recent execution
+        #: (:mod:`repro.db.actuals`); see :meth:`last_actuals`.
+        self._last_actuals: Optional[PlanActuals] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -295,7 +299,15 @@ class Engine:
 
     def explain(self, sql: str) -> str:
         """EXPLAIN: the physical plan with cardinality estimates, the
-        kernel/build-side choices, and (when enabled) plan-cache status."""
+        kernel/build-side choices, and (when enabled) plan-cache status.
+
+        An ``EXPLAIN [ANALYZE]`` prefix on *sql* is accepted and routed:
+        ``EXPLAIN ANALYZE`` executes the statement and renders actuals
+        (:meth:`explain_analyze`), plain ``EXPLAIN`` is stripped.
+        """
+        mode, sql = strip_explain(sql)
+        if mode == "analyze":
+            return self.explain_analyze(sql)
         plan, hit = self._plan_cached(sql)
         text = plan.explain(self._context())
         if hit is not None:
@@ -303,6 +315,26 @@ class Engine:
             text = (f"-- plan cache: {status} "
                     f"({len(self._plan_cache)} entries)\n") + text
         return text
+
+    def explain_analyze(self, sql: str) -> str:
+        """EXPLAIN ANALYZE: execute *sql* and render estimated vs
+        actual rows side by side with the per-node q-error, plus
+        batches, self time and buffer hits/misses per operator.
+
+        The statement may carry an ``EXPLAIN ANALYZE`` prefix or not.
+        All numbers come off the virtual clock and the executed plan,
+        so the output is byte-identical across repeated seeded runs and
+        across ``--jobs`` levels.
+        """
+        __, sql = strip_explain(sql)
+        self.execute(sql)
+        assert self._last_actuals is not None  # set by _profile
+        return self._last_actuals.format()
+
+    def last_actuals(self) -> Optional[PlanActuals]:
+        """The :class:`~repro.db.actuals.PlanActuals` tree of the most
+        recently executed statement (None before the first execution)."""
+        return self._last_actuals
 
     def execute(self, sql: str) -> QueryResult:
         result, __ = self.profile(sql)
@@ -378,6 +410,8 @@ class Engine:
                     buffer_hits=self.buffer_pool.hits,
                     buffer_misses=self.buffer_pool.misses)
         after_execute = self.clock.sample()
+        self._last_actuals = PlanActuals.from_plan(
+            plan, sql=sql, executor=self.config.executor)
 
         with maybe_span("engine.materialize", "engine") as mat_span:
             # A root Filter under selection vectors can hand back a
@@ -417,8 +451,15 @@ class Engine:
     # -- introspection ------------------------------------------------------
 
     def statistics(self) -> Dict[str, float]:
-        """Engine-level counters for analysis (CSI) work."""
+        """Engine-level counters for analysis (CSI) work.
+
+        The ``last_plan_*`` keys summarise the most recent execution's
+        per-operator actuals (0.0 before the first execution); the full
+        :class:`~repro.db.actuals.PlanActuals` tree is available from
+        :meth:`last_actuals`.
+        """
         sample = self.clock.sample()
+        actuals = self._last_actuals
         return {
             "simulated_real_s": sample.real,
             "simulated_user_s": sample.user,
@@ -433,6 +474,14 @@ class Engine:
             "plan_cache_size": float(len(self._plan_cache)),
             "stats_version": float(self.table_stats.version),
             "stats_tables_analyzed": float(len(self.table_stats)),
+            "stats_feedback_hints": float(self.table_stats.n_hints),
+            "last_plan_nodes": float(actuals.n_nodes) if actuals else 0.0,
+            "last_plan_rows": float(actuals.root.actual_rows)
+            if actuals else 0.0,
+            "last_plan_median_qerror": actuals.median_qerror()
+            if actuals else 0.0,
+            "last_plan_max_qerror": actuals.max_qerror()
+            if actuals else 0.0,
         }
 
     # QueryResult carries per-query peak memory; engine-wide peaks are

@@ -531,6 +531,11 @@ def _extend(ctx: _CostContext, prefix: _JoinPrefix, table: str
     rows_out = prefix.rows * info.rows
     for __, __r, ndv_left, ndv_right in pairs:
         rows_out /= max(ndv_left, ndv_right)
+    # An observed cardinality for exactly this base-table set
+    # (q-error feedback) overrides the independence-based estimate.
+    observed = ctx.estimator.join_observed(set(prefix.order) | {table})
+    if observed is not None:
+        rows_out = observed
     rows_out = sanitize_estimate(rows_out)
     step = JoinStep(table=table,
                     left_keys=tuple(k for k, *__ in pairs),

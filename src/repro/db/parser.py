@@ -120,6 +120,25 @@ def normalize_sql(sql: str) -> Tuple[Tuple[str, str], ...]:
         for t in tokenize(sql))
 
 
+_EXPLAIN_RE = re.compile(r"^\s*explain(\s+analyze)?\b\s*",
+                         re.IGNORECASE)
+
+
+def strip_explain(sql: str) -> Tuple[Optional[str], str]:
+    """Split an optional ``EXPLAIN [ANALYZE]`` prefix off *sql*.
+
+    Returns ``(mode, rest)`` where ``mode`` is ``"analyze"``,
+    ``"explain"`` or ``None`` and ``rest`` is the statement proper.
+    The engine routes ``"explain"`` to :meth:`~repro.db.engine.Engine.
+    explain` and ``"analyze"`` to :meth:`~repro.db.engine.Engine.
+    explain_analyze`; :func:`parse_select` itself never sees the prefix.
+    """
+    match = _EXPLAIN_RE.match(sql)
+    if match is None:
+        return None, sql
+    return ("analyze" if match.group(1) else "explain"), sql[match.end():]
+
+
 #: Recognised join operators / scan kinds / build sides in hints.
 _HINT_JOIN_OPS = ("hash", "merge", "loop")
 _HINT_SCANS = ("seq", "index")

@@ -93,6 +93,16 @@ class PlanNode:
         self.rows_out: Optional[int] = None
         self.self_seconds: float = 0.0
         self.total_seconds: float = 0.0
+        #: Actuals recorded by execute() for EXPLAIN ANALYZE
+        #: (:mod:`repro.db.actuals`): input batches consumed, the
+        #: buffer-pool hits/misses this operator's own ``_run`` caused
+        #: (children record their own), and the cardinality estimate
+        #: frozen at execution time so est-vs-actual comparisons use
+        #: exactly what the planner believed.
+        self.batches: int = 0
+        self.buffer_hits: int = 0
+        self.buffer_misses: int = 0
+        self.last_est_rows: Optional[float] = None
         #: Bytes of auxiliary structures (hash tables, sort buffers)
         #: the operator held while running; set by _run.
         self.aux_bytes: int = 0
@@ -137,17 +147,33 @@ class PlanNode:
             children_seconds = sum(c.total_seconds
                                    for c in self.children)
             self.span_extras = {}
+            pool = ctx.buffer_pool
+            hits_before = pool.hits if pool is not None else 0
+            misses_before = pool.misses if pool is not None else 0
             batch = self._run(ctx, child_batches)
             end = ctx.now()
             self.total_seconds = end - start
             self.self_seconds = self.total_seconds - children_seconds
             self.rows_out = batch_rows(batch)
+            # Children ran before _run started, so these deltas are
+            # exclusively this operator's own buffer traffic.
+            if pool is not None:
+                self.buffer_hits = pool.hits - hits_before
+                self.buffer_misses = pool.misses - misses_before
+            # This engine materialises fully: one batch per child, one
+            # produced; leaves consume their table as a single batch.
+            self.batches = max(1, len(child_batches))
+            self.last_est_rows = self.estimated_rows_safe(ctx)
             # Peak working set at this node: inputs + output + auxiliaries.
             inputs = sum(batch_bytes(b) for b in child_batches)
             ctx.track_memory(inputs + batch_bytes(batch) + self.aux_bytes)
             if span is not None:
                 span.set(rows=self.rows_out,
-                         self_ms=self.self_seconds * 1000.0)
+                         self_ms=self.self_seconds * 1000.0,
+                         est_rows=self.last_est_rows,
+                         batches=self.batches,
+                         buffer_hits=self.buffer_hits,
+                         buffer_misses=self.buffer_misses)
                 if self.span_extras:
                     span.set(**self.span_extras)
             return batch

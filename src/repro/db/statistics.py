@@ -233,6 +233,12 @@ class StatisticsCatalog:
         self._tables: Dict[str, TableStats] = {}
         #: Bumped on every analyze; part of the plan-cache key.
         self.version = 0
+        #: Cardinality correction hints from execution feedback
+        #: (:mod:`repro.db.feedback`): plan-shape signature → observed
+        #: row count.  Consulted by the
+        #: :class:`~repro.db.costmodel.CardinalityEstimator` before the
+        #: model-based estimate.
+        self._hints: Dict[Tuple, float] = {}
 
     def analyze(self, database: Database,
                 tables: Optional[Tuple[str, ...]] = None,
@@ -255,12 +261,73 @@ class StatisticsCatalog:
     def table(self, name: str) -> Optional[TableStats]:
         return self._tables.get(name)
 
+    # -- execution feedback (q-error corrections) --------------------------
+
+    def record_feedback(self, hints: Dict[Tuple, float]) -> int:
+        """Fold observed cardinalities back in as correction hints.
+
+        *hints* maps plan-shape signatures (see
+        :mod:`repro.db.feedback`) to observed row counts.  Recording
+        bumps :attr:`version` — corrections change estimates, so every
+        cached plan built without them is stale, exactly like after an
+        ANALYZE.  Returns the number of hints recorded.
+        """
+        if not hints:
+            return 0
+        for signature, rows in hints.items():
+            self._hints[signature] = max(0.0, float(rows))
+        self.version += 1
+        return len(hints)
+
+    def hint(self, signature: Tuple) -> Optional[float]:
+        """The observed row count recorded for *signature*, if any."""
+        return self._hints.get(signature)
+
+    @property
+    def n_hints(self) -> int:
+        return len(self._hints)
+
+    def clear_feedback(self) -> int:
+        """Drop all correction hints (bumps the version when any were
+        present); returns how many were dropped."""
+        n = len(self._hints)
+        if n:
+            self._hints.clear()
+            self.version += 1
+        return n
+
     @property
     def analyzed_tables(self) -> Tuple[str, ...]:
         return tuple(sorted(self._tables))
 
     def __len__(self) -> int:
         return len(self._tables)
+
+
+# ---------------------------------------------------------------------------
+# Feedback signatures
+# ---------------------------------------------------------------------------
+#
+# A correction hint must be addressable both at planning time (from the
+# enumerator's table/conjunct bookkeeping) and at harvest time (from an
+# executed plan tree), so the signature is built from order-insensitive
+# structural parts only.  They live here — next to the catalogue that
+# stores them — so neither the cost model nor the feedback harvester
+# needs to import the other.
+
+def expr_fingerprint(conjuncts) -> Tuple[str, ...]:
+    """Order-insensitive structural fingerprint of a conjunct list."""
+    return tuple(sorted(repr(c) for c in conjuncts))
+
+
+def scan_signature(table: str, conjuncts) -> Tuple:
+    """Signature of a filtered base-table scan."""
+    return ("scan", table, expr_fingerprint(conjuncts))
+
+
+def join_signature(tables) -> Tuple:
+    """Signature of the join result over a set of base tables."""
+    return ("join", tuple(sorted(tables)))
 
 
 # ---------------------------------------------------------------------------

@@ -360,29 +360,30 @@ class QErrorPoint:
 
 
 def collect_qerrors(seed: int = 7, n_fact: int = DEFAULT_ROWS[1],
-                    executor: str = "vectorized"
+                    executor: str = "vectorized",
+                    engine: Optional[Engine] = None
                     ) -> Tuple[QErrorPoint, ...]:
     """Execute every E25 query cost-based and collect per-node q-errors.
 
-    The plan cache guarantees :meth:`Engine.plan` and the subsequent
-    execution share one plan object, so the ``est_rows`` annotations
-    and the executed ``rows_out`` counts live on the same nodes.
+    Reads the per-operator actuals the engine records on every
+    execution (:meth:`Engine.last_actuals`) instead of re-walking live
+    plan objects — the estimate is frozen at execution time, so a
+    cached plan reports exactly what the planner believed.  Pass
+    *engine* to measure an existing engine (e.g. after a feedback
+    round, E26); otherwise a fresh star-schema engine is built.
     """
-    db = star_database(seed=seed, n_fact=n_fact)
-    engine, __ = _cost_engine(db, executor)
+    if engine is None:
+        db = star_database(seed=seed, n_fact=n_fact)
+        engine, __ = _cost_engine(db, executor)
     points: List[QErrorPoint] = []
     for query in star_queries():
-        plan = engine.plan(query.sql)
         engine.execute(query.sql)
-        for node in plan.walk():
-            est = getattr(node, "est_rows", None)
-            if est is None or node.rows_out is None:
-                continue
-            ratio = max(est, 1.0) / max(float(node.rows_out), 1.0)
+        actuals = engine.last_actuals()
+        for node in actuals.walk():
             points.append(QErrorPoint(
-                query=query.name, operator=node.name(),
-                est_rows=float(est), actual_rows=int(node.rows_out),
-                q_error=max(ratio, 1.0 / ratio)))
+                query=query.name, operator=node.operator,
+                est_rows=node.est_rows, actual_rows=node.actual_rows,
+                q_error=node.q_error))
     return tuple(points)
 
 

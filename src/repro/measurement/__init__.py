@@ -36,6 +36,15 @@ from repro.measurement.protocol import (
     State,
 )
 from repro.measurement.results import Record, ResultSet
+from repro.measurement.speedup import (
+    DEFAULT_BOOTSTRAP,
+    PROTOCOLS,
+    SpeedupVerdict,
+    bootstrap_speedup_ci,
+    protocol_estimate,
+    significant_regression,
+    speedup,
+)
 from repro.measurement.stats import (
     ConfidenceInterval,
     DEFAULT_PERCENTILES,
@@ -54,6 +63,13 @@ from repro.measurement.timer import TimeBreakdown, Timer, time_callable
 
 __all__ = [
     "COLD_MEDIAN_OF_THREE",
+    "DEFAULT_BOOTSTRAP",
+    "PROTOCOLS",
+    "SpeedupVerdict",
+    "bootstrap_speedup_ci",
+    "protocol_estimate",
+    "significant_regression",
+    "speedup",
     "CheckpointEntry",
     "CheckpointJournal",
     "ClockCalibration",

@@ -17,7 +17,8 @@ a whole campaign).
 
 When the tracer is given a :class:`~repro.hardware.counters.
 HardwareCounters` bundle, every closing span is annotated with the
-counter deltas it covered (``hw.*`` attributes, children included) and a
+counter deltas it covered (``hw.*`` attributes, children included;
+``hw_self.*`` attributes, children excluded) and a
 :class:`~repro.obs.metrics.MetricsRegistry` — when attached — absorbs
 the *self* deltas (children excluded), so campaign totals are never
 double-counted.
@@ -219,6 +220,15 @@ class Tracer:
             for name, delta in deltas.items():
                 if delta:
                     span.attributes[f"hw.{name}"] = delta
+            # Exclusive deltas are also published on the span, so trace
+            # consumers attributing work per operator (cost-model
+            # calibration, per-span accounting) can read them directly
+            # instead of re-deriving them — consuming the inclusive
+            # ``hw.*`` numbers per span double-counts every nested
+            # span's events into all of its ancestors.
+            for name, delta in self_deltas.items():
+                if delta > 0:
+                    span.attributes[f"hw_self.{name}"] = delta
             if self.registry is not None:
                 self.registry.absorb(
                     {k: v for k, v in self_deltas.items() if v > 0})

@@ -27,6 +27,13 @@ Serving-curve rules (added with experiment E24):
 - ``saturation-coverage``: a throughput-vs-offered-load curve should
   extend past the saturation knee; a curve still climbing at its last
   point says nothing about where the system breaks.
+
+Plan-quality rule (added with experiment E26):
+
+- ``estimate-vs-actual``: a chart of optimizer estimates (cardinality
+  estimates, estimated rows/cost) must also plot the observed series
+  or their q-error ratio — estimates alone are the planner grading its
+  own homework.
 """
 
 from __future__ import annotations
@@ -58,6 +65,11 @@ _LOAD_PATTERN = re.compile(
 #: A final segment still climbing at more than this fraction of the
 #: initial slope means the throughput curve never reached its knee.
 SATURATION_SLOPE_FRACTION = 0.5
+_ESTIMATE_PATTERN = re.compile(
+    r"\bestimat\w*\b|\best\.?[_ ]?(rows|cost|cardinalit)", re.IGNORECASE)
+_ACTUAL_PATTERN = re.compile(
+    r"\bactual\w*\b|\bobserved\b|\bmeasured\b|\bq[- ]?error\b",
+    re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -192,6 +204,19 @@ def lint_chart(chart: ChartSpec, strict: bool = False) -> Tuple[Finding, ...]:
                     f"throughput curve {series.label!r} is still "
                     "climbing at its highest offered load; extend the "
                     "load axis past the saturation knee"))
+
+    if chart.kind in (ChartKind.LINE, ChartKind.BAR) and chart.series:
+        texts = [chart.title or "", chart.y_label or ""]
+        texts.extend(s.label for s in chart.series)
+        mentions_estimates = any(_ESTIMATE_PATTERN.search(t)
+                                 for t in texts)
+        mentions_actuals = any(_ACTUAL_PATTERN.search(t) for t in texts)
+        if mentions_estimates and not mentions_actuals:
+            findings.append(Finding(
+                "estimate-vs-actual", "warning",
+                f"chart {chart.title!r} plots optimizer estimates with "
+                "no actual/observed series or q-error ratio; estimates "
+                "alone are the planner grading its own homework"))
 
     if abs(chart.aspect_ratio - RECOMMENDED_ASPECT) > ASPECT_TOLERANCE:
         findings.append(Finding(

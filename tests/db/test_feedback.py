@@ -1,0 +1,152 @@
+"""Tests for q-error feedback: harvest, hints, cache invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    DataType,
+    Database,
+    Engine,
+    EngineConfig,
+    StatisticsCatalog,
+    Table,
+    feedback_round,
+    harvest_feedback,
+    join_signature,
+    scan_signature,
+    split_conjuncts,
+)
+from repro.errors import PlanError
+
+
+def skewed_db(n=2000):
+    """Two joined tables with a skewed column ANALYZE's equi-width
+    histogram misestimates — room for feedback to correct."""
+    rng = np.random.default_rng(11)
+    # v is Zipf-ish: value 0 dominates, so `v = 0` is badly served by
+    # the uniform-bucket assumption.
+    v = np.minimum(rng.geometric(0.3, size=n) - 1, 19).astype(np.int64)
+    db = Database(name="skewed")
+    db.create_table(Table.from_columns(
+        "f", [("k", DataType.INT64), ("v", DataType.INT64)],
+        {"k": rng.integers(0, 50, size=n).astype(np.int64), "v": v}))
+    db.create_table(Table.from_columns(
+        "d", [("k", DataType.INT64), ("grp", DataType.INT64)],
+        {"k": np.arange(50, dtype=np.int64),
+         "grp": np.arange(50, dtype=np.int64) % 5}))
+    return db
+
+
+def cost_engine(db=None):
+    engine = Engine(db or skewed_db(),
+                    EngineConfig(optimizer="cost", plan_cache=True))
+    engine.analyze()
+    return engine
+
+
+SCAN_SQL = "SELECT k FROM f WHERE v = 0"
+JOIN_SQL = ("SELECT grp, SUM(v) AS s FROM f JOIN d ON k = k "
+            "WHERE v = 0 GROUP BY grp")
+
+
+class TestSignatures:
+    def test_scan_signature_order_insensitive(self):
+        from repro.db import parse_select
+        stmt = parse_select("SELECT k FROM f WHERE v = 0 AND k < 5")
+        conjuncts = split_conjuncts(stmt.where)
+        assert scan_signature("f", conjuncts) == \
+            scan_signature("f", tuple(reversed(conjuncts)))
+
+    def test_join_signature_is_set_like(self):
+        assert join_signature(["f", "d"]) == join_signature(("d", "f"))
+        assert join_signature({"f", "d"}) == join_signature(["f", "d"])
+
+
+class TestHarvest:
+    def test_unexecuted_plan_refused(self):
+        engine = cost_engine()
+        plan = engine.plan(SCAN_SQL)
+        with pytest.raises(PlanError, match="never executed"):
+            harvest_feedback(plan)
+
+    def test_harvests_filtered_scan(self):
+        engine = cost_engine()
+        result = engine.execute(SCAN_SQL)
+        hints = harvest_feedback(result.plan)
+        scan_sigs = [s for s in hints if s[0] == "scan"]
+        assert len(scan_sigs) == 1
+        assert hints[scan_sigs[0]] == float(len(result.rows))
+
+    def test_harvests_join_cardinality(self):
+        engine = cost_engine()
+        result = engine.execute(JOIN_SQL)
+        hints = harvest_feedback(result.plan)
+        assert join_signature(["f", "d"]) in hints
+
+
+class TestCatalogHints:
+    def test_record_feedback_bumps_version(self):
+        catalog = StatisticsCatalog()
+        v0 = catalog.version
+        n = catalog.record_feedback({scan_signature("f", ()): 42.0})
+        assert n == 1
+        assert catalog.version == v0 + 1
+        assert catalog.hint(scan_signature("f", ())) == 42.0
+        assert catalog.n_hints == 1
+
+    def test_empty_feedback_is_a_noop(self):
+        catalog = StatisticsCatalog()
+        v0 = catalog.version
+        assert catalog.record_feedback({}) == 0
+        assert catalog.version == v0
+
+    def test_clear_feedback(self):
+        catalog = StatisticsCatalog()
+        catalog.record_feedback({join_signature(["a", "b"]): 7.0})
+        assert catalog.clear_feedback() == 1
+        assert catalog.hint(join_signature(["a", "b"])) is None
+        assert catalog.n_hints == 0
+
+
+class TestFeedbackRound:
+    def test_improves_scan_estimate(self):
+        engine = cost_engine()
+        engine.execute(SCAN_SQL)
+        before = engine.last_actuals()
+        scan_filter = before.node_for("Filter")
+        assert scan_filter is not None
+
+        report = feedback_round(engine, [SCAN_SQL])
+        assert report.n_hints >= 1
+
+        engine.execute(SCAN_SQL)
+        after = engine.last_actuals()
+        corrected = after.node_for("Filter")
+        assert corrected.q_error <= scan_filter.q_error
+        assert corrected.q_error == 1.0  # exact observed cardinality
+
+    def test_invalidates_cached_plans(self):
+        engine = cost_engine()
+        engine.execute(SCAN_SQL)
+        engine.execute(SCAN_SQL)
+        hits_before = engine.statistics()["plan_cache_hits"]
+        assert hits_before >= 1
+        feedback_round(engine, [SCAN_SQL])
+        # version bump means the next execution re-plans (a miss)
+        misses_before = engine.statistics()["plan_cache_misses"]
+        engine.execute(SCAN_SQL)
+        assert engine.statistics()["plan_cache_misses"] > misses_before
+
+    def test_results_unchanged_by_feedback(self):
+        """Feedback may change the plan, never the answer."""
+        engine = cost_engine()
+        before = engine.execute(JOIN_SQL).rows
+        feedback_round(engine, [JOIN_SQL])
+        after = engine.execute(JOIN_SQL).rows
+        assert before == after
+
+    def test_statistics_count_hints(self):
+        engine = cost_engine()
+        assert engine.statistics()["stats_feedback_hints"] == 0.0
+        feedback_round(engine, [SCAN_SQL, JOIN_SQL])
+        assert engine.statistics()["stats_feedback_hints"] >= 2.0

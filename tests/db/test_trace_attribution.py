@@ -1,0 +1,63 @@
+"""Regression tests for per-operator page attribution in calibration.
+
+Operator spans nest (a join's span contains its scans' spans), so the
+inclusive ``hw.io_reads`` delta on an ancestor counts every descendant
+operator's pages too.  :func:`repro.db.costmodel.samples_from_trace`
+pairs pages with *self* time — billing a scan's cold I/O to the whole
+pipeline above it double-counts the pages and corrupts the fitted
+per-byte coefficients.
+"""
+
+from repro.db.costmodel import samples_from_trace
+from repro.hardware import HardwareCounters
+from repro.measurement.clocks import VirtualClock
+from repro.obs import Tracer
+
+
+def make_tracer(counters):
+    return Tracer(clock=VirtualClock(), counters=counters)
+
+
+def test_nested_operator_pages_not_billed_to_ancestors():
+    counters = HardwareCounters()
+    tracer = make_tracer(counters)
+    with tracer.span("HashJoin", "operator", kind="HashJoin",
+                     rows=10, self_ms=1.0) as join:
+        with tracer.span("SeqScan(a)", "operator", kind="SeqScan",
+                         rows=100, self_ms=2.0):
+            # the scan's I/O happens on a nested buffer span — the
+            # shape PlanNode.execute/BufferPool produce
+            with tracer.span("buffer.read_table", "buffer"):
+                counters.increment("io_reads", 40)
+        with tracer.span("SeqScan(b)", "operator", kind="SeqScan",
+                         rows=50, self_ms=1.5):
+            with tracer.span("buffer.read_table", "buffer"):
+                counters.increment("io_reads", 8)
+        counters.increment("io_reads", 2)  # the join's own spill
+        join.set(rows=10)
+    samples = {
+        s.kind if s.kind != "SeqScan" else f"{s.kind}:{s.rows_in:.0f}": s
+        for s in samples_from_trace(tracer.trace())}
+
+    # Each scan keeps the pages its buffer child absorbed on its behalf.
+    assert samples["SeqScan:100"].bytes_touched > 0
+    assert samples["SeqScan:50"].bytes_touched > 0
+    scan_pages = (samples["SeqScan:100"].bytes_touched
+                  + samples["SeqScan:50"].bytes_touched)
+    # The join is billed only for its own 2 pages, not the scans' 48.
+    join_sample = samples["HashJoin"]
+    assert join_sample.bytes_touched < scan_pages
+    total = join_sample.bytes_touched + scan_pages
+    page = samples["SeqScan:100"].bytes_touched / 40
+    assert total == 50 * page  # every page billed exactly once
+
+
+def test_operator_without_nested_operators_keeps_inclusive_pages():
+    counters = HardwareCounters()
+    tracer = make_tracer(counters)
+    with tracer.span("SeqScan(t)", "operator", kind="SeqScan",
+                     rows=10, self_ms=1.0):
+        with tracer.span("buffer.read_table", "buffer"):
+            counters.increment("io_reads", 4)
+    (sample,) = samples_from_trace(tracer.trace())
+    assert sample.bytes_touched > 0

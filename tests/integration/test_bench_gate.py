@@ -1,0 +1,124 @@
+"""Pinned behaviour of scripts/bench_gate.py's two gate modes.
+
+The acceptance scenarios for the noise-aware gate:
+
+- a seeded flat-but-noisy history passes ``--stat`` where the raw
+  25%-on-the-median rule fails (the legacy rule's false red);
+- an injected true 30% regression fails ``--stat`` (no power lost).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import bench_gate  # noqa: E402
+
+
+@pytest.fixture
+def noisy_pair():
+    """Seeded flat-but-noisy baseline/candidate: same distribution,
+    single medians more than 25% apart."""
+    from repro.experiments.e26_observatory import flat_noisy_samples
+    return flat_noisy_samples()
+
+
+@pytest.fixture
+def stable_baseline(tmp_path):
+    rng = np.random.default_rng(7)
+    samples = {"bench_x": (0.010 + rng.normal(0, 0.0005, 25))
+               .clip(1e-4).tolist()}
+    path = tmp_path / "baseline.json"
+    bench_gate.write_baseline(path, samples)
+    return path, samples
+
+
+class TestGateScenarios:
+    def test_flat_noisy_fails_raw_but_passes_stat(self, tmp_path,
+                                                  noisy_pair, capsys):
+        base, cand = noisy_pair
+        baseline_path = tmp_path / "baseline.json"
+        bench_gate.write_baseline(baseline_path, {"bench_x": base})
+        current_medians = {"bench_x": bench_gate._median(cand)}
+        assert bench_gate.compare(current_medians, baseline_path,
+                                  tolerance=0.25) == 1
+        assert bench_gate.stat_compare({"bench_x": cand},
+                                       baseline_path) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out        # the raw rule's false red
+        assert "gate passed" in out       # the stat rule's verdict
+
+    def test_true_30pct_regression_fails_stat(self, stable_baseline,
+                                              capsys):
+        baseline_path, samples = stable_baseline
+        slowed = {"bench_x": [v * 1.30 for v in samples["bench_x"]]}
+        assert bench_gate.stat_compare(slowed, baseline_path) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_identical_samples_pass_stat(self, stable_baseline):
+        baseline_path, samples = stable_baseline
+        assert bench_gate.stat_compare(dict(samples),
+                                       baseline_path) == 0
+
+    def test_missing_bench_is_an_infrastructure_error(
+            self, stable_baseline):
+        baseline_path, __ = stable_baseline
+        assert bench_gate.stat_compare({"other": [0.01] * 5},
+                                       baseline_path) == 2
+
+    def test_missing_baseline_is_an_infrastructure_error(self,
+                                                         tmp_path):
+        assert bench_gate.stat_compare(
+            {"bench_x": [0.01] * 5}, tmp_path / "nope.json") == 2
+
+
+class TestBaselineFormat:
+    def test_baseline_records_samples_and_median(self, tmp_path):
+        path = tmp_path / "b.json"
+        bench_gate.write_baseline(path, {"a": [3.0, 1.0, 2.0]})
+        payload = json.loads(path.read_text())
+        entry = payload["benchmarks"]["a"]
+        assert entry["median_s"] == 2.0
+        assert entry["samples"] == [3.0, 1.0, 2.0]
+
+    def test_legacy_compare_reads_new_format(self, tmp_path):
+        path = tmp_path / "b.json"
+        bench_gate.write_baseline(path, {"a": [1.0, 1.0, 1.0]})
+        assert bench_gate.compare({"a": 1.0}, path, 0.25) == 0
+
+
+class TestHistory:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        first = bench_gate.append_history(history, {"a": [1.0, 2.0]})
+        second = bench_gate.append_history(history, {"a": [2.0, 3.0]})
+        assert first["run"] == 1 and second["run"] == 2
+        entries = bench_gate.read_history(history)
+        assert [e["run"] for e in entries] == [1, 2]
+        assert entries[0]["benchmarks"]["a"]["samples"] == [1.0, 2.0]
+
+    def test_torn_line_is_skipped(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        bench_gate.append_history(history, {"a": [1.0]})
+        with history.open("a") as handle:
+            handle.write('{"run": 2, "benchm')  # torn write
+        assert len(bench_gate.read_history(history)) == 1
+
+    def test_trend_report_shows_every_bench(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        for median in (1.0, 2.0, 3.0):
+            bench_gate.append_history(
+                history, {"a": [median], "b": [5.0]})
+        report = bench_gate.trend_report(
+            bench_gate.read_history(history))
+        assert "3 run(s)" in report
+        assert "a" in report and "b" in report
+        assert "+200.0%" in report  # a drifted 1.0 -> 3.0
+
+    def test_empty_history(self):
+        assert "empty" in bench_gate.trend_report([])

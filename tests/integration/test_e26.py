@@ -1,0 +1,68 @@
+"""End-to-end smoke for E26: feedback shrinks q-error, gate demo holds."""
+
+import json
+
+import pytest
+
+from repro.experiments.e26_observatory import (
+    export_artifacts,
+    run_e26,
+    run_gate_demo,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A small fact table keeps the two planning rounds fast; the
+    # q-error contrast does not depend on scale.
+    return run_e26(seed=7, n_fact=4_000)
+
+
+class TestFeedbackCampaign:
+    def test_median_qerror_strictly_decreases(self, result):
+        round0, round1 = result.rounds
+        assert result.median_improved
+        assert round1.median < round0.median
+
+    def test_feedback_recorded_hints_and_bumped_stats(self, result):
+        round0, round1 = result.rounds
+        assert round0.n_hints == 0
+        assert round1.n_hints >= 2
+        assert round1.stats_version > round0.stats_version
+
+    def test_rounds_cover_all_operators(self, result):
+        assert all(r.n_points > 0 for r in result.rounds)
+        assert result.rounds[0].n_points == result.rounds[1].n_points
+
+
+class TestGateDemo:
+    def test_scenario_verdicts(self, result):
+        flat, true_reg = result.scenarios
+        assert flat.name == "flat-but-noisy"
+        assert flat.raw_fails and not flat.stat_verdict.regression
+        assert true_reg.name == "true-30pct-regression"
+        assert true_reg.raw_fails and true_reg.stat_verdict.regression
+
+    def test_gate_demo_is_deterministic(self):
+        first, second = run_gate_demo(seed=7), run_gate_demo(seed=7)
+        assert [s.stat_verdict.p_value for s in first] == \
+            [s.stat_verdict.p_value for s in second]
+
+
+class TestArtifacts:
+    def test_export_writes_both_files(self, result, tmp_path):
+        paths = export_artifacts(result, str(tmp_path))
+        assert len(paths) == 2
+        feedback = json.loads((tmp_path / "e26_feedback.json").read_text())
+        assert feedback["median_improved"] is True
+        assert len(feedback["rounds"]) == 2
+        gate = json.loads((tmp_path / "e26_gate_demo.json").read_text())
+        assert {s["scenario"] for s in gate} == {
+            "flat-but-noisy", "true-30pct-regression"}
+        flat = next(s for s in gate if s["scenario"] == "flat-but-noisy")
+        assert flat["raw_rule_fails"] and not flat["stat_rule_fails"]
+
+    def test_format_mentions_verdict(self, result):
+        text = result.format()
+        assert "strictly decreased" in text
+        assert "flat-but-noisy" in text

@@ -1,0 +1,58 @@
+"""Degenerate-input tests for the stats helpers the gate leans on.
+
+Constant-valued and two-sample inputs are exactly what a very fast,
+very stable benchmark produces; the percentile and sign-test helpers
+must return sane, zero-width answers there rather than NaN or a crash.
+"""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import (
+    median_confidence_interval,
+    percentiles,
+)
+
+
+class TestPercentilesDegenerate:
+    def test_constant_valued_sample(self):
+        p = percentiles([4.2] * 17)
+        assert p.p50 == 4.2
+        assert p.p95 == 4.2
+        assert p.p99 == 4.2
+        assert p.maximum == 4.2
+        assert p.n == 17
+
+    def test_two_sample_input(self):
+        p = percentiles([1.0, 3.0])
+        assert p.maximum == 3.0
+        assert 1.0 <= p.p50 <= 3.0
+        assert p.p50 <= p.p95 <= 3.0
+
+    def test_single_sample_input(self):
+        p = percentiles([7.0])
+        assert p.p50 == p.p99 == 7.0
+
+    def test_empty_still_rejected(self):
+        with pytest.raises(MeasurementError):
+            percentiles([])
+
+
+class TestMedianCIDegenerate:
+    def test_constant_valued_sample_is_zero_width(self):
+        ci = median_confidence_interval([2.5] * 9)
+        assert ci.mean == 2.5
+        assert ci.low == 2.5
+        assert ci.high == 2.5
+        assert ci.half_width == 0.0
+
+    def test_two_sample_input_spans_the_range(self):
+        ci = median_confidence_interval([1.0, 2.0])
+        assert ci.low == 1.0
+        assert ci.high == 2.0
+        assert ci.low <= ci.mean <= ci.high
+
+    def test_constant_interval_contains_its_value(self):
+        ci = median_confidence_interval([2.5] * 9)
+        assert ci.contains(2.5)
+        assert not ci.contains(2.6)

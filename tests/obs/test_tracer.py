@@ -143,6 +143,27 @@ class TestHardwareAbsorption:
         assert snap["hw.cycles"] == 17
         assert snap["hw.io_reads"] == 2
 
+    def test_exclusive_self_deltas_published_on_spans(self):
+        """Regression: a nested span's counters must not be billed to
+        its ancestors twice.  ``hw.*`` stays inclusive for subtree
+        views; ``hw_self.*`` is the exclusive delta consumers doing
+        per-span attribution must read."""
+        counters = HardwareCounters()
+        tracer = make_tracer(counters=counters)
+        with tracer.span("operator", "operator"):
+            counters.increment("io_reads", 3)
+            with tracer.span("kernel", "kernel"):
+                counters.increment("io_reads", 5)
+                counters.increment("cycles", 11)
+        trace = tracer.trace()
+        op = trace.find("operator")[0]
+        kernel = trace.find("kernel")[0]
+        assert op.attributes["hw.io_reads"] == 8  # inclusive
+        assert op.attributes["hw_self.io_reads"] == 3  # exclusive
+        assert "hw_self.cycles" not in op.attributes  # zero self delta
+        assert kernel.attributes["hw_self.io_reads"] == 5
+        assert kernel.attributes["hw_self.cycles"] == 11
+
     def test_registry_counts_spans_per_category(self):
         registry = MetricsRegistry()
         tracer = make_tracer(registry=registry)

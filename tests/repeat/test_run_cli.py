@@ -197,6 +197,54 @@ class TestResilientCli:
         assert "unknown option" in capsys.readouterr().err
 
 
+class TestTraceOverwrite:
+    """--trace must refuse to clobber an existing span log."""
+
+    def test_existing_trace_refused_without_force(self, suite_module,
+                                                  tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        trace.write_text('{"span": "precious"}\n')
+        assert main(["--trace", str(trace),
+                     "fake_suite_module", "one"]) == 1
+        err = capsys.readouterr().err
+        assert "already exists" in err
+        assert "--force" in err
+        # the precious log was not touched
+        assert trace.read_text() == '{"span": "precious"}\n'
+        # and nothing ran
+        assert suite_module.SUITE.properties.get("trace", "") == ""
+
+    def test_force_allows_overwrite(self, suite_module, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        trace.write_text("old\n")
+        assert main(["--trace", str(trace), "--force",
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("trace") == str(trace)
+
+    def test_fresh_path_needs_no_force(self, suite_module, tmp_path):
+        trace = tmp_path / "fresh.jsonl"
+        assert main(["--trace", str(trace),
+                     "fake_suite_module", "one"]) == 0
+        assert suite_module.SUITE.properties.get("trace") == str(trace)
+
+    def test_written_trace_path_in_run_summary(self, suite_module,
+                                               tmp_path, capsys):
+        trace = tmp_path / "written.jsonl"
+        module = sys.modules["fake_suite_module"]
+
+        def tracing_experiment(properties):
+            rs = ResultSet()
+            rs.add({"x": 1}, {"y": 1.0})
+            trace.write_text("{}\n")
+            return rs
+
+        module.SUITE.add("traced", tracing_experiment)
+        assert main(["--trace", str(trace),
+                     "fake_suite_module", "traced"]) == 0
+        out = capsys.readouterr().out
+        assert f"traced: trace -> {trace}" in out
+
+
 def build_serving_suite_in(tmp_path):
     """A suite whose experiment records the serving properties it saw."""
     suite = ExperimentSuite(tmp_path, name="serve-demo",

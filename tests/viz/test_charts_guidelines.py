@@ -309,3 +309,44 @@ class TestSaturationCoverageRule:
         chart = line_chart("G", series, "Arrival rate (req/s)",
                            "Goodput (req/s)")
         assert "saturation-coverage" in self.rules(chart)
+
+
+class TestEstimateVsActualRule:
+    def plan_chart(self, labels, title="Plan quality",
+                   y_label="Rows (count)"):
+        series = [Series(label, (1, 2, 3), (1.0, 2.0, 3.0))
+                  for label in labels]
+        return line_chart(title, series, "Query", y_label)
+
+    def rules(self, chart):
+        return {f.rule for f in lint_chart(chart)}
+
+    def test_estimates_alone_are_flagged(self):
+        chart = self.plan_chart(["estimated rows"])
+        findings = [f for f in lint_chart(chart)
+                    if f.rule == "estimate-vs-actual"]
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "q-error" in findings[0].message
+
+    def test_estimate_plus_actual_series_passes(self):
+        assert "estimate-vs-actual" not in self.rules(
+            self.plan_chart(["estimated rows", "actual rows"]))
+
+    def test_qerror_ratio_passes(self):
+        assert "estimate-vs-actual" not in self.rules(
+            self.plan_chart(["q-error"],
+                            y_label="Cardinality q-error (ratio)"))
+
+    def test_observed_series_passes(self):
+        assert "estimate-vs-actual" not in self.rules(
+            self.plan_chart(["estimated cost", "observed cost"]))
+
+    def test_estimate_in_y_label_is_caught(self):
+        chart = self.plan_chart(["optimizer"],
+                                y_label="Estimated rows (count)")
+        assert "estimate-vs-actual" in self.rules(chart)
+
+    def test_chart_without_estimates_is_ignored(self):
+        assert "estimate-vs-actual" not in self.rules(
+            self.plan_chart(["throughput"]))
