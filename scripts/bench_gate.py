@@ -79,6 +79,7 @@ SMOKE_BENCHMARKS = (
     "benchmarks/bench_e23_vectorized.py",
     "benchmarks/bench_e24_serving.py",
     "benchmarks/bench_e25_optimizer.py",
+    "benchmarks/bench_e27_systems.py",
 )
 
 
@@ -123,6 +124,22 @@ def load_samples(json_path: Path) -> Dict[str, List[float]]:
     if not samples:
         raise RuntimeError(f"no benchmark samples in {json_path}")
     return samples
+
+
+def load_backends(json_path: Path) -> Dict[str, str]:
+    """``{fullname: backend}`` for benchmarks tagged via
+    ``benchmark.extra_info["backend"]`` (the cross-system cases).
+
+    Untagged benchmarks are simply absent — single-engine history
+    records stay exactly as before.
+    """
+    payload = json.loads(json_path.read_text())
+    backends: Dict[str, str] = {}
+    for bench in payload.get("benchmarks", []):
+        backend = bench.get("extra_info", {}).get("backend")
+        if backend:
+            backends[bench["fullname"]] = str(backend)
+    return backends
 
 
 def _median(values: List[float]) -> float:
@@ -286,20 +303,29 @@ def stat_compare(current: Dict[str, List[float]], baseline_path: Path,
 # ---------------------------------------------------------------------------
 
 def append_history(history_path: Path,
-                   samples: Dict[str, List[float]]) -> dict:
+                   samples: Dict[str, List[float]],
+                   backends: Optional[Dict[str, str]] = None) -> dict:
     """Append one run's sample arrays to the JSONL history.
 
     Returns the record written.  The run index continues from the last
     recorded entry, so the history orders runs without wall-clock
-    timestamps.
+    timestamps.  *backends* tags cross-system benchmarks with the
+    database system they ran on, so trend lines stay per-system.
     """
     entries = read_history(history_path)
+    backends = backends or {}
+
+    def stats(name: str, values: List[float]) -> dict:
+        entry = {"median_s": _median(values), "samples": values}
+        if name in backends:
+            entry["backend"] = backends[name]
+        return entry
+
     record = {
         "run": (entries[-1]["run"] + 1) if entries else 1,
         "machine": {"python": platform.python_version(),
                     "platform": platform.platform()},
-        "benchmarks": {name: {"median_s": _median(values),
-                              "samples": values}
+        "benchmarks": {name: stats(name, values)
                        for name, values in sorted(samples.items())},
     }
     history_path.parent.mkdir(parents=True, exist_ok=True)
@@ -341,7 +367,12 @@ def trend_report(entries: List[dict], width: int = 30) -> str:
     by_bench: Dict[str, List[float]] = {}
     for entry in entries[-width:]:
         for name, stats in entry.get("benchmarks", {}).items():
-            by_bench.setdefault(name, []).append(float(stats["median_s"]))
+            # Cross-system benchmarks carry the backend they ran on;
+            # keying the trend by it keeps one line per system.  Old
+            # records without the tag keep their bare name.
+            backend = stats.get("backend")
+            label = f"{name} [{backend}]" if backend else name
+            by_bench.setdefault(label, []).append(float(stats["median_s"]))
     lines = [f"bench history: {len(entries)} run(s), showing last "
              f"{min(width, len(entries))}"]
     for name in sorted(by_bench):
@@ -424,6 +455,7 @@ def main(argv=None) -> int:
                 run_benchmarks(json_path)
             medians = load_medians(json_path)
             samples = load_samples(json_path)
+            backends = load_backends(json_path)
         except (RuntimeError, OSError, json.JSONDecodeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -433,7 +465,7 @@ def main(argv=None) -> int:
                   f"({len(samples)} benchmark(s))")
             return 0
         if not args.no_history:
-            append_history(args.history, samples)
+            append_history(args.history, samples, backends=backends)
             print(trend_report(read_history(args.history)))
             print()
         if args.stat:

@@ -450,6 +450,27 @@ class Engine:
 
     # -- introspection ------------------------------------------------------
 
+    def describe_config(self) -> Dict[str, str]:
+        """Tuning disclosure: every knob that shapes performance.
+
+        Cross-system comparisons (:mod:`repro.db.systems`) publish this
+        per contender so undisclosed tuning — the most common pitfall in
+        Taipalus's DBMS-comparison survey — is machine-checkable.
+        """
+        config = self.config
+        return {
+            "backend": "minidb",
+            "executor": config.executor,
+            "optimizer": config.optimizer,
+            "buffer_pages": str(config.buffer_pages),
+            "build_mode": config.build.mode.value,
+            "tuned": str(config.tuned),
+            "plan_cache": str(config.plan_cache),
+            "selection_vectors": str(config.selection_vectors),
+            "cost_model": ("calibrated" if config.cost_model is not None
+                           else "default"),
+        }
+
     def statistics(self) -> Dict[str, float]:
         """Engine-level counters for analysis (CSI) work.
 

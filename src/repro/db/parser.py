@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.db.expressions import (
     Arithmetic,
@@ -234,6 +234,20 @@ def parse_hints(text: str) -> PlanHints:
                      join_ops=tuple(sorted(join_ops)),
                      scans=tuple(sorted(scans)),
                      build_sides=tuple(sorted(builds)))
+
+
+def hint_comment(join_order: Sequence[str]) -> str:
+    """Render *join_order* as a ``/*+ JOIN_ORDER(...) */`` hint.
+
+    The inverse of :func:`parse_hints` for the one clause every
+    backend adapter understands; :mod:`repro.db.systems` uses it to
+    force the same logical join order across engines.
+    """
+    order = tuple(join_order)
+    if len(order) < 2 or len(set(order)) != len(order):
+        raise SqlSyntaxError(
+            f"JOIN_ORDER needs >= 2 distinct tables, got {list(order)}")
+    return f"/*+ JOIN_ORDER({' '.join(order)}) */"
 
 
 @dataclass(frozen=True)

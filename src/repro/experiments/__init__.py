@@ -1,4 +1,4 @@
-"""Paper experiments: one module per tutorial table/figure (E01-E25).
+"""Paper experiments: one module per tutorial table/figure (E01-E27).
 
 Each ``eNN_*`` module exposes a ``run(...)`` function returning a typed
 result object with a ``format()`` method that prints the same rows or
@@ -33,8 +33,9 @@ from repro.experiments.e20_twostage import run_e20
 from repro.experiments.e21_fault_tolerance import run_e21
 from repro.experiments.e22_trace_contrast import run_e22
 from repro.experiments.e23_vectorized import run_e23
+from repro.experiments.e24_serving import run_e24
 from repro.experiments.e25_optimizer import run_e25
+from repro.experiments.e26_observatory import run_e26
+from repro.experiments.e27_cross_system import run_e27
 
-# E24 is reserved (no tutorial slide maps to it); the index therefore
-# jumps from the vectorization study straight to the optimizer study.
-__all__ = [f"run_e{i:02d}" for i in range(1, 24)] + ["run_e25"]
+__all__ = [f"run_e{i:02d}" for i in range(1, 28)]

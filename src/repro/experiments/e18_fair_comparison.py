@@ -9,6 +9,13 @@ Two war stories made executable:
    (pushdown, hash joins, big buffer pool) against an out-of-the-box
    configuration differs by a factor in the tutorial's 2-10 band, and
    measuring different pipeline stages is also flagged.
+
+Since the multi-backend layer landed (:mod:`repro.db.systems`), the
+prescription is backed by a *real* checklist: war story 2 is replayed
+through :class:`~repro.measurement.comparison.FairComparisonHarness`
+with deliberately mismatched protocols, and the automated Taipalus
+pitfall checklist flags the stage/warm-up mismatch plus the
+never-compared plan shapes.  E27 runs the full cross-system study.
 """
 
 from __future__ import annotations
@@ -16,8 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import ComparisonContext, FairnessReport, check_fairness
-from repro.db import Engine, EngineConfig
+from repro.db import Engine, EngineConfig, MiniDBLoopSystem
 from repro.hardware import BuildMode, BuildModel
+from repro.measurement.comparison import (
+    ComparisonProtocol,
+    ComparisonReport,
+    FairComparisonHarness,
+    QuerySpec,
+    WorkloadSpec,
+)
 from repro.workloads import generate_tpch, tpch_query
 
 
@@ -27,6 +41,7 @@ class E18Result:
     untuned_over_tuned: float
     build_report: FairnessReport
     stage_report: FairnessReport
+    pitfall_report: ComparisonReport
 
     def format(self) -> str:
         lines = [
@@ -41,6 +56,10 @@ class E18Result:
             f"  untuned/tuned hot runtime ratio: "
             f"{self.untuned_over_tuned:.1f}x (tutorial: factor 2-10)",
             "  " + self.stage_report.format().replace("\n", "\n  "),
+            "",
+            "war story 2, replayed through the automated checklist "
+            "(repro.measurement.comparison):",
+            "  " + self.pitfall_report.format().replace("\n", "\n  "),
         ]
         return "\n".join(lines)
 
@@ -50,6 +69,28 @@ def _hot(engine: Engine, sql: str):
     for __ in range(2):
         result = engine.execute(sql)
     return result.server_time
+
+
+def _pitfall_replay(db, sql: str) -> ComparisonReport:
+    """War story 2 through the real checklist.
+
+    The "prototype" (tuned MiniDB) gets warm-up it never discloses
+    while the "off-the-shelf" contender is measured cold — the two
+    classic protocol mismatches — and no plan shape is ever forced, so
+    the automated Taipalus checklist must flag all three.
+    """
+    prototype = MiniDBLoopSystem(EngineConfig(), label="prototype-X")
+    shelf = MiniDBLoopSystem(EngineConfig.untuned(),
+                             label="off-the-shelf-Y")
+    harness = FairComparisonHarness(
+        (prototype, shelf),
+        protocol=ComparisonProtocol(stage="warm", warmup=2,
+                                    repetitions=3),
+        protocols={"off-the-shelf-Y": ComparisonProtocol(
+            stage="cold", warmup=0, repetitions=3)})
+    spec = WorkloadSpec(name="e18-war-story-2",
+                        queries=(QuerySpec("q3", sql),))
+    return harness.run(db, spec)
 
 
 def run_e18(sf: float = 0.005, seed: int = 42) -> E18Result:
@@ -73,4 +114,5 @@ def run_e18(sf: float = 0.005, seed: int = 42) -> E18Result:
     return E18Result(dbg_over_opt_cpu=dbg_ratio,
                      untuned_over_tuned=tuned_ratio,
                      build_report=build_report,
-                     stage_report=stage_report)
+                     stage_report=stage_report,
+                     pitfall_report=_pitfall_replay(db, sql))

@@ -122,3 +122,43 @@ class TestHistory:
 
     def test_empty_history(self):
         assert "empty" in bench_gate.trend_report([])
+
+
+class TestBackendTagging:
+    def test_history_records_backend(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        record = bench_gate.append_history(
+            history, {"bench_exec[sqlite]": [1.0], "bench_plain": [2.0]},
+            backends={"bench_exec[sqlite]": "sqlite"})
+        assert record["benchmarks"]["bench_exec[sqlite]"]["backend"] \
+            == "sqlite"
+        assert "backend" not in record["benchmarks"]["bench_plain"]
+
+    def test_trend_lines_are_per_system(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        for median in (1.0, 1.5):
+            bench_gate.append_history(
+                history, {"bench_exec": [median], "bench_plain": [5.0]},
+                backends={"bench_exec": "minidb-loop"})
+        report = bench_gate.trend_report(bench_gate.read_history(history))
+        assert "bench_exec [minidb-loop]" in report
+        assert "bench_plain" in report
+
+    def test_old_untagged_records_still_render(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        bench_gate.append_history(history, {"a": [1.0]})  # pre-tag era
+        bench_gate.append_history(history, {"a": [1.2]},
+                                  backends={"a": "sqlite"})
+        report = bench_gate.trend_report(bench_gate.read_history(history))
+        assert "a " in report and "a [sqlite]" in report
+
+    def test_load_backends_reads_extra_info(self, tmp_path):
+        payload = {"benchmarks": [
+            {"fullname": "f[sqlite]", "extra_info": {"backend": "sqlite"},
+             "stats": {"median": 0.001, "data": [0.001]}},
+            {"fullname": "g", "extra_info": {},
+             "stats": {"median": 0.002, "data": [0.002]}},
+        ]}
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(payload))
+        assert bench_gate.load_backends(path) == {"f[sqlite]": "sqlite"}

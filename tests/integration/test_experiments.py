@@ -291,6 +291,10 @@ class TestE18FairComparison:
         assert not result.build_report.is_fair
         assert not result.stage_report.is_fair
 
+    def test_automated_checklist_flags_protocol_mismatch(self, result):
+        flagged = {c.key for c in result.pitfall_report.warnings}
+        assert {"stage-match", "warmup-match"} <= flagged
+
 
 class TestE19Metrics:
     @pytest.fixture(scope="class")
