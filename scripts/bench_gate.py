@@ -80,6 +80,7 @@ SMOKE_BENCHMARKS = (
     "benchmarks/bench_e24_serving.py",
     "benchmarks/bench_e25_optimizer.py",
     "benchmarks/bench_e27_systems.py",
+    "benchmarks/bench_e28_cache.py",
 )
 
 

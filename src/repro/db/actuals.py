@@ -28,6 +28,12 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 from repro.db.plan import PlanNode
 from repro.errors import PlanError
 
+#: ``span_extras`` keys surfaced per node in EXPLAIN ANALYZE output, in
+#: this (stable) rendering order — cache-conscious execution actuals:
+#: zone-map block pruning, dictionary usage, radix-join partitioning.
+EXTRA_KEYS = ("blocks", "blocks_pruned", "dict_columns",
+              "radix_bits", "partitions", "zone")
+
 
 def q_error(est_rows: float, actual_rows: float) -> float:
     """The cardinality q-error ``max(est/act, act/est)``, floored at 1.
@@ -53,6 +59,9 @@ class NodeActuals:
     buffer_hits: int
     buffer_misses: int
     children: Tuple["NodeActuals", ...] = ()
+    #: Operator-specific actuals (:data:`EXTRA_KEYS` subset), e.g. a
+    #: scan's pruned-block count or a radix join's partition count.
+    extras: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def q_error(self) -> float:
@@ -76,6 +85,7 @@ class NodeActuals:
             "total_ms": self.total_ms,
             "buffer_hits": self.buffer_hits,
             "buffer_misses": self.buffer_misses,
+            "extras": dict(self.extras),
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -100,7 +110,10 @@ class NodeActuals:
             buffer_hits=int(node.buffer_hits),
             buffer_misses=int(node.buffer_misses),
             children=tuple(cls.from_node(child)
-                           for child in node.children))
+                           for child in node.children),
+            extras=tuple((key, node.span_extras[key])
+                         for key in EXTRA_KEYS
+                         if key in node.span_extras))
 
 
 @dataclass(frozen=True)
@@ -166,6 +179,14 @@ class PlanActuals:
                 f"self={node.self_ms:.3f}ms",
                 f"buffer={node.buffer_hits}/{node.buffer_misses}",
             ]
+            for key, value in node.extras:
+                if key == "blocks_pruned":
+                    continue  # rendered with "blocks" below
+                if key == "blocks":
+                    pruned = dict(node.extras).get("blocks_pruned", 0)
+                    parts.append(f"blocks pruned={pruned}/{value}")
+                else:
+                    parts.append(f"{key}={value}")
             lines.append("  " * indent + "-> " + "  ".join(parts))
             for child in node.children:
                 render(child, indent + 1)

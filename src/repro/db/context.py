@@ -72,6 +72,12 @@ class CostParameters:
     gather_ns_per_value: float = 1.0
     kernel_launch_ns: float = 4_000.0
     plan_cache_lookup_ns: float = 1_500.0
+    # Cache-conscious execution (radix join / zone maps).  The radix
+    # join streams both inputs once per partitioning pass and pays a
+    # fixed setup per partition; the memory-latency side of the story
+    # comes from the engine's CacheModel, not from these constants.
+    radix_partition_ns_per_row: float = 6.0
+    radix_partition_setup_ns: float = 500.0
 
     def __post_init__(self):
         for name, value in self.__dict__.items():
@@ -100,7 +106,10 @@ class ExecutionContext:
                  mode: ExecutionMode = ExecutionMode.COLUMN,
                  costs: Optional[CostParameters] = None,
                  executor: str = "loop",
-                 selection_vectors: bool = True):
+                 selection_vectors: bool = True,
+                 cache=None,
+                 zone_maps: bool = True,
+                 radix_bits: Optional[int] = None):
         self.database = database
         self.buffer_pool = buffer_pool
         self.clock = clock
@@ -116,6 +125,17 @@ class ExecutionContext:
         #: Whether the vectorized executor may defer materialisation by
         #: carrying selection vectors between operators.
         self.selection_vectors = selection_vectors
+        #: Optional :class:`~repro.hardware.cache.CacheHierarchy`; when
+        #: set, joins charge simulated memory-access latency on top of
+        #: their per-row CPU cost (the memory wall becomes visible).
+        self.cache = cache
+        #: Whether scans may prune zone-map blocks against pushed-down
+        #: predicates (off = the pre-cache-conscious behaviour, kept for
+        #: pruned-vs-unpruned differential testing).
+        self.zone_maps = zone_maps
+        #: Forced radix-bit count for RadixHashJoin (None = size each
+        #: partition to the cache automatically); E28 sweeps this.
+        self.radix_bits = radix_bits
         #: Largest per-operator working set seen this execution (bytes).
         self.peak_memory_bytes = 0
 

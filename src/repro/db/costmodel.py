@@ -49,8 +49,8 @@ from repro.errors import PlanError
 #: Filter rate (a safe linear default).
 KNOWN_KINDS = (
     "SeqScan", "IndexScan", "Filter", "Project", "HashJoin",
-    "MergeJoin", "NestedLoopJoin", "Aggregate", "Distinct", "Sort",
-    "Limit",
+    "RadixHashJoin", "MergeJoin", "NestedLoopJoin", "Aggregate",
+    "Distinct", "Sort", "Limit",
 )
 
 
@@ -79,7 +79,7 @@ def work_units(kind: str, rows_in: float, rows_out: float,
     right = max(0.0, rows_in_right)
     if kind == "NestedLoopJoin":
         return rows_in * right
-    if kind in ("HashJoin", "MergeJoin"):
+    if kind in ("HashJoin", "RadixHashJoin", "MergeJoin"):
         return rows_in + right + rows_out
     if kind == "Sort":
         return rows_in * math.log2(rows_in) if rows_in > 1 else rows_in
@@ -136,6 +136,12 @@ def _analytic_coefficients() -> Tuple[Tuple[str, OperatorCost], ...]:
         "Filter": OperatorCost(1_000.0, c.filter_ns_per_value, 0.0),
         "Project": OperatorCost(1_000.0, c.project_ns_per_value, 0.0),
         "HashJoin": OperatorCost(
+            4_000.0, (c.hash_build_ns_per_row
+                      + c.hash_probe_ns_per_row) / 2.0, 0.0),
+        # Same build/probe work as HashJoin: the partitioning overhead
+        # is added separately (physops._radix_extra_ns) because it
+        # depends on the cache geometry, not on the row counts alone.
+        "RadixHashJoin": OperatorCost(
             4_000.0, (c.hash_build_ns_per_row
                       + c.hash_probe_ns_per_row) / 2.0, 0.0),
         "MergeJoin": OperatorCost(2_000.0, c.filter_ns_per_value, 0.0),

@@ -39,6 +39,7 @@ from repro.db.profiler import ProfileReport, operator_timings
 from repro.db.statistics import DEFAULT_BUCKETS, StatisticsCatalog
 from repro.db.storage import Database
 from repro.errors import DatabaseError
+from repro.hardware.cache import CacheModel
 from repro.hardware.compiler import BuildMode, BuildModel
 from repro.hardware.counters import HardwareCounters
 from repro.measurement.clocks import VirtualClock
@@ -83,6 +84,18 @@ class EngineConfig:
     #: of :func:`~repro.db.costmodel.calibrate_cost_model` for measured
     #: coefficients.
     cost_model: Optional[CostModel] = None
+    #: Simulated cache hierarchy (:class:`~repro.hardware.cache
+    #: .CacheModel`).  None (the default) keeps memory latency invisible
+    #: — simulated times match the pre-cache-conscious engine exactly.
+    #: With a model set, joins charge cache/memory access latency and
+    #: the cost-based planner prices hash vs radix accordingly.
+    cache_model: Optional[CacheModel] = None
+    #: Let scans prune zone-map blocks against pushed-down predicates.
+    #: Off = the unpruned scan behaviour (kept for differential tests).
+    zone_maps: bool = True
+    #: Force this many radix bits on every RadixHashJoin (None = size
+    #: partitions to the cache automatically); E28 sweeps this knob.
+    radix_bits: Optional[int] = None
 
     VALID_EXECUTORS = ("loop", "vectorized")
     VALID_OPTIMIZERS = ("heuristic", "cost")
@@ -96,6 +109,11 @@ class EngineConfig:
             raise DatabaseError(
                 f"unknown optimizer {self.optimizer!r}; valid options: "
                 + ", ".join(repr(o) for o in self.VALID_OPTIMIZERS))
+        if self.radix_bits is not None and not \
+                0 <= self.radix_bits <= kernels.MAX_RADIX_BITS:
+            raise DatabaseError(
+                f"radix_bits must be in [0, {kernels.MAX_RADIX_BITS}], "
+                f"got {self.radix_bits}")
 
     def planner_options(self) -> PlannerOptions:
         if self.optimizer == "cost":
@@ -204,6 +222,15 @@ class Engine:
                                       disk, self.clock,
                                       self.counters, faults=faults)
         self.indexes = IndexCatalog()
+        #: Execution-side cache hierarchy (charges latency + counters)
+        #: and a counter-free twin for the planner's what-if costing —
+        #: costing a plan must not pollute the hardware counters.
+        if self.config.cache_model is not None:
+            self.cache = self.config.cache_model.hierarchy(self.counters)
+            self.planner_cache = self.config.cache_model.hierarchy()
+        else:
+            self.cache = None
+            self.planner_cache = None
         #: Optimizer statistics (ANALYZE output); versioned so the plan
         #: cache invalidates when estimates change.
         self.table_stats = StatisticsCatalog()
@@ -260,7 +287,10 @@ class Engine:
             build=self.config.build, mode=self.config.mode,
             costs=self.config.costs,
             executor=self.config.executor,
-            selection_vectors=self.config.selection_vectors)
+            selection_vectors=self.config.selection_vectors,
+            cache=self.cache,
+            zone_maps=self.config.zone_maps,
+            radix_bits=self.config.radix_bits)
 
     # -- query interface ---------------------------------------------------
 
@@ -277,7 +307,8 @@ class Engine:
                               self.config.planner_options(),
                               indexes=self.indexes,
                               stats=self.table_stats,
-                              cost_model=self.config.cost_model)
+                              cost_model=self.config.cost_model,
+                              cache=self.planner_cache)
 
     def _plan_cached(self, sql: str) -> Tuple[PlanNode, Optional[bool]]:
         """``(plan, cache_hit)``; hit is None when caching is off."""
@@ -389,7 +420,8 @@ class Engine:
                                       self.config.planner_options(),
                                       indexes=self.indexes,
                                       stats=self.table_stats,
-                                      cost_model=self.config.cost_model)
+                                      cost_model=self.config.cost_model,
+                                      cache=self.planner_cache)
                 # The cost-based planner pays per plan it enumerated on
                 # top of the per-node construction cost; heuristic plans
                 # carry no optimizer_info, so their charge is unchanged.
@@ -469,6 +501,11 @@ class Engine:
             "selection_vectors": str(config.selection_vectors),
             "cost_model": ("calibrated" if config.cost_model is not None
                            else "default"),
+            "cache_model": (f"l2={config.cache_model.l2_kb}KB"
+                            if config.cache_model is not None else "none"),
+            "zone_maps": str(config.zone_maps),
+            "radix_bits": ("auto" if config.radix_bits is None
+                           else str(config.radix_bits)),
         }
 
     def statistics(self) -> Dict[str, float]:

@@ -76,6 +76,10 @@ __all__ = [
     "join_match",
     "materialize",
     "merge_match",
+    "radix_bits_for",
+    "radix_join_match",
+    "radix_partition",
+    "radix_passes",
     "split_batch",
 ]
 
@@ -270,6 +274,103 @@ def merge_match(left_keys: np.ndarray, right_keys: np.ndarray
         right_idx = np.repeat(starts - first, counts) \
             + np.arange(total, dtype=np.int64)
         return left_idx, right_idx
+
+
+# ---------------------------------------------------------------------------
+# Radix-partitioned join (Manegold/Boncz/Kersten-style)
+# ---------------------------------------------------------------------------
+
+#: Maximum useful fan-out per partitioning pass: one pass splits on at
+#: most this many bits (the classic TLB/cache-line bound on scatter
+#: targets); deeper splits take another pass over the data.
+RADIX_BITS_PER_PASS = 8
+
+#: Hard cap on total radix bits — beyond this the per-partition
+#: bookkeeping dwarfs any locality win at the sizes MiniDB simulates.
+MAX_RADIX_BITS = 14
+
+#: Approximate hash-table bytes per build row (slot + entry), matching
+#: the operator's ``aux_bytes`` accounting.
+HASH_TABLE_BYTES_PER_ROW = 48
+
+
+def radix_passes(n_bits: int) -> int:
+    """Partitioning passes needed to split on ``n_bits`` bits."""
+    if n_bits <= 0:
+        return 0
+    return -(-n_bits // RADIX_BITS_PER_PASS)
+
+
+def radix_bits_for(n_build: int, cache_bytes: int,
+                   bytes_per_row: int = HASH_TABLE_BYTES_PER_ROW) -> int:
+    """Fewest radix bits making each partition's hash table fit cache."""
+    if n_build <= 0 or cache_bytes <= 0:
+        return 0
+    bits = 0
+    while bits < MAX_RADIX_BITS and \
+            (n_build * bytes_per_row) >> bits > cache_bytes:
+        bits += 1
+    return bits
+
+
+def radix_partition(codes: np.ndarray, n_bits: int
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition rows on the low ``n_bits`` bits of their key codes.
+
+    Returns ``(order, offsets)``: ``order`` lists row indices grouped by
+    partition (stable within each partition), ``offsets`` has
+    ``2**n_bits + 1`` entries with partition *p* occupying
+    ``order[offsets[p]:offsets[p + 1]]``.
+    """
+    if n_bits < 0 or n_bits > MAX_RADIX_BITS:
+        raise PlanError(
+            f"radix bits must be in [0, {MAX_RADIX_BITS}], got {n_bits}")
+    n_partitions = 1 << n_bits
+    with maybe_span("kernel.radix_partition", "kernel",
+                    rows=int(codes.size), bits=n_bits,
+                    passes=radix_passes(n_bits)):
+        partitions = codes & np.int64(n_partitions - 1)
+        order = np.argsort(partitions, kind="stable").astype(np.int64)
+        counts = np.bincount(partitions, minlength=n_partitions)
+        offsets = np.zeros(n_partitions + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return order, offsets
+
+
+def radix_join_match(left_codes: np.ndarray, right_codes: np.ndarray,
+                     n_bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`join_match`, radix-partitioned on the low ``n_bits`` bits.
+
+    Both sides are partitioned so equal codes land in the same
+    partition; each partition is joined independently (its hash table is
+    what fits in cache) and the pair list is restored to the canonical
+    left-major order, making the output byte-identical to
+    :func:`join_match`.
+    """
+    if n_bits <= 0:
+        return join_match(left_codes, right_codes)
+    with maybe_span("kernel.radix_join_match", "kernel",
+                    left=int(left_codes.size),
+                    right=int(right_codes.size), bits=n_bits):
+        left_order, left_offsets = radix_partition(left_codes, n_bits)
+        right_order, right_offsets = radix_partition(right_codes, n_bits)
+        left_parts: List[np.ndarray] = []
+        right_parts: List[np.ndarray] = []
+        for p in range(1 << n_bits):
+            ls = left_order[left_offsets[p]:left_offsets[p + 1]]
+            rs = right_order[right_offsets[p]:right_offsets[p + 1]]
+            if ls.size == 0 or rs.size == 0:
+                continue  # empty partition on either side: no matches
+            li, ri = join_match(left_codes[ls], right_codes[rs])
+            left_parts.append(ls[li])
+            right_parts.append(rs[ri])
+        if not left_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        li = np.concatenate(left_parts)
+        ri = np.concatenate(right_parts)
+        order = np.lexsort((ri, li))
+        return li[order], ri[order]
 
 
 # ---------------------------------------------------------------------------

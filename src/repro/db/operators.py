@@ -60,7 +60,16 @@ def _predicate_view(batch, columns: Sequence[str], n: int,
 
 
 class SeqScan(PlanNode):
-    """Sequential scan of a base table through the buffer pool."""
+    """Sequential scan of a base table through the buffer pool.
+
+    When the planner pushes a filter down onto the scan
+    (:attr:`prune_for`), the scan consults the table's zone maps first
+    and skips every block the predicate can never match — the pruned
+    blocks' I/O and scan CPU are never charged, and in the vectorized
+    engine the surviving rows travel as a selection vector so non-filter
+    columns materialise late.  Dictionary-encoded columns read their
+    (smaller) code + dictionary footprint instead of raw values.
+    """
 
     category = "scan"
 
@@ -69,6 +78,12 @@ class SeqScan(PlanNode):
         super().__init__()
         self.table_name = table_name
         self.columns = tuple(columns) if columns is not None else None
+        #: Predicate of the Filter directly above (set by the planner on
+        #: pushdown); drives zone-map block pruning.
+        self.prune_for: Optional[Expr] = None
+        #: Per-block verdicts of the last execution (the Filter above
+        #: reads them to short-circuit all-true/all-false inputs).
+        self.last_block_verdicts = None
 
     def name(self) -> str:
         cols = ", ".join(self.columns) if self.columns else "*"
@@ -83,19 +98,71 @@ class SeqScan(PlanNode):
     def estimated_rows(self, ctx: ExecutionContext) -> float:
         return float(ctx.database.table(self.table_name).n_rows)
 
+    def _verdicts(self, ctx, table):
+        """Zone-map verdicts for the pushed-down predicate (or None)."""
+        if self.prune_for is None or not getattr(ctx, "zone_maps", True):
+            return None
+        from repro.db import zonemaps
+        return zonemaps.block_verdicts(table, self.prune_for)
+
+    def explain_extras(self, ctx) -> List[str]:
+        if ctx is None:
+            return []
+        extras: List[str] = []
+        table = ctx.database.table(self.table_name)
+        names = self.columns if self.columns is not None \
+            else table.column_names
+        n_dict = sum(1 for name in names
+                     if table.column(name).dictionary is not None)
+        if n_dict:
+            extras.append(f"dict={n_dict}/{len(names)}")
+        verdicts = self._verdicts(ctx, table)
+        if verdicts is not None:
+            from repro.db.zonemaps import PRUNE_NONE
+            pruned = int((verdicts == PRUNE_NONE).sum())
+            extras.append(f"blocks pruned={pruned}/{len(verdicts)}")
+        return extras
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         table = ctx.database.table(self.table_name)
         names = self.columns if self.columns is not None \
             else table.column_names
+        n = table.n_rows
+        survivors = None
+        verdicts = self._verdicts(ctx, table)
+        self.last_block_verdicts = verdicts
+        n_dict = sum(1 for name in names
+                     if table.column(name).dictionary is not None)
+        if n_dict:
+            self.span_extras["dict_columns"] = n_dict
+        if verdicts is not None:
+            from repro.db import zonemaps
+            pruned = int((verdicts == zonemaps.PRUNE_NONE).sum())
+            self.span_extras["blocks"] = len(verdicts)
+            self.span_extras["blocks_pruned"] = pruned
+            survivors = zonemaps.surviving_rows(table, verdicts)
         # I/O: only the referenced columns travel through the pool
         # (column store!), which is why narrow scans run hot sooner.
-        read_bytes = sum(table.column(n).bytes_used for n in names)
+        # Dictionary-encoded columns ship codes + dictionary; pruned
+        # blocks are skipped before they are ever read.
+        read_bytes = sum(table.column(name).stored_bytes
+                         for name in names)
+        n_scanned = n if survivors is None else len(survivors)
+        if survivors is not None and n:
+            read_bytes = int(round(read_bytes * n_scanned / n))
         ctx.buffer_pool.read_table(self.table_name, read_bytes)
-        n = table.n_rows
-        ctx.charge_cpu("scan", ctx.costs.scan_ns_per_value * n * len(names))
-        ctx.charge_tuples(n)
-        return {name: table.column(name).data for name in names}
+        ctx.charge_cpu("scan",
+                       ctx.costs.scan_ns_per_value * n_scanned * len(names))
+        ctx.charge_tuples(n_scanned)
+        base = {name: table.column(name).data for name in names}
+        if survivors is None:
+            return base
+        if _vectorized(ctx) and getattr(ctx, "selection_vectors", False):
+            # Late materialization: survivors ride as a selection vector
+            # until a pipeline breaker gathers the payload columns.
+            return kernels.SelBatch(base, survivors)
+        return {name: arr[survivors] for name, arr in base.items()}
 
 
 class Filter(PlanNode):
@@ -123,6 +190,29 @@ class Filter(PlanNode):
     def explain_extras(self, ctx) -> List[str]:
         return _kernel_extras(ctx)
 
+    def _zone_shortcircuit(self) -> Optional[str]:
+        """Zone-map proof about the child scan's surviving blocks.
+
+        Returns ``"all"`` when every surviving block is proven all-true
+        (the predicate need not run at all), ``"none"`` when every block
+        was pruned (the input is already empty), and None when the rows
+        must be evaluated normally.
+        """
+        child = self.children[0]
+        if not isinstance(child, SeqScan) or \
+                child.prune_for is not self.predicate:
+            return None
+        verdicts = child.last_block_verdicts
+        if verdicts is None:
+            return None
+        from repro.db import zonemaps
+        surviving = verdicts[verdicts != zonemaps.PRUNE_NONE]
+        if len(surviving) == 0:
+            return "none"
+        if bool((surviving == zonemaps.PRUNE_ALL).all()):
+            return "all"
+        return None
+
     def _run(self, ctx: ExecutionContext,
              child_batches: List[Batch]) -> Batch:
         batch = child_batches[0]
@@ -135,6 +225,13 @@ class Filter(PlanNode):
                        ctx.costs.filter_ns_per_value * n
                        * self.predicate.node_count())
         ctx.charge_tuples(n)
+        proof = self._zone_shortcircuit()
+        if proof is not None:
+            # Zone maps already decided every surviving row ("all") or
+            # pruned every block ("none" — the batch is empty): skip the
+            # per-row predicate evaluation entirely.
+            self.span_extras["zone"] = proof
+            return batch
         mask = np.asarray(self.predicate.evaluate(batch), dtype=bool)
         if n and bool(mask.all()):
             # All rows survive: the input batch is already the answer
@@ -151,6 +248,12 @@ class Filter(PlanNode):
                        * self.predicate.node_count())
         ctx.charge_tuples(n)
         self.span_extras["kernel"] = "filter.vector"
+        proof = self._zone_shortcircuit()
+        if proof is not None:
+            # Same short-circuit as the loop path: no predicate compile,
+            # no evaluation, when zone maps proved the outcome.
+            self.span_extras["zone"] = proof
+            return batch
         view = _predicate_view(batch, needed, n, ctx)
         mask = np.asarray(kernels.compile_expr(self.predicate)(view),
                           dtype=bool)
@@ -309,8 +412,9 @@ class HashJoin(PlanNode):
         n_build = n_left if build_side == "left" else n_right
         self.span_extras["build_side"] = build_side
         # Hash table: roughly one 8-byte slot + entry per build row.
-        self.aux_bytes = 48 * n_build
+        self.aux_bytes = kernels.HASH_TABLE_BYTES_PER_ROW * n_build
         ctx.charge_tuples(n_left + n_right)
+        self._charge_access(ctx, n_left, n_right, n_build)
 
         if _vectorized(ctx):
             ctx.charge_cpu("hash",
@@ -321,7 +425,7 @@ class HashJoin(PlanNode):
             left_codes, right_codes = kernels.encode_join_keys(
                 [left[k] for k in self.left_keys],
                 [right[k] for k in self.right_keys])
-            li, ri = kernels.join_match(left_codes, right_codes)
+            li, ri = self._vector_match(ctx, left_codes, right_codes)
         else:
             ctx.charge_cpu("hash",
                            ctx.costs.hash_build_ns_per_row * n_build)
@@ -339,6 +443,29 @@ class HashJoin(PlanNode):
                     f"join would produce duplicate column {name!r}")
             out[name] = arr[ri]
         return out
+
+    def _charge_access(self, ctx, n_left: int, n_right: int,
+                       n_build: int) -> None:
+        """Memory-latency side of the join.
+
+        Charged only when the engine carries a cache model: building and
+        probing are random accesses into a hash table sized by the full
+        build input, so an out-of-cache build pays memory latency on
+        (almost) every probe — the effect the radix join removes.
+        """
+        cache = getattr(ctx, "cache", None)
+        if cache is None:
+            return
+        working_set = max(1, kernels.HASH_TABLE_BYTES_PER_ROW * n_build)
+        ns = cache.random_accesses(n_build, working_set)
+        ns += cache.random_accesses(n_left + n_right - n_build,
+                                    working_set)
+        ctx.charge_cpu("hash", ns)
+
+    def _vector_match(self, ctx, left_codes: np.ndarray,
+                      right_codes: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        return kernels.join_match(left_codes, right_codes)
 
     def _loop_match(self, left: Batch, right: Batch, n_left: int,
                     n_right: int, build_side: str
@@ -379,6 +506,97 @@ class HashJoin(PlanNode):
         # the executor's canonical left-major order.
         order = np.lexsort((ri, li))
         return li[order], ri[order]
+
+
+class RadixHashJoin(HashJoin):
+    """Cache-conscious hash join (Manegold/Boncz/Kersten style).
+
+    Both inputs are radix-partitioned on the low bits of their join-key
+    codes — enough bits that each partition's hash table fits the
+    simulated L2 cache — and then joined partition by partition, so
+    probes hit cache-resident tables instead of paying memory latency
+    per row.  The output is byte-identical to :class:`HashJoin`'s
+    left-major result; only the access pattern (and hence the simulated
+    cost) differs.  The loop executor reuses the per-row oracle match
+    while charging the radix cost profile.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: Sequence[str], right_keys: Sequence[str],
+                 radix_bits: Optional[int] = None):
+        super().__init__(left, right, left_keys, right_keys)
+        #: Forced partition bits (plan-level override); None defers to
+        #: the context's ``radix_bits`` and finally to auto-sizing.
+        self.radix_bits = radix_bits
+        self._last_bits = 0
+
+    def name(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in
+                          zip(self.left_keys, self.right_keys))
+        return f"RadixHashJoin({pairs})"
+
+    def _bits_for(self, ctx, n_build: int) -> int:
+        forced = self.radix_bits if self.radix_bits is not None \
+            else getattr(ctx, "radix_bits", None)
+        if forced is not None:
+            return max(0, min(int(forced), kernels.MAX_RADIX_BITS))
+        cache = getattr(ctx, "cache", None)
+        if cache is not None and cache.levels:
+            cache_bytes = cache.levels[-1].size_bytes
+        else:
+            from repro.hardware.cache import DEFAULT_CACHE_MODEL
+            cache_bytes = DEFAULT_CACHE_MODEL.l2_bytes
+        return kernels.radix_bits_for(n_build, cache_bytes)
+
+    def explain_extras(self, ctx) -> List[str]:
+        extras = super().explain_extras(ctx)
+        bits = self.span_extras.get("radix_bits")
+        if bits is None and ctx is not None and len(self.children) == 2:
+            build = self.choose_build_side(ctx, 0, 0)
+            child = self.children[0 if build == "left" else 1]
+            bits = self._bits_for(ctx, int(child.estimated_rows_safe(ctx)))
+        if bits is not None:
+            extras.append(f"bits={bits}")
+            extras.append(f"partitions={1 << int(bits)}")
+        return extras
+
+    def _charge_access(self, ctx, n_left: int, n_right: int,
+                       n_build: int) -> None:
+        bits = self._bits_for(ctx, n_build)
+        self._last_bits = bits
+        self.span_extras["radix_bits"] = bits
+        self.span_extras["partitions"] = 1 << bits
+        costs = ctx.costs
+        passes = kernels.radix_passes(bits)
+        if passes:
+            # CPU side of partitioning: every pass streams both inputs
+            # once; every partition pays a fixed setup (this is what
+            # makes over-partitioning lose — the E28 sweet spot).
+            ctx.charge_cpu(
+                "hash",
+                passes * costs.radix_partition_ns_per_row
+                * (n_left + n_right)
+                + (1 << bits) * costs.radix_partition_setup_ns)
+        cache = getattr(ctx, "cache", None)
+        if cache is None:
+            return
+        ns = 0.0
+        for _ in range(passes):
+            # Partitioning is sequential: read + scatter-write streams.
+            ns += cache.sequential_scan(n_left + n_right, 16)
+        working_set = max(
+            1, (kernels.HASH_TABLE_BYTES_PER_ROW * n_build) >> bits)
+        ns += cache.random_accesses(n_build, working_set)
+        ns += cache.random_accesses(n_left + n_right - n_build,
+                                    working_set)
+        ctx.charge_cpu("hash", ns)
+
+    def _vector_match(self, ctx, left_codes: np.ndarray,
+                      right_codes: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        self.span_extras["kernel"] = "join.radix"
+        return kernels.radix_join_match(left_codes, right_codes,
+                                        self._last_bits)
 
 
 class NestedLoopJoin(PlanNode):
@@ -429,6 +647,10 @@ class NestedLoopJoin(PlanNode):
 
 class _NullCostContext:
     """Delegates everything but swallows cost charges (internal reuse)."""
+
+    #: The helper join must not touch the cache model either: the outer
+    #: operator already accounts for its own access pattern.
+    cache = None
 
     def __init__(self, inner: ExecutionContext):
         self._inner = inner
@@ -712,6 +934,11 @@ class MergeJoin(PlanNode):
         self._check_sorted(rk, "right")
         n_left, n_right = len(lk), len(rk)
         ctx.charge_tuples(n_left + n_right)
+        cache = getattr(ctx, "cache", None)
+        if cache is not None:
+            # Merging is purely sequential: one stream over each input.
+            ctx.charge_cpu("sort",
+                           cache.sequential_scan(n_left + n_right, 16))
 
         if _vectorized(ctx):
             ctx.charge_cpu("sort",

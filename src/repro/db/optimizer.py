@@ -55,6 +55,7 @@ from repro.db.operators import (
     MergeJoin,
     NestedLoopJoin,
     Project,
+    RadixHashJoin,
     SeqScan,
     Sort,
 )
@@ -169,13 +170,16 @@ def plan_statement(statement: SelectStatement, database: Database,
                    options: Optional[PlannerOptions] = None,
                    indexes: Optional[IndexCatalog] = None,
                    stats: Optional[StatisticsCatalog] = None,
-                   cost_model: Optional[CostModel] = None) -> PlanNode:
+                   cost_model: Optional[CostModel] = None,
+                   cache=None) -> PlanNode:
     """Build the physical plan for one statement.
 
     Dispatches to the v2 cost-based planner when the options say so or
     when the statement carries ``/*+ ... */`` hints (hints are a
     cost-based-planner feature; they force its hands, so they imply it).
-    Otherwise the v1 heuristic planner runs, unchanged.
+    Otherwise the v1 heuristic planner runs, unchanged.  *cache* is an
+    optional counter-free :class:`~repro.hardware.cache.CacheHierarchy`
+    the cost-based planner uses to price join memory-access patterns.
     """
     options = options if options is not None else PlannerOptions()
     tables = statement.tables
@@ -185,7 +189,7 @@ def plan_statement(statement: SelectStatement, database: Database,
         raise PlanError(f"self-joins are not supported: {tables}")
     if options.cost_based or not statement.hints.is_empty:
         return _plan_cost_based(statement, database, options, indexes,
-                                stats, cost_model)
+                                stats, cost_model, cache)
     return _plan_heuristic(statement, database, options, indexes)
 
 
@@ -253,7 +257,12 @@ def _plan_heuristic(statement: SelectStatement, database: Database,
         if node is None:
             node = SeqScan(table, columns=columns)
         if conjuncts:
-            node = Filter(node, conjoin(conjuncts))
+            predicate = conjoin(conjuncts)
+            if isinstance(node, SeqScan):
+                # Pushdown reaches the scan: let zone maps prune blocks
+                # against the very predicate the Filter above applies.
+                node.prune_for = predicate
+            node = Filter(node, predicate)
         return node
 
     plan = scan_for(statement.table)
@@ -437,6 +446,8 @@ class _CostContext:
     scans: Dict[str, _ScanInfo]
     #: residual WHERE conjuncts with the tables each one references
     residual: List[Tuple[Expr, FrozenSet[str]]]
+    #: counter-free cache hierarchy for join memory costing (optional)
+    cache: Optional[object] = None
 
 
 def _collect_scan_info(statement: SelectStatement, database: Database,
@@ -542,7 +553,8 @@ def _extend(ctx: _CostContext, prefix: _JoinPrefix, table: str
                     right_keys=tuple(r for __, r, *__k in pairs),
                     rows_left=prefix.rows, rows_right=info.rows,
                     rows_out=rows_out)
-    step_cost = min(join_operator_cost(ctx.model, op, step)
+    step_cost = min(join_operator_cost(ctx.model, op, step,
+                                       cache=ctx.cache)
                     for op in JOIN_OPERATORS)
     cost = prefix.cost + min(info.paths.values()) + step_cost
     before, after = set(prefix.order), set(prefix.order) | {table}
@@ -659,7 +671,8 @@ def _plan_cost_based(statement: SelectStatement, database: Database,
                      options: PlannerOptions,
                      indexes: Optional[IndexCatalog],
                      stats: Optional[StatisticsCatalog],
-                     cost_model: Optional[CostModel]) -> PlanNode:
+                     cost_model: Optional[CostModel],
+                     cache=None) -> PlanNode:
     """The v2 planner: enumerate join orders, select physical operators
     through the physops chain, assemble an annotated plan."""
     model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
@@ -695,7 +708,7 @@ def _plan_cost_based(statement: SelectStatement, database: Database,
     scans = _collect_scan_info(statement, database, per_table_columns,
                                pushed, estimator, model, indexes)
     ctx = _CostContext(estimator=estimator, model=model, edges=edges,
-                       scans=scans, residual=residual)
+                       scans=scans, residual=residual, cache=cache)
 
     # -- join-order enumeration -------------------------------------------
     # Tables carrying JOIN_OP/BUILD hints must be *introduced* by a join
@@ -724,7 +737,8 @@ def _plan_cost_based(statement: SelectStatement, database: Database,
     op_context = OperatorSelectionContext(
         steps=prefix.steps,
         scan_costs={t: dict(scans[t].paths) for t in tables},
-        cost_model=model)
+        cost_model=model,
+        cache=cache)
     assignment = selection.select_physical_operators(op_context)
 
     plan = _assemble_cost_plan(statement, ctx, prefix, assignment,
@@ -769,7 +783,10 @@ def _assemble_cost_plan(statement: SelectStatement, ctx: _CostContext,
                     bytes_touched=info.base_rows * info.row_bytes))
             rows_in = info.base_rows
         if conjuncts:
-            node = _annotate(Filter(node, conjoin(conjuncts)), info.rows,
+            predicate = conjoin(conjuncts)
+            if isinstance(node, SeqScan):
+                node.prune_for = predicate
+            node = _annotate(Filter(node, predicate), info.rows,
                              model.operator_ns("Filter", rows_in,
                                                info.rows))
         return node
@@ -815,6 +832,14 @@ def _assemble_cost_plan(statement: SelectStatement, ctx: _CostContext,
             node = NestedLoopJoin(plan, right, list(step.left_keys),
                                   list(step.right_keys))
             own = model.operator_ns("NestedLoopJoin", step.rows_left,
+                                    step.rows_out, step.rows_right)
+        elif operator == "radix":
+            node = RadixHashJoin(plan, right, list(step.left_keys),
+                                 list(step.right_keys))
+            side = assignment.build_sides.get(step.table)
+            if side is not None:
+                node.forced_build_side = side
+            own = model.operator_ns("RadixHashJoin", step.rows_left,
                                     step.rows_out, step.rows_right)
         else:
             node = HashJoin(plan, right, list(step.left_keys),

@@ -140,7 +140,7 @@ def strip_explain(sql: str) -> Tuple[Optional[str], str]:
 
 
 #: Recognised join operators / scan kinds / build sides in hints.
-_HINT_JOIN_OPS = ("hash", "merge", "loop")
+_HINT_JOIN_OPS = ("hash", "merge", "loop", "radix")
 _HINT_SCANS = ("seq", "index")
 _HINT_BUILDS = ("left", "right")
 

@@ -1,14 +1,33 @@
-"""Columnar storage: columns, tables, and the database catalogue."""
+"""Columnar storage: columns, tables, and the database catalogue.
+
+Cache-conscious extras live here too: string (and low-NDV integer)
+columns are dictionary-encoded at load time, and every column can build
+a per-block zone map (min/max/null-count per :data:`ZONE_BLOCK_ROWS`
+rows) that scans use to skip blocks a pushed-down predicate can never
+match.  ``NULL`` has exactly one physical representation in MiniDB:
+``NaN`` in a FLOAT64 column; zone maps track it so block-level
+"all rows match" proofs stay sound in NULL-heavy data.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.db.types import DataType, coerce_array
 from repro.errors import CatalogError
+
+#: Rows per zone-map block.  Small enough that selective predicates
+#: prune at useful granularity, large enough that the per-block metadata
+#: stays negligible next to the data.
+ZONE_BLOCK_ROWS = 1024
+
+#: A sampled integer column is dictionary-encoded when its sampled NDV
+#: stays at or below this bound (the "low-NDV" rule of the tentpole).
+DICTIONARY_SAMPLE_ROWS = 1024
+DICTIONARY_MAX_SAMPLE_NDV = 256
 
 
 @dataclass(frozen=True)
@@ -23,8 +42,120 @@ class ColumnSchema:
             raise CatalogError(f"bad column name {self.name!r}")
 
 
+@dataclass(frozen=True)
+class Dictionary:
+    """Order-preserving dictionary encoding of one column.
+
+    ``values`` holds the sorted distinct values; ``codes`` holds one
+    int64 code per row (``values[codes] == data``).  Sorted values make
+    code order mirror value order, so zone maps over codes prune range
+    predicates exactly like zone maps over the raw values.
+    """
+
+    values: np.ndarray
+    codes: np.ndarray
+
+    @property
+    def n_values(self) -> int:
+        return len(self.values)
+
+    def code_for(self, value: Any) -> Optional[int]:
+        """The code of *value*, or None when it is not in the dictionary
+        (an equality probe for it can prune every block)."""
+        lo = int(np.searchsorted(self.values, value))
+        if lo < len(self.values) and self.values[lo] == value:
+            return lo
+        return None
+
+    def bytes_used(self, byte_width: int) -> int:
+        return 8 * len(self.codes) + byte_width * len(self.values)
+
+
+@dataclass(frozen=True)
+class ZoneEntry:
+    """Min/max/null-count of one block of a column.
+
+    ``lo``/``hi`` are ``None`` for an all-NULL block (no non-null value
+    to bound).
+    """
+
+    lo: Any
+    hi: Any
+    null_count: int
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-block min/max/null-count metadata of one column."""
+
+    column: str
+    block_rows: int
+    entries: Tuple[ZoneEntry, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.entries)
+
+    def block_slice(self, block: int, n_rows: int) -> slice:
+        start = block * self.block_rows
+        return slice(start, min(start + self.block_rows, n_rows))
+
+
+def _build_zone_map(name: str, dtype: DataType, data: np.ndarray,
+                    dictionary: Optional[Dictionary],
+                    block_rows: int) -> ZoneMap:
+    n = len(data)
+    entries = []
+    # Dictionary-encoded columns find block bounds over their (order-
+    # preserving) int codes, then map back to values; numeric/date
+    # columns bound directly.  NaN is the NULL encoding.
+    ranked = dictionary.codes if dictionary is not None else data
+    for start in range(0, max(n, 1), block_rows):
+        block = ranked[start:start + block_rows]
+        if len(block) == 0:
+            entries.append(ZoneEntry(lo=None, hi=None, null_count=0))
+            continue
+        if dtype is DataType.FLOAT64:
+            nulls = int(np.count_nonzero(np.isnan(block)))
+            if nulls == len(block):
+                entries.append(ZoneEntry(lo=None, hi=None,
+                                         null_count=nulls))
+                continue
+            lo, hi = np.nanmin(block), np.nanmax(block)
+        else:
+            nulls = 0
+            lo, hi = block.min(), block.max()
+        if dictionary is not None:
+            lo = dictionary.values[int(lo)]
+            hi = dictionary.values[int(hi)]
+        entries.append(ZoneEntry(lo=lo.item() if hasattr(lo, "item")
+                                 else lo,
+                                 hi=hi.item() if hasattr(hi, "item")
+                                 else hi,
+                                 null_count=nulls))
+    return ZoneMap(column=name, block_rows=block_rows,
+                   entries=tuple(entries))
+
+
+def _should_dictionary_encode(dtype: DataType, data: np.ndarray) -> bool:
+    if dtype is DataType.STRING:
+        return True
+    if dtype is DataType.FLOAT64 or len(data) == 0:
+        return False
+    # Low-NDV integers/dates: decide from a prefix sample so load time
+    # stays linear for wide high-cardinality columns.
+    sample = data[:DICTIONARY_SAMPLE_ROWS]
+    return len(np.unique(sample)) <= DICTIONARY_MAX_SAMPLE_NDV
+
+
 class Column:
-    """A named, typed numpy-backed column."""
+    """A named, typed numpy-backed column.
+
+    ``data`` is always the decoded array operators compute on; the
+    optional :class:`Dictionary` and :class:`ZoneMap` are storage-level
+    companions built lazily and cached (``Table.from_columns`` builds
+    the dictionary eagerly at load time for string/low-NDV columns).
+    """
 
     def __init__(self, schema: ColumnSchema, data: np.ndarray):
         if data.dtype != schema.dtype.numpy_dtype:
@@ -33,6 +164,9 @@ class Column:
                 f"match {schema.dtype.value}")
         self.schema = schema
         self.data = data
+        self._dictionary: Optional[Dictionary] = None
+        self._dictionary_built = False
+        self._zone_map: Optional[ZoneMap] = None
 
     @property
     def name(self) -> str:
@@ -48,6 +182,35 @@ class Column:
     @property
     def bytes_used(self) -> int:
         return len(self.data) * self.dtype.byte_width
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes a scan actually reads: dictionary-encoded columns ship
+        8-byte codes plus the (small) dictionary instead of raw values."""
+        if self.dictionary is not None:
+            return min(self.bytes_used,
+                       self.dictionary.bytes_used(self.dtype.byte_width))
+        return self.bytes_used
+
+    @property
+    def dictionary(self) -> Optional[Dictionary]:
+        """The dictionary encoding, built on first access when eligible."""
+        if not self._dictionary_built:
+            self._dictionary_built = True
+            if _should_dictionary_encode(self.dtype, self.data):
+                values, codes = np.unique(self.data, return_inverse=True)
+                self._dictionary = Dictionary(
+                    values=values, codes=codes.astype(np.int64))
+        return self._dictionary
+
+    def zone_map(self, block_rows: int = ZONE_BLOCK_ROWS) -> ZoneMap:
+        """The per-block zone map (cached after the first build)."""
+        if self._zone_map is None or \
+                self._zone_map.block_rows != block_rows:
+            self._zone_map = _build_zone_map(
+                self.name, self.dtype, self.data, self.dictionary,
+                block_rows)
+        return self._zone_map
 
 
 class Table:
@@ -88,8 +251,12 @@ class Table:
         for col_name, dtype in schema:
             values = data[col_name]
             seq = values if hasattr(values, "__len__") else list(values)
-            columns.append(Column(ColumnSchema(col_name, dtype),
-                                  coerce_array(seq, dtype)))
+            column = Column(ColumnSchema(col_name, dtype),
+                            coerce_array(seq, dtype))
+            # Load-time dictionary encoding (string/low-NDV columns);
+            # high-cardinality numeric columns skip via a prefix sample.
+            column.dictionary
+            columns.append(column)
         return cls(name, columns)
 
     @property
@@ -113,6 +280,19 @@ class Table:
     @property
     def bytes_used(self) -> int:
         return sum(c.bytes_used for c in self._columns.values())
+
+    @property
+    def stored_bytes(self) -> int:
+        """On-"disk" footprint with dictionary encoding applied."""
+        return sum(c.stored_bytes for c in self._columns.values())
+
+    def zone_map(self, column: str,
+                 block_rows: int = ZONE_BLOCK_ROWS) -> ZoneMap:
+        return self.column(column).zone_map(block_rows)
+
+    @property
+    def n_blocks(self) -> int:
+        return max(1, -(-self.n_rows // ZONE_BLOCK_ROWS))
 
     def arrays(self) -> Dict[str, np.ndarray]:
         """All column arrays, keyed by name (shared, do not mutate)."""

@@ -1,4 +1,4 @@
-"""Paper experiments: one module per tutorial table/figure (E01-E27).
+"""Paper experiments: one module per tutorial table/figure (E01-E28).
 
 Each ``eNN_*`` module exposes a ``run(...)`` function returning a typed
 result object with a ``format()`` method that prints the same rows or
@@ -37,5 +37,6 @@ from repro.experiments.e24_serving import run_e24
 from repro.experiments.e25_optimizer import run_e25
 from repro.experiments.e26_observatory import run_e26
 from repro.experiments.e27_cross_system import run_e27
+from repro.experiments.e28_cache import run_e28
 
-__all__ = [f"run_e{i:02d}" for i in range(1, 28)]
+__all__ = [f"run_e{i:02d}" for i in range(1, 29)]

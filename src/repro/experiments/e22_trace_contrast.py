@@ -44,7 +44,13 @@ from repro.experiments.e21_fault_tolerance import (
     make_space,
 )
 from repro.faults import FaultPlan
-from repro.measurement import RetryPolicy, VirtualClock
+from repro.measurement import (
+    ConfidenceInterval,
+    RetryPolicy,
+    VirtualClock,
+    bootstrap_speedup_ci,
+    speedup as speedup_estimate,
+)
 from repro.measurement.harness import run_harness
 from repro.obs import (
     MetricsRegistry,
@@ -102,6 +108,13 @@ class E22Result:
     n_backoff_events: int
     metrics: str
     written: Tuple[str, ...] = ()
+    #: Touati-style restatement of the headline slowdown: the contrast
+    #: pair re-run on ``ci_seeds`` different data seeds, the slowdown
+    #: summarised with a bootstrap CI under the ``median`` protocol and
+    #: the ``min``-protocol point estimate alongside.
+    slowdown_ci: Optional[ConfidenceInterval] = None
+    slowdown_min: float = 0.0
+    ci_seeds: int = 0
 
     def contrast(self, label: str) -> ContrastRun:
         for run in self.contrasts:
@@ -118,6 +131,15 @@ class E22Result:
             f"untuned/tuned slowdown: {self.slowdown:.1f}x — the "
             "flamegraphs say *why*: the untuned stack spends its time "
             "in buffer/disk spans, the tuned one in operators",
+        ]
+        if self.slowdown_ci is not None:
+            ci = self.slowdown_ci
+            lines.append(
+                f"slowdown over {self.ci_seeds} data seeds: median "
+                f"{ci.mean:.2f}x [{ci.low:.2f}, {ci.high:.2f}] at "
+                f"{ci.confidence:.0%} (bootstrap), "
+                f"min {self.slowdown_min:.2f}x")
+        lines += [
             "",
             "traced fault-injected campaign "
             f"({self.campaign_trace.summary()}):",
@@ -194,12 +216,18 @@ def _traced_campaign(database, sql: str, seed: int,
 
 def run_e22(sf: float = 0.002, seed: int = 42, query: int = 1,
             fault_probability: float = 0.2,
-            trace_dir: Optional[str] = None) -> E22Result:
+            trace_dir: Optional[str] = None,
+            ci_seeds: int = 3) -> E22Result:
     """Run the contrast and the traced campaign; see module docstring.
 
     With *trace_dir* set, writes ``trace.jsonl`` (span log),
     ``trace.chrome.json`` (Chrome trace_event format) and
     ``flamegraph.txt`` (the contrast report) into that directory.
+
+    ``ci_seeds`` replays the contrast pair on that many data seeds
+    (``seed .. seed + ci_seeds - 1``) so the headline slowdown ships
+    with a bootstrap confidence interval instead of a single ratio;
+    ``ci_seeds=0`` skips the restatement.
     """
     database = generate_tpch(sf=sf, seed=seed)
     sql = tpch_query(query)
@@ -208,6 +236,23 @@ def run_e22(sf: float = 0.002, seed: int = 42, query: int = 1,
     untuned, __ = _traced_query(database, sql, "untuned", UNTUNED_CONFIG)
     slowdown = untuned.total_ms / tuned.total_ms if tuned.total_ms \
         else float("inf")
+
+    slowdown_ci = None
+    slowdown_min = 0.0
+    if ci_seeds > 0:
+        tuned_ms = [tuned.total_ms]
+        untuned_ms = [untuned.total_ms]
+        for extra_seed in range(seed + 1, seed + ci_seeds):
+            replica = generate_tpch(sf=sf, seed=extra_seed)
+            t, __ = _traced_query(replica, sql, "tuned", TUNED_CONFIG)
+            u, __ = _traced_query(replica, sql, "untuned",
+                                  UNTUNED_CONFIG)
+            tuned_ms.append(t.total_ms)
+            untuned_ms.append(u.total_ms)
+        slowdown_ci = bootstrap_speedup_ci(untuned_ms, tuned_ms,
+                                           protocol="median", seed=0)
+        slowdown_min = speedup_estimate(untuned_ms, tuned_ms,
+                                        protocol="min")
 
     trace, documentation, registry = _traced_campaign(
         database, sql, seed, fault_probability)
@@ -234,6 +279,9 @@ def run_e22(sf: float = 0.002, seed: int = 42, query: int = 1,
         n_backoff_events=len(trace.events("retry.backoff")),
         metrics=registry.format(),
         written=tuple(written),
+        slowdown_ci=slowdown_ci,
+        slowdown_min=slowdown_min,
+        ci_seeds=ci_seeds if slowdown_ci is not None else 0,
     )
 
 

@@ -1,6 +1,11 @@
 """Simulated hardware: caches, CPU generations, counters, builds, specs."""
 
-from repro.hardware.cache import CacheHierarchy, CacheLevel
+from repro.hardware.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    CacheModel,
+    DEFAULT_CACHE_MODEL,
+)
 from repro.hardware.compiler import (
     BuildMode,
     BuildModel,
@@ -32,8 +37,10 @@ __all__ = [
     "CPU_GENERATIONS",
     "CacheHierarchy",
     "CacheLevel",
+    "CacheModel",
     "CpuModel",
     "CpuSpec",
+    "DEFAULT_CACHE_MODEL",
     "DEFAULT_DBG_FACTORS",
     "DiskSpec",
     "EVENTS",

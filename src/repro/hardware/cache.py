@@ -232,3 +232,60 @@ class CacheHierarchy:
         if not 1 <= level <= len(self.levels):
             raise HardwareModelError(f"no cache level {level}")
         return len(self._lines[level - 1])
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Hashable cache-geometry configuration.
+
+    :class:`~repro.db.engine.EngineConfig` is a frozen dataclass, so the
+    cache model the engine charges memory cost against must itself be
+    hashable; a :class:`CacheHierarchy` (mutable LRU state) is built from
+    it per engine via :meth:`hierarchy`.  The defaults follow the
+    tutorial's Pentium M laptop (32 KB L1, 2 MB L2).
+    """
+
+    l1_kb: int = 32
+    l2_kb: int = 2048
+    line_bytes: int = 64
+    l1_latency_ns: float = 2.0
+    l2_latency_ns: float = 7.0
+    memory_latency_ns: float = 150.0
+
+    def __post_init__(self):
+        if self.l1_kb <= 0 or self.l2_kb < self.l1_kb:
+            raise HardwareModelError(
+                f"bad cache geometry l1={self.l1_kb}KB l2={self.l2_kb}KB")
+        if self.line_bytes <= 0:
+            raise HardwareModelError("line_bytes must be positive")
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kb * 1024
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    @classmethod
+    def tutorial_laptop(cls) -> "CacheModel":
+        """The geometry of :data:`~repro.hardware.machine.TUTORIAL_LAPTOP`."""
+        from repro.hardware.machine import TUTORIAL_LAPTOP
+        cpu = TUTORIAL_LAPTOP.cpu
+        return cls(l1_kb=cpu.l1_cache_kb, l2_kb=cpu.l2_cache_kb)
+
+    def hierarchy(self,
+                  counters: Optional[HardwareCounters] = None
+                  ) -> CacheHierarchy:
+        return CacheHierarchy(
+            [CacheLevel("L1", self.l1_bytes, self.line_bytes,
+                        self.l1_latency_ns),
+             CacheLevel("L2", self.l2_bytes, self.line_bytes,
+                        self.l2_latency_ns)],
+            memory_latency_ns=self.memory_latency_ns,
+            counters=counters)
+
+
+#: Geometry used when the optimizer costs cache effects and no engine-
+#: level cache model is configured (plan costing needs *a* machine).
+DEFAULT_CACHE_MODEL = CacheModel()

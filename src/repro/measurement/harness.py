@@ -192,6 +192,36 @@ class HarnessReport:
                 f"masked subset explicitly.  Failures: {listing}")
         return self
 
+    def self_audit(self) -> Tuple[Tuple[str, bool], ...]:
+        """Mechanical methodology checklist, Krishnamachari style.
+
+        Each entry is ``(check, passed)``; the checks are the questions
+        a referee would ask of the measurement discipline and that the
+        report can answer about itself — repetition count, warm-state
+        control, estimator choice, coverage, declared retry policy and
+        raw-sample retention.  :meth:`documentation` appends the tally
+        so the audit travels with the published paragraph.
+        """
+        protocol_mod = __import__("repro.measurement.protocol",
+                                  fromlist=["PickRule", "State"])
+        checks = (
+            ("repetitions >= 3 so run-to-run variance is observable",
+             self.protocol.repetitions >= 3),
+            ("warm state controlled (explicit cold runs or >= 1 "
+             "unmeasured warm-up)",
+             self.protocol.state is protocol_mod.State.COLD
+             or self.protocol.warmups >= 1),
+            ("summary is an order statistic (min/median/last), not a "
+             "mean", self.protocol.pick is not protocol_mod.PickRule.MEAN),
+            ("every design point measured or its failure disclosed",
+             self.survival_rate == 1.0),
+            ("retry discipline declared up front",
+             self.retry is not None),
+            ("raw per-repetition timings retained for CI analysis",
+             bool(self.raw)),
+        )
+        return checks
+
     def documentation(self) -> str:
         """The methodology paragraph to publish with the numbers.
 
@@ -221,6 +251,13 @@ class HarnessReport:
             parts.append("all points measured")
         if self.trace is not None:
             parts.append(f"trace: {self.trace.summary()}")
+        audit = self.self_audit()
+        passed = sum(1 for __, ok in audit if ok)
+        tally = f"self-audit: {passed}/{len(audit)} checks passed"
+        flagged = [label for label, ok in audit if not ok]
+        if flagged:
+            tally += " (flagged: " + ", ".join(flagged) + ")"
+        parts.append(tally)
         return "; ".join(parts)
 
 

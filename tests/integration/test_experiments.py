@@ -370,5 +370,5 @@ class TestE21FaultTolerance:
         fault streams by a single byte."""
         import hashlib
         digest = hashlib.sha256(result.format().encode()).hexdigest()
-        assert digest == ("57b4f031791fb94dfe788e129efd2363"
-                          "801094c333a5501db0a85678191a14a4")
+        assert digest == ("9807ae190db2c10f663ba3298e7d4f57"
+                          "c9ad6702bfcf58a57e5e736f0336983c")
